@@ -1,0 +1,91 @@
+// Ablation: how the Varity generation parameters and the FP-semantics
+// mechanisms change the outlier yield. Each row is a small independent
+// campaign with one knob moved off the paper configuration:
+//   - grammar size knobs (expression size, nesting, criticals, regions in
+//     loops) shift which runtime subsystems the tests stress;
+//   - disabling GCC's flush-to-zero removes the numerical-divergence
+//     mechanism behind part of its fast outliers (Section V-B);
+//   - enabling Intel's FMA contraction makes nearly every output unique,
+//     demonstrating why strict-IEEE expression evaluation is the default.
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "harness/report.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace ompfuzz;
+
+struct Row {
+  std::string label;
+  std::function<void(CampaignConfig&)> tweak_config;
+  std::function<void(std::vector<rt::OmpImplProfile>&)> tweak_profiles;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int programs = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  bench::print_header("Ablation — grammar parameters and FP-semantics "
+                      "mechanisms vs outlier yield (" +
+                      std::to_string(programs) + " programs per row)");
+
+  const std::vector<Row> rows = {
+      {"paper defaults", [](CampaignConfig&) {}, nullptr},
+      {"MAX_EXPRESSION_SIZE=10",
+       [](CampaignConfig& c) { c.generator.max_expression_size = 10; }, nullptr},
+      {"MAX_NESTING_LEVELS=1",
+       [](CampaignConfig& c) { c.generator.max_nesting_levels = 1; }, nullptr},
+      {"no criticals (p_critical=0)",
+       [](CampaignConfig& c) { c.generator.p_critical = 0.0; }, nullptr},
+      {"no regions in loops",
+       [](CampaignConfig& c) { c.generator.p_parallel_in_loop = 0.0; }, nullptr},
+      {"no reductions (p_reduction=0)",
+       [](CampaignConfig& c) { c.generator.p_reduction = 0.0; }, nullptr},
+      {"gcc without flush-to-zero", [](CampaignConfig&) {},
+       [](std::vector<rt::OmpImplProfile>& profiles) {
+         for (auto& p : profiles) {
+           if (p.name == "gcc") p.fp.flush_subnormals = false;
+         }
+       }},
+      {"intel with FMA contraction", [](CampaignConfig&) {},
+       [](std::vector<rt::OmpImplProfile>& profiles) {
+         for (auto& p : profiles) {
+           if (p.name == "intel") p.fp.contract_fma = true;
+         }
+       }},
+  };
+
+  TextTable table({"configuration", "analyzable", "slow", "fast", "crash+hang",
+                   "fast w/ diverging output"});
+  table.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right,
+                       Align::Right, Align::Right});
+
+  for (const auto& row : rows) {
+    auto cfg = bench::paper_config(programs);
+    row.tweak_config(cfg);
+    std::vector<rt::OmpImplProfile> profiles = {
+        rt::gcc_profile(), rt::clang_profile(), rt::intel_profile()};
+    if (row.tweak_profiles) row.tweak_profiles(profiles);
+    harness::SimExecutor exec(std::move(profiles), bench::sim_options(cfg));
+    harness::Campaign campaign(cfg, exec);
+    const auto result = campaign.run();
+
+    int slow = 0, fast = 0, correctness = 0, diverging = 0;
+    for (const auto& [name, counts] : result.per_impl) {
+      slow += counts.slow;
+      fast += counts.fast;
+      correctness += counts.crash + counts.hang;
+      diverging += counts.fast_with_divergence;
+    }
+    table.add_row({row.label, std::to_string(result.analyzable_tests),
+                   std::to_string(slow), std::to_string(fast),
+                   std::to_string(correctness), std::to_string(diverging)});
+    std::fprintf(stderr, "  finished: %s\n", row.label.c_str());
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}

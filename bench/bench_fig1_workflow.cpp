@@ -1,0 +1,72 @@
+// Reproduces paper Figure 1: the end-to-end workflow — (a) generate a test
+// program and input from a configuration, (b) "compile" it with multiple
+// OpenMP implementations, (c) run and collect <output, time>, (d) compare
+// results and flag the anomaly. The figure's example shows implementation 3
+// taking 9 minutes where the others take 5 — here we search the campaign for
+// the first test with exactly that shape and display its pipeline.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "emit/codegen.hpp"
+#include "support/string_utils.hpp"
+
+int main() {
+  using namespace ompfuzz;
+  bench::print_header("Figure 1 — workflow overview with a flagged anomaly");
+
+  auto cfg = bench::paper_config(60);
+  harness::SimExecutor exec(bench::sim_options(cfg));
+  harness::Campaign campaign(cfg, exec);
+
+  std::printf("(a) program generator: config -> tests + inputs\n");
+  std::printf("    MAX_EXPRESSION_SIZE=%d MAX_NESTING_LEVELS=%d "
+              "MAX_LINES_IN_BLOCK=%d ARRAY_SIZE=%d threads=%d\n\n",
+              cfg.generator.max_expression_size, cfg.generator.max_nesting_levels,
+              cfg.generator.max_lines_in_block, cfg.generator.array_size,
+              cfg.generator.num_threads);
+
+  const auto result = campaign.run(bench::print_progress);
+
+  // Find a test where one implementation is a slow outlier (the figure's
+  // "<1.23e-2, 9 min> vs <1.23e-2, 5 min>" shape).
+  for (const auto& outcome : result.outcomes) {
+    bool has_slow = false;
+    for (auto k : outcome.verdict.per_run) {
+      has_slow |= (k == core::OutlierKind::Slow);
+    }
+    if (!has_slow) continue;
+
+    const auto test = campaign.make_test_case(outcome.program_index);
+    std::printf("(b) test %s compiled by %zu OpenMP implementations "
+                "(%zu-parameter kernel, %d bytes of C++)\n",
+                outcome.program_name.c_str(), outcome.runs.size(),
+                test.program.params().size(),
+                static_cast<int>(emit::emit_translation_unit(test.program).size()));
+    std::printf("    input: %s\n\n", outcome.input_text.substr(0, 70).c_str());
+
+    std::printf("(c) test execution -> <numerical result, execution time>\n");
+    for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+      const auto& run = outcome.runs[r];
+      std::printf("    OpenMP impl %zu (%s): <%s, %.0f us>\n", r + 1,
+                  run.impl.c_str(), format_double(run.output).c_str(),
+                  run.time_us);
+    }
+
+    std::printf("\n(d) compare results & find anomalies (alpha=%.1f, beta=%.1f):\n",
+                cfg.alpha, cfg.beta);
+    std::printf("    midpoint of comparable group: %.0f us\n",
+                outcome.verdict.midpoint_us);
+    for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+      const auto kind = outcome.verdict.per_run[r];
+      if (kind != core::OutlierKind::None) {
+        std::printf("    >>> %s flagged as %s outlier (%.1fx the midpoint) — "
+                    "possible performance bug\n",
+                    outcome.runs[r].impl.c_str(), core::to_string(kind),
+                    outcome.runs[r].time_us / outcome.verdict.midpoint_us);
+      }
+    }
+    return 0;
+  }
+  std::printf("no slow outlier in this campaign slice; rerun with more programs\n");
+  return 1;
+}

@@ -1,0 +1,64 @@
+// Reproduces paper Figure 2 + Listing 2 + Figure 3: the grammar of the
+// random test programs and how the Section III-C parameters control what the
+// generator produces (expression size, nesting, lines per block).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/generator.hpp"
+#include "core/grammar.hpp"
+#include "emit/codegen.hpp"
+
+int main() {
+  using namespace ompfuzz;
+  bench::print_header("Listing 2 — grammar of the random test programs");
+  std::printf("%s\n", core::render_grammar().c_str());
+
+  bench::print_header("Figure 2 — parameters controlling code generation");
+  struct Setting {
+    const char* label;
+    int expr, nest, lines;
+  };
+  const Setting settings[] = {
+      {"small  (MAX_EXPRESSION_SIZE=2, MAX_NESTING_LEVELS=1, MAX_LINES=2)", 2, 1, 2},
+      {"paper  (MAX_EXPRESSION_SIZE=5, MAX_NESTING_LEVELS=3, MAX_LINES=10)", 5, 3, 10},
+      {"large  (MAX_EXPRESSION_SIZE=10, MAX_NESTING_LEVELS=4, MAX_LINES=16)", 10, 4, 16},
+  };
+  for (const auto& s : settings) {
+    GeneratorConfig cfg;
+    cfg.max_expression_size = s.expr;
+    cfg.max_nesting_levels = s.nest;
+    cfg.max_lines_in_block = s.lines;
+    cfg.num_threads = 32;
+    cfg.max_loop_trip_count = 100;
+    const core::ProgramGenerator gen(cfg);
+    double avg_bytes = 0.0, avg_regions = 0.0, avg_depth = 0.0;
+    constexpr int kSamples = 40;
+    for (int i = 0; i < kSamples; ++i) {
+      const auto prog = gen.generate("fig2", 31000 + i);
+      avg_bytes += static_cast<double>(emit::emit_translation_unit(prog).size());
+      const auto feat = ast::analyze(prog);
+      avg_regions += feat.num_parallel_regions;
+      avg_depth += feat.max_nesting_depth;
+    }
+    std::printf("%s\n  avg source size %.0f bytes, avg parallel regions %.1f, "
+                "avg max depth %.1f\n\n",
+                s.label, avg_bytes / kSamples, avg_regions / kSamples,
+                avg_depth / kSamples);
+  }
+
+  bench::print_header("Figure 3 — an if-condition block as produced by the "
+                      "production rules");
+  GeneratorConfig cfg;
+  cfg.num_threads = 32;
+  cfg.max_loop_trip_count = 100;
+  const core::ProgramGenerator gen(cfg);
+  // Show the first generated test with an if block near the top.
+  for (int seed = 0; seed < 50; ++seed) {
+    const auto prog = gen.generate("fig3", 5000 + seed);
+    if (ast::analyze(prog).num_if_blocks == 0) continue;
+    const std::string code = emit::emit_translation_unit(prog, {false, false, 2});
+    std::printf("%s\n", code.c_str());
+    break;
+  }
+  return 0;
+}

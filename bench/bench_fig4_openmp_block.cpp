@@ -1,0 +1,51 @@
+// Reproduces paper Figure 4 + Listing 1: generated OpenMP blocks — a
+// parallel head with private/firstprivate clauses, a work-shared for loop,
+// and an omp critical updating comp; plus the Listing 1 pattern of a parallel
+// region nested inside a serial loop (the Case Study 2 trigger).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/generator.hpp"
+#include "emit/codegen.hpp"
+
+int main() {
+  using namespace ompfuzz;
+  using ast::Stmt;
+
+  GeneratorConfig cfg;
+  cfg.num_threads = 36;  // the paper's Listing 1 shows num_threads(36)
+  cfg.max_loop_trip_count = 100;
+  cfg.p_critical = 0.9;
+  cfg.p_reduction = 0.0;  // Fig 4's head has no reduction; criticals update comp
+  const core::ProgramGenerator gen(cfg);
+
+  bench::print_header("Figure 4 — OpenMP block: parallel head + omp for + "
+                      "critical updating comp");
+  for (int seed = 0; seed < 400; ++seed) {
+    const auto prog = gen.generate("fig4", 7000 + seed);
+    const auto feat = ast::analyze(prog);
+    if (feat.num_parallel_regions >= 1 && feat.has_critical_in_parallel_loop &&
+        feat.num_omp_for_loops >= 1) {
+      emit::EmitOptions opt;
+      opt.include_main = false;
+      std::printf("%s\n", emit::emit_translation_unit(prog, opt).c_str());
+      break;
+    }
+  }
+
+  bench::print_header("Listing 1 — parallel region inside a serial loop "
+                      "(stresses repeated region launches)");
+  GeneratorConfig cfg2 = cfg;
+  cfg2.p_parallel_in_loop = 1.0;
+  const core::ProgramGenerator gen2(cfg2);
+  for (int seed = 0; seed < 400; ++seed) {
+    const auto prog = gen2.generate("listing1", 8000 + seed);
+    if (ast::analyze(prog).has_parallel_inside_serial_loop) {
+      emit::EmitOptions opt;
+      opt.include_main = false;
+      std::printf("%s\n", emit::emit_translation_unit(prog, opt).c_str());
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces paper Figure 5: the two outlier classes (slow and fast)
+// relative to the midpoint of the comparable execution times, and how the
+// alpha (comparability) and beta (outlier) thresholds carve up the space.
+// Rendered as a classification matrix over synthetic run-time triples.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/outlier.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ompfuzz;
+  bench::print_header("Figure 5 — slow and fast outlier classes vs the "
+                      "midpoint (alpha/beta geometry)");
+
+  // Two runs pinned at the midpoint (r1 = r2 = 10,000 us), the third swept.
+  std::printf("r1 = r2 = 10000 us (comparable pair -> midpoint M = 10000)\n");
+  std::printf("r3 swept; classification of r3 under each (alpha, beta):\n\n");
+
+  const double ratios[] = {0.25, 0.5, 0.66, 0.8, 1.0, 1.25, 1.5, 2.0, 4.0};
+  const double alphas[] = {0.1, 0.2, 0.5};
+  const double betas[] = {1.2, 1.5, 2.0, 3.0};
+
+  for (double alpha : alphas) {
+    TextTable table([&] {
+      std::vector<std::string> headers = {"r3 / M"};
+      for (double beta : betas) {
+        headers.push_back("beta=" + format_fixed(beta, 1));
+      }
+      return headers;
+    }());
+    for (double ratio : ratios) {
+      std::vector<std::string> row = {format_fixed(ratio, 2) + "x"};
+      for (double beta : betas) {
+        const core::OutlierDetector det({alpha, beta, 100.0});
+        const std::vector<core::RunResult> runs = {
+            {"a", core::RunStatus::Ok, 10000.0, 1.0},
+            {"b", core::RunStatus::Ok, 10000.0, 1.0},
+            {"c", core::RunStatus::Ok, 10000.0 * ratio, 1.0},
+        };
+        const auto v = det.analyze(runs);
+        row.push_back(v.analyzable ? core::to_string(v.per_run[2]) : "filtered");
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("alpha = %.1f\n%s\n", alpha, table.render().c_str());
+  }
+
+  std::printf("Reading: r3 >= beta x M -> slow outlier; r3 <= M / beta -> "
+              "fast outlier;\nwithin alpha of M it joins the comparable "
+              "group (no outlier).\n");
+  return 0;
+}

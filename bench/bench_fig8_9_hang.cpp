@@ -1,0 +1,70 @@
+// Reproduces paper Figures 8 and 9 (Case Study 3: "Intel binary hangs"):
+// the gdb backtrace of a thread stuck acquiring the critical-section queuing
+// lock, and the grouping of all 32 threads into the three waiting states
+// (__kmp_wait_4 / __kmp_eq_4 / sched_yield).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "profiler/thread_state.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ompfuzz;
+  const int programs = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  auto cfg = bench::paper_config(programs);
+  harness::SimExecutor exec(bench::sim_options(cfg));
+  harness::Campaign campaign(cfg, exec);
+  const auto result = campaign.run(bench::print_progress);
+
+  bench::print_header("Case Study 3 — Intel binary hangs");
+  const harness::TestOutcome* hang = nullptr;
+  for (const auto& o : result.outcomes) {
+    for (std::size_t r = 0; r < o.runs.size(); ++r) {
+      if (o.verdict.per_run[r] == core::OutlierKind::Hang &&
+          o.runs[r].impl == "intel") {
+        hang = &o;
+      }
+    }
+  }
+
+  std::uint64_t hang_seed;
+  std::string test_file;
+  if (hang != nullptr) {
+    std::printf("\nfound hang outlier: %s input %d — the GCC and Clang "
+                "binaries terminated in\n", hang->program_name.c_str(),
+                hang->input_index);
+    for (const auto& run : hang->runs) {
+      if (run.status == core::RunStatus::Ok) {
+        std::printf("  %s: OK in %.0f us\n", run.impl.c_str(), run.time_us);
+      } else {
+        std::printf("  %s: %s (stopped after the 3-minute timeout, SIGINT)\n",
+                    run.impl.c_str(), core::to_string(run.status));
+      }
+    }
+    const auto test = campaign.make_test_case(hang->program_index);
+    hang_seed = test.program.fingerprint();
+    test_file = hang->program_name + ".cpp";
+  } else {
+    std::printf("\nno Intel hang in this campaign slice (they occur at "
+                "~0.06%% of runs);\nreconstructing the canonical Case Study 3 "
+                "hang state instead.\n");
+    hang_seed = fnv1a64("quartz1247_532344/_tests/_group_3/_test_3.cpp");
+    test_file = "quartz1247_532344-_tests-_group_3-_test_3.cpp";
+  }
+
+  const auto report = prof::analyze_hang(exec.profile("intel"),
+                                         cfg.generator.num_threads, hang_seed,
+                                         test_file);
+
+  bench::print_header("Figure 8 — gdb backtrace of thread 1");
+  std::printf("%s\n", report.render_backtrace(0).c_str());
+
+  bench::print_header("Figure 9 — state of each thread (3 groups under "
+                      "__kmpc_critical_with_hint)");
+  std::printf("%s\n", report.render_groups().c_str());
+  std::printf("Hypothesis (as in the paper): a deadlock or pathological "
+              "lock-acquisition inefficiency\nin the queuing lock keeps the "
+              "critical region from making progress.\n");
+  return 0;
+}

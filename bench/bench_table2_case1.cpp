@@ -1,0 +1,84 @@
+// Reproduces paper Table II (Case Study 1: "GCC binary is fast"): perf
+// counter statistics comparing the Intel baseline against the fast GCC
+// binary on a critical-section-contention test.
+//
+// Paper reference (Intel vs GCC): context-switches 232 vs 10, cpu-migrations
+// 96 vs 0, page-faults 627 vs 226, cycles 110.5M vs 154.8M (GCC burns MORE
+// cycles spinning yet finishes faster), instructions 85.4M vs 60.1M,
+// branch-misses 182K vs 67K.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "harness/perf_analyzer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ompfuzz;
+  const int programs = argc > 1 ? std::atoi(argv[1]) : 120;
+
+  bench::print_header("Table II — Case Study 1: GCC binary is fast "
+                      "(critical-section contention)");
+  auto cfg = bench::paper_config(programs);
+  harness::SimExecutor exec(bench::sim_options(cfg));
+  harness::Campaign campaign(cfg, exec);
+  const auto result = campaign.run(bench::print_progress);
+
+  // The paper restricts case studies to tests where every binary produced
+  // the same numerical result (ruling out control-flow divergence), so the
+  // anomaly is purely in the runtime — here, critical-section contention.
+  // Selection therefore requires (a) same outputs, (b) essentially the same
+  // dynamic event stream under both implementations, (c) GCC flagged fast.
+  const harness::TestOutcome* outcome = nullptr;
+  double best_critical_share = 0.0;
+  for (const auto& o : result.outcomes) {
+    if (!o.divergence.all_equivalent) continue;
+    for (std::size_t r = 0; r < o.runs.size(); ++r) {
+      if (o.runs[r].impl != "gcc" ||
+          o.verdict.per_run[r] != core::OutlierKind::Fast) {
+        continue;
+      }
+      const auto test = campaign.make_test_case(o.program_index);
+      const auto gcc_run = exec.run_detailed(
+          test, static_cast<std::size_t>(o.input_index), "gcc");
+      const auto intel_run = exec.run_detailed(
+          test, static_cast<std::size_t>(o.input_index), "intel");
+      const double gcc_ops = static_cast<double>(gcc_run.events.total_ops());
+      const double intel_ops = static_cast<double>(intel_run.events.total_ops());
+      if (intel_ops <= 0.0 || std::abs(gcc_ops - intel_ops) / intel_ops > 0.05) {
+        continue;  // control flow diverged; not a pure runtime anomaly
+      }
+      const double crit_share =
+          intel_run.time.critical_ns /
+          std::max(1.0, intel_run.time.compute_ns + intel_run.time.overhead_ns());
+      if (crit_share > best_critical_share) {
+        best_critical_share = crit_share;
+        outcome = &o;
+      }
+    }
+  }
+  if (outcome == nullptr) {
+    std::printf("no contention-driven GCC fast outlier found in %d programs; "
+                "rerun with more\n", programs);
+    return 1;
+  }
+  const double gcc_time = outcome->runs[0].time_us;
+  const double midpoint = outcome->verdict.midpoint_us;
+  std::printf("\ntest %s (input %d): GCC %.0f us vs midpoint %.0f us "
+              "(%.0f%% faster; paper's case was 80%% faster)\n\n",
+              outcome->program_name.c_str(), outcome->input_index, gcc_time,
+              midpoint, 100.0 * (midpoint - gcc_time) / gcc_time);
+
+  const auto cs = harness::analyze_case(campaign, exec, *outcome, "intel", "gcc");
+  std::printf("%s\n", harness::render_counter_comparison(
+                          "Intel", cs.subject.counters, "GCC",
+                          cs.baseline.counters)
+                          .c_str());
+  std::printf("Paper Table II: ctx 232 vs 10, migrations 96 vs 0, faults 627 "
+              "vs 226,\ncycles 110.5M vs 154.8M, instructions 85.4M vs 60.1M, "
+              "branch-misses 182K vs 67K\n\n");
+  std::printf("%s\n",
+              harness::render_time_breakdown("intel", cs.subject.time).c_str());
+  std::printf("%s\n",
+              harness::render_time_breakdown("gcc", cs.baseline.time).c_str());
+  return 0;
+}

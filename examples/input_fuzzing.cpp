@@ -1,0 +1,85 @@
+// Input fuzzing demo: the five floating-point input classes of Section III-D
+// and how the same program behaves across them — the mechanism behind the
+// paper's NaN/exception-driven divergence analysis (Section V-B).
+//
+//   $ ./input_fuzzing
+#include <cstdio>
+
+#include "core/generator.hpp"
+#include "fp/fp_class.hpp"
+#include "fp/input_gen.hpp"
+#include "interp/interp.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ompfuzz;
+
+  // 1. Show samples from each class.
+  TextTable samples({"class", "sample 1", "sample 2", "sample 3"});
+  RandomEngine rng(99);
+  for (int c = 0; c < fp::kNumFpClasses; ++c) {
+    const auto cls = fp::fp_class_from_index(c);
+    std::vector<std::string> row = {fp::to_string(cls)};
+    for (int k = 0; k < 3; ++k) {
+      row.push_back(format_double(fp::random_double(cls, rng)));
+    }
+    samples.add_row(std::move(row));
+  }
+  std::printf("five floating-point input classes (Section III-D):\n%s\n",
+              samples.render().c_str());
+
+  // 2. Run one generated program under inputs drawn from each single class
+  //    and compare outcomes — extreme inputs drive different control flow.
+  GeneratorConfig cfg;
+  cfg.num_threads = 8;
+  cfg.max_loop_trip_count = 50;
+  const core::ProgramGenerator gen(cfg);
+  const auto prog = gen.generate("fuzzdemo", 2024);
+  const auto sig = prog.signature();
+
+  TextTable outcomes({"input class", "comp result", "fp events", "subnormal ops"});
+  outcomes.set_alignment({Align::Left, Align::Left, Align::Right, Align::Right});
+  for (int c = 0; c < fp::kNumFpClasses; ++c) {
+    fp::InputGenOptions opt;
+    opt.class_weights = {};
+    opt.class_weights[static_cast<std::size_t>(c)] = 1.0;
+    opt.max_trip_count = 50;
+    const fp::InputGenerator input_gen(opt);
+    RandomEngine input_rng(5);
+    const auto input = input_gen.generate(sig, input_rng);
+    const auto result = interp::execute(prog, input, {});
+    outcomes.add_row(
+        {fp::to_string(fp::fp_class_from_index(c)), format_double(result.comp),
+         std::to_string(result.events.fp_add_sub + result.events.fp_mul +
+                        result.events.fp_div),
+         std::to_string(result.events.subnormal_fp_ops)});
+  }
+  std::printf("one program, five input regimes:\n%s\n", outcomes.render().c_str());
+
+  // 3. Demonstrate flush-to-zero divergence: the same subnormal-heavy input
+  //    under strict IEEE vs FTZ semantics (the GCC-profile mechanism).
+  fp::InputGenOptions sub_opt;
+  sub_opt.class_weights = {0.0, 1.0, 0.0, 0.0, 0.0};  // all subnormal
+  sub_opt.max_trip_count = 50;
+  const fp::InputGenerator sub_gen(sub_opt);
+  RandomEngine sub_rng(11);
+  const auto sub_input = sub_gen.generate(sig, sub_rng);
+
+  const auto strict = interp::execute(prog, sub_input, {});
+  interp::InterpOptions ftz;
+  ftz.fp.flush_subnormals = true;
+  const auto flushed = interp::execute(prog, sub_input, ftz);
+  std::printf("subnormal inputs, strict IEEE: comp = %s (%llu branches)\n",
+              format_double(strict.comp).c_str(),
+              static_cast<unsigned long long>(strict.events.branches));
+  std::printf("subnormal inputs, flush-to-zero: comp = %s (%llu branches)\n",
+              format_double(flushed.comp).c_str(),
+              static_cast<unsigned long long>(flushed.events.branches));
+  std::printf("%s\n", strict.comp == flushed.comp && strict.events.branches ==
+                              flushed.events.branches
+                          ? "(identical here — try other seeds)"
+                          : ">>> semantics diverged: different output and/or "
+                            "control flow, the Section V-B effect");
+  return 0;
+}

@@ -1,0 +1,274 @@
+#include "ast/program.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ompfuzz::ast {
+
+Program Program::clone() const {
+  Program out;
+  out.vars_ = vars_;
+  out.params_ = params_;
+  out.comp_ = comp_;
+  out.body_ = body_.clone();
+  out.name_ = name_;
+  return out;
+}
+
+VarId Program::add_var(VarDecl decl) {
+  OMPFUZZ_CHECK(!decl.name.empty(), "variable needs a name");
+  for (const auto& existing : vars_) {
+    OMPFUZZ_CHECK(existing.name != decl.name,
+                  "duplicate variable name: " + decl.name);
+  }
+  vars_.push_back(std::move(decl));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+const VarDecl& Program::var(VarId id) const {
+  OMPFUZZ_CHECK(id < vars_.size(), "variable id out of range");
+  return vars_[id];
+}
+
+void Program::add_param(VarId id) {
+  OMPFUZZ_CHECK(id < vars_.size(), "param id out of range");
+  OMPFUZZ_CHECK(std::find(params_.begin(), params_.end(), id) == params_.end(),
+                "variable already a param");
+  params_.push_back(id);
+}
+
+std::vector<fp::ParamSpec> Program::signature() const {
+  std::vector<fp::ParamSpec> out;
+  out.reserve(params_.size());
+  for (VarId id : params_) {
+    const VarDecl& d = var(id);
+    fp::ParamSpec spec;
+    spec.name = d.name;
+    spec.width = d.width;
+    switch (d.kind) {
+      case VarKind::IntScalar: spec.kind = fp::ParamKind::Int; break;
+      case VarKind::FpScalar: spec.kind = fp::ParamKind::Scalar; break;
+      case VarKind::FpArray:
+        spec.kind = fp::ParamKind::Array;
+        spec.array_size = d.array_size;
+        break;
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t hash_block(const Block& block);
+
+std::uint64_t hash_stmt(const Stmt& s) {
+  std::uint64_t h = hash_combine(0x57a7, static_cast<std::uint64_t>(s.kind));
+  switch (s.kind) {
+    case Stmt::Kind::Assign:
+      h = hash_combine(h, s.target.var);
+      if (s.target.index) h = hash_combine(h, s.target.index->hash());
+      h = hash_combine(h, static_cast<std::uint64_t>(s.assign_op));
+      h = hash_combine(h, s.value->hash());
+      break;
+    case Stmt::Kind::Decl:
+      h = hash_combine(h, s.target.var);
+      h = hash_combine(h, s.value->hash());
+      break;
+    case Stmt::Kind::If:
+      h = hash_combine(h, s.cond.hash());
+      h = hash_combine(h, hash_block(s.body));
+      break;
+    case Stmt::Kind::For:
+      h = hash_combine(h, s.loop_var);
+      h = hash_combine(h, s.loop_bound->hash());
+      h = hash_combine(h, static_cast<std::uint64_t>(s.omp_for));
+      h = hash_combine(h, hash_block(s.body));
+      break;
+    case Stmt::Kind::OmpParallel: {
+      for (VarId v : s.clauses.privates) h = hash_combine(h, v + 1);
+      for (VarId v : s.clauses.firstprivates) h = hash_combine(h, v + 101);
+      h = hash_combine(h, s.clauses.reduction
+                              ? static_cast<std::uint64_t>(*s.clauses.reduction) + 1
+                              : 0);
+      h = hash_combine(h, static_cast<std::uint64_t>(s.clauses.num_threads));
+      h = hash_combine(h, hash_block(s.body));
+      break;
+    }
+    case Stmt::Kind::OmpCritical:
+      h = hash_combine(h, hash_block(s.body));
+      break;
+  }
+  return h;
+}
+
+std::uint64_t hash_block(const Block& block) {
+  std::uint64_t h = 0xb10c;
+  for (const auto& s : block.stmts) h = hash_combine(h, hash_stmt(*s));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Program::fingerprint() const {
+  std::uint64_t h = fnv1a64(name_);
+  for (const auto& d : vars_) {
+    h = hash_combine(h, fnv1a64(d.name));
+    h = hash_combine(h, static_cast<std::uint64_t>(d.kind));
+    h = hash_combine(h, static_cast<std::uint64_t>(d.width));
+    h = hash_combine(h, static_cast<std::uint64_t>(d.array_size));
+  }
+  return hash_combine(h, hash_block(body_));
+}
+
+void Program::validate() const {
+  OMPFUZZ_CHECK(comp_ != kInvalidVar, "program has no comp variable");
+  OMPFUZZ_CHECK(comp_ < vars_.size(), "comp id out of range");
+  OMPFUZZ_CHECK(vars_[comp_].kind == VarKind::FpScalar, "comp must be an fp scalar");
+  OMPFUZZ_CHECK(vars_[comp_].role == VarRole::Comp, "comp must have Comp role");
+
+  const auto check_expr = [this](const Expr& e) {
+    e.walk([this](const Expr& node) {
+      switch (node.kind()) {
+        case Expr::Kind::VarRef: {
+          const VarDecl& d = var(node.var_id());
+          OMPFUZZ_CHECK(d.kind != VarKind::FpArray,
+                        "array used as scalar: " + d.name);
+          break;
+        }
+        case Expr::Kind::ArrayRef: {
+          const VarDecl& d = var(node.var_id());
+          OMPFUZZ_CHECK(d.kind == VarKind::FpArray,
+                        "scalar subscripted: " + d.name);
+          break;
+        }
+        default:
+          break;
+      }
+    });
+  };
+
+  walk_stmts(body_, [&](const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign: {
+        const VarDecl& d = var(s.target.var);
+        OMPFUZZ_CHECK(d.role != VarRole::LoopIndex,
+                      "assignment to loop index: " + d.name);
+        if (s.target.is_array_element()) {
+          OMPFUZZ_CHECK(d.kind == VarKind::FpArray,
+                        "subscripted assignment to scalar: " + d.name);
+          check_expr(*s.target.index);
+        } else {
+          OMPFUZZ_CHECK(d.kind == VarKind::FpScalar || d.kind == VarKind::IntScalar,
+                        "scalar assignment to array: " + d.name);
+        }
+        check_expr(*s.value);
+        break;
+      }
+      case Stmt::Kind::Decl: {
+        const VarDecl& d = var(s.target.var);
+        OMPFUZZ_CHECK(d.role == VarRole::Temp, "decl of non-temp: " + d.name);
+        check_expr(*s.value);
+        break;
+      }
+      case Stmt::Kind::If: {
+        OMPFUZZ_CHECK(s.cond.lhs != kInvalidVar && s.cond.rhs != nullptr,
+                      "incomplete if condition");
+        const VarDecl& d = var(s.cond.lhs);
+        OMPFUZZ_CHECK(d.kind != VarKind::FpArray, "if guard on array: " + d.name);
+        check_expr(*s.cond.rhs);
+        break;
+      }
+      case Stmt::Kind::For: {
+        const VarDecl& d = var(s.loop_var);
+        OMPFUZZ_CHECK(d.kind == VarKind::IntScalar && d.role == VarRole::LoopIndex,
+                      "loop var must be an int loop index: " + d.name);
+        const auto k = s.loop_bound->kind();
+        OMPFUZZ_CHECK(k == Expr::Kind::IntConst || k == Expr::Kind::VarRef,
+                      "loop bound must be a constant or an int variable");
+        if (k == Expr::Kind::VarRef) {
+          OMPFUZZ_CHECK(var(s.loop_bound->var_id()).kind == VarKind::IntScalar,
+                        "loop bound variable must be int");
+        }
+        break;
+      }
+      case Stmt::Kind::OmpParallel: {
+        for (VarId v : s.clauses.privates) {
+          OMPFUZZ_CHECK(v < vars_.size(), "private clause var out of range");
+          OMPFUZZ_CHECK(v != comp_, "comp must not be private");
+        }
+        for (VarId v : s.clauses.firstprivates) {
+          OMPFUZZ_CHECK(v < vars_.size(), "firstprivate clause var out of range");
+          OMPFUZZ_CHECK(v != comp_, "comp must not be firstprivate");
+        }
+        break;
+      }
+      case Stmt::Kind::OmpCritical:
+        break;
+    }
+  });
+}
+
+ProgramFeatures analyze(const Program& program) {
+  ProgramFeatures f;
+  for (const auto& d : program.vars()) {
+    if (d.kind == VarKind::FpArray) {
+      ++f.num_arrays;
+    } else if (d.kind == VarKind::FpScalar) {
+      (d.width == FpWidth::F32 ? f.num_float_vars : f.num_double_vars) += 1;
+    }
+  }
+
+  // Recursive walk tracking nesting depth and enclosing-construct context.
+  std::function<void(const Block&, int, bool, bool)> visit =
+      [&](const Block& block, int depth, bool in_serial_loop, bool in_omp_for) {
+        f.max_nesting_depth = std::max(f.max_nesting_depth, depth);
+        for (const auto& s : block.stmts) {
+          switch (s->kind) {
+            case Stmt::Kind::Assign:
+            case Stmt::Kind::Decl:
+              break;
+            case Stmt::Kind::If:
+              ++f.num_if_blocks;
+              visit(s->body, depth + 1, in_serial_loop, in_omp_for);
+              break;
+            case Stmt::Kind::For: {
+              if (s->omp_for) {
+                ++f.num_omp_for_loops;
+              } else {
+                ++f.num_serial_loops;
+              }
+              if (s->loop_bound->kind() == Expr::Kind::IntConst) {
+                f.static_loop_iterations += s->loop_bound->int_value();
+              }
+              visit(s->body, depth + 1, in_serial_loop || !s->omp_for,
+                    in_omp_for || s->omp_for);
+              break;
+            }
+            case Stmt::Kind::OmpParallel:
+              ++f.num_parallel_regions;
+              if (s->clauses.reduction) ++f.num_reductions;
+              if (in_serial_loop) f.has_parallel_inside_serial_loop = true;
+              // A region resets the serial-loop context for its body.
+              visit(s->body, depth + 1, false, false);
+              break;
+            case Stmt::Kind::OmpCritical:
+              ++f.num_critical_sections;
+              if (in_omp_for) f.has_critical_in_parallel_loop = true;
+              visit(s->body, depth + 1, in_serial_loop, in_omp_for);
+              break;
+          }
+        }
+      };
+  visit(program.body(), 0, false, false);
+
+  walk_exprs(program.body(), [&f](const Expr& e) {
+    if (e.kind() == Expr::Kind::Call) ++f.num_math_calls;
+  });
+  return f;
+}
+
+}  // namespace ompfuzz::ast

@@ -1,0 +1,111 @@
+// Statements and blocks of the generated language (paper Listing 2).
+//
+// <block> ::= {<assignment>}+ | <if-block> <block> | <for-loop-block> <block>
+//           | <openmp-block>
+// plus the OpenMP statement forms of Section III-E:
+//   <openmp-block>    — parallel region with data-sharing clauses,
+//   <for-loop-block>  — for loop, optionally preceded by "#pragma omp for",
+//   <openmp-critical> — critical section inside a loop body.
+//
+// Stmt nodes are plain tagged data owned through std::unique_ptr; static
+// factories establish the per-kind invariants, and Program::validate()
+// re-checks them over whole trees.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ast/expr.hpp"
+
+namespace ompfuzz::ast {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// An ordered sequence of statements.
+struct Block {
+  std::vector<StmtPtr> stmts;
+
+  [[nodiscard]] Block clone() const;
+  [[nodiscard]] bool empty() const noexcept { return stmts.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return stmts.size(); }
+};
+
+/// Clauses of "#pragma omp parallel" (paper <openmp-head>): always
+/// default(shared), plus random private/firstprivate lists, an optional
+/// reduction on comp, and a fixed num_threads (Section V-A).
+struct OmpClauses {
+  std::vector<VarId> privates;
+  std::vector<VarId> firstprivates;
+  std::optional<ReductionOp> reduction;  ///< reduction(<op>: comp)
+  int num_threads = 32;
+};
+
+/// Assignment target: a scalar variable or an array element.
+struct LValue {
+  VarId var = kInvalidVar;
+  ExprPtr index;  ///< null for scalars
+
+  [[nodiscard]] bool is_array_element() const noexcept { return index != nullptr; }
+  [[nodiscard]] LValue clone() const;
+};
+
+class Stmt {
+ public:
+  enum class Kind : std::uint8_t {
+    Assign,       ///< lvalue <assign-op> expression ;
+    Decl,         ///< <fp-type> var = expression ;
+    If,           ///< if (<bool-expression>) { block }
+    For,          ///< for (int i = 0; i < bound; ++i) { block }, maybe omp for
+    OmpParallel,  ///< #pragma omp parallel <clauses> { block }
+    OmpCritical,  ///< #pragma omp critical { block }
+  };
+
+  Kind kind;
+
+  // Assign
+  LValue target;
+  AssignOp assign_op = AssignOp::Assign;
+  ExprPtr value;
+
+  // Decl (declares `target.var`, initialized with `value`)
+
+  // If
+  BoolExpr cond;
+
+  // For
+  VarId loop_var = kInvalidVar;
+  ExprPtr loop_bound;   ///< IntConst or VarRef to an int parameter
+  bool omp_for = false; ///< preceded by "#pragma omp for"
+
+  // OmpParallel
+  OmpClauses clauses;
+
+  // If / For / OmpParallel / OmpCritical body
+  Block body;
+
+  // -- Factories ------------------------------------------------------------
+  [[nodiscard]] static StmtPtr assign(LValue target, AssignOp op, ExprPtr value);
+  [[nodiscard]] static StmtPtr decl(VarId var, ExprPtr init);
+  [[nodiscard]] static StmtPtr if_block(BoolExpr cond, Block then_block);
+  [[nodiscard]] static StmtPtr for_loop(VarId loop_var, ExprPtr bound, Block body,
+                                        bool omp_for);
+  [[nodiscard]] static StmtPtr omp_parallel(OmpClauses clauses, Block body);
+  [[nodiscard]] static StmtPtr omp_critical(Block body);
+
+  [[nodiscard]] StmtPtr clone() const;
+
+ private:
+  explicit Stmt(Kind k) noexcept : kind(k) {}
+};
+
+/// Pre-order walk over every statement in a block (including nested bodies).
+void walk_stmts(const Block& block, const std::function<void(const Stmt&)>& fn);
+
+/// Walks every expression appearing anywhere in a block (assignment values,
+/// lvalue subscripts, bool guards, loop bounds, decl initializers).
+void walk_exprs(const Block& block, const std::function<void(const Expr&)>& fn);
+
+}  // namespace ompfuzz::ast

@@ -1,0 +1,59 @@
+#include "ast/types.hpp"
+
+namespace ompfuzz::ast {
+
+const char* to_string(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+  }
+  return "?";
+}
+
+const char* to_string(BoolOp op) noexcept {
+  switch (op) {
+    case BoolOp::Lt: return "<";
+    case BoolOp::Gt: return ">";
+    case BoolOp::Eq: return "==";
+    case BoolOp::Ne: return "!=";
+    case BoolOp::Ge: return ">=";
+    case BoolOp::Le: return "<=";
+  }
+  return "?";
+}
+
+const char* to_string(AssignOp op) noexcept {
+  switch (op) {
+    case AssignOp::Assign: return "=";
+    case AssignOp::AddAssign: return "+=";
+    case AssignOp::SubAssign: return "-=";
+    case AssignOp::MulAssign: return "*=";
+    case AssignOp::DivAssign: return "/=";
+  }
+  return "?";
+}
+
+const char* to_string(ReductionOp op) noexcept {
+  return op == ReductionOp::Sum ? "+" : "*";
+}
+
+const char* to_string(MathFunc f) noexcept {
+  switch (f) {
+    case MathFunc::Sin: return "sin";
+    case MathFunc::Cos: return "cos";
+    case MathFunc::Tan: return "tan";
+    case MathFunc::Exp: return "exp";
+    case MathFunc::Log: return "log";
+    case MathFunc::Sqrt: return "sqrt";
+    case MathFunc::Fabs: return "fabs";
+    case MathFunc::Floor: return "floor";
+    case MathFunc::Ceil: return "ceil";
+    case MathFunc::Atan: return "atan";
+  }
+  return "?";
+}
+
+}  // namespace ompfuzz::ast

@@ -1,0 +1,92 @@
+#include "core/differ.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ompfuzz::core {
+
+namespace {
+
+/// Maps a double onto a monotonically ordered signed integer line: +0.0 and
+/// -0.0 both map to 0, positives keep their bit pattern, and negatives fold
+/// onto the negative axis (-smallest-subnormal -> -1, and so on).
+std::int64_t ordered_int(double v) noexcept {
+  const auto bits = std::bit_cast<std::int64_t>(v);
+  return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits : bits;
+}
+
+}  // namespace
+
+std::int64_t ulp_distance(double a, double b) noexcept {
+  const std::int64_t ia = ordered_int(a);
+  const std::int64_t ib = ordered_int(b);
+  // The generated values never span more than the full int64 range minus 2,
+  // so the subtraction below cannot overflow for finite inputs.
+  const std::int64_t d = ia > ib ? ia - ib : ib - ia;
+  return d;
+}
+
+OutputComparison compare_outputs(double a, double b, const DiffTolerance& tol) noexcept {
+  OutputComparison c;
+  c.bitwise_equal = std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+  const bool a_nan = std::isnan(a);
+  const bool b_nan = std::isnan(b);
+  c.both_nan = a_nan && b_nan;
+  if (c.both_nan) {
+    c.equivalent = true;  // both implementations agree the result is invalid
+    return c;
+  }
+  if (a_nan != b_nan) {
+    c.equivalent = false;
+    return c;
+  }
+  const bool a_inf = std::isinf(a);
+  const bool b_inf = std::isinf(b);
+  if (a_inf || b_inf) {
+    // Same infinity (same sign) is equivalent; anything else is not.
+    c.equivalent = a_inf && b_inf && (std::signbit(a) == std::signbit(b));
+    if (c.equivalent) c.ulp_distance = 0;
+    return c;
+  }
+  c.ulp_distance = ulp_distance(a, b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  c.rel_error = scale == 0.0 ? 0.0 : std::fabs(a - b) / scale;
+  c.equivalent = c.ulp_distance <= tol.max_ulps || c.rel_error <= tol.max_rel_error;
+  return c;
+}
+
+OutputDivergence analyze_outputs(std::span<const double> outputs,
+                                 const DiffTolerance& tol) {
+  OutputDivergence d;
+  const std::size_t n = outputs.size();
+  d.diverges.assign(n, false);
+  if (n == 0) {
+    d.all_equivalent = true;
+    return d;
+  }
+
+  // Equivalence is not transitive in general, so anchor classes on
+  // representatives: for each run, count how many runs it is equivalent to;
+  // the run with the most agreement defines the consensus class.
+  std::size_t best_rep = 0;
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (compare_outputs(outputs[i], outputs[j], tol).equivalent) ++count;
+    }
+    if (count > best_count) {
+      best_count = count;
+      best_rep = i;
+    }
+  }
+  d.majority_size = best_count;
+  for (std::size_t i = 0; i < n; ++i) {
+    d.diverges[i] = !compare_outputs(outputs[best_rep], outputs[i], tol).equivalent;
+  }
+  d.all_equivalent = best_count == n;
+  return d;
+}
+
+}  // namespace ompfuzz::core

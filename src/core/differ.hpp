@@ -1,0 +1,55 @@
+// Numerical output comparison for differential testing.
+//
+// The paper compares the comp value printed by each implementation's binary.
+// Equal-looking floating-point results can legitimately differ in the last
+// bits when compilers reassociate or contract differently, so comparison is
+// ULP- and relative-error-aware, with IEEE special cases (NaN compares equal
+// to NaN: both implementations agree the result is invalid).
+//
+// Section V-B attributes about half of the GCC fast outliers to control-flow
+// divergence caused by numerical exceptions: those tests produce *different*
+// outputs. analyze_outputs() reproduces that classification: it groups
+// outputs into equivalence classes and reports which implementations diverge
+// from the majority.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ompfuzz::core {
+
+struct DiffTolerance {
+  std::int64_t max_ulps = 16;    ///< ULP budget for "same result"
+  double max_rel_error = 1e-12;  ///< alternative relative-error budget
+};
+
+/// Comparison of two outputs.
+struct OutputComparison {
+  bool bitwise_equal = false;
+  bool both_nan = false;
+  std::int64_t ulp_distance = -1;  ///< -1 when not meaningful (NaN/Inf mix)
+  double rel_error = 0.0;
+  bool equivalent = false;  ///< the verdict under the tolerance
+};
+
+/// Distance in units-in-the-last-place between two finite doubles, using the
+/// monotone integer mapping of IEEE-754 (sign-magnitude to offset binary).
+/// +0.0 and -0.0 are 0 apart.
+[[nodiscard]] std::int64_t ulp_distance(double a, double b) noexcept;
+
+[[nodiscard]] OutputComparison compare_outputs(double a, double b,
+                                               const DiffTolerance& tol = {}) noexcept;
+
+/// Majority analysis of N outputs: the largest equivalence class is the
+/// consensus; every run outside it diverges.
+struct OutputDivergence {
+  bool all_equivalent = false;
+  std::vector<bool> diverges;      ///< per run
+  std::size_t majority_size = 0;
+};
+
+[[nodiscard]] OutputDivergence analyze_outputs(std::span<const double> outputs,
+                                               const DiffTolerance& tol = {});
+
+}  // namespace ompfuzz::core

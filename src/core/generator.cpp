@@ -1,0 +1,709 @@
+#include "core/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ompfuzz::core {
+
+namespace {
+
+using ast::AssignOp;
+using ast::BinOp;
+using ast::Block;
+using ast::BoolExpr;
+using ast::BoolOp;
+using ast::Expr;
+using ast::ExprPtr;
+using ast::FpWidth;
+using ast::LValue;
+using ast::MathFunc;
+using ast::OmpClauses;
+using ast::Program;
+using ast::ReductionOp;
+using ast::Stmt;
+using ast::StmtPtr;
+using ast::VarDecl;
+using ast::VarId;
+using ast::VarKind;
+using ast::VarRole;
+
+/// How a shared array may be touched inside the current parallel region.
+enum class ArrayMode { ReadOnly, ThreadLocal, LoopPartitioned };
+
+/// Builder holds all mutable generation state for one program.
+class Builder {
+ public:
+  Builder(const GeneratorConfig& cfg, const std::string& name, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {
+    prog_.set_name(name);
+  }
+
+  Program build() {
+    create_symbols();
+    prog_.body() = gen_block(/*depth=*/0, BlockCtx::serial());
+    // The grammar guarantees at least one comp assignment so every test
+    // produces an input-dependent result; append one if randomness did not.
+    // MAX_LINES_IN_BLOCK still applies: if the top block is full, a plain
+    // assignment makes room first (dropping one is always semantics-safe).
+    if (!writes_comp_) {
+      auto& stmts = prog_.body().stmts;
+      int lines = 0;
+      for (const auto& s : stmts) {
+        lines += (s->kind == Stmt::Kind::Assign || s->kind == Stmt::Kind::Decl);
+      }
+      if (lines >= cfg_.max_lines_in_block) {
+        for (auto it = stmts.begin(); it != stmts.end(); ++it) {
+          if ((*it)->kind == Stmt::Kind::Assign) {
+            stmts.erase(it);
+            --lines;
+            break;
+          }
+        }
+      }
+      if (lines < cfg_.max_lines_in_block) {
+        stmts.push_back(Stmt::assign(LValue{comp_, nullptr}, AssignOp::AddAssign,
+                                     gen_expr(FpWidth::F64, BlockCtx::serial())));
+      }
+    }
+    prog_.validate();
+    return std::move(prog_);
+  }
+
+ private:
+  // -- Block context ---------------------------------------------------------
+  /// Where in the OpenMP structure the current block lives; steers which
+  /// statements and terms are legal (race freedom by construction).
+  struct BlockCtx {
+    bool in_parallel = false;
+    bool in_omp_for = false;    ///< inside the body of the region's omp for
+    bool in_critical = false;
+    VarId omp_for_index = ast::kInvalidVar;
+    std::optional<ReductionOp> reduction;
+    const std::set<VarId>* privates = nullptr;
+    const std::set<VarId>* firstprivates = nullptr;
+    const std::set<VarId>* critical_only = nullptr;
+    const std::map<VarId, ArrayMode>* array_modes = nullptr;
+
+    static BlockCtx serial() { return BlockCtx{}; }
+
+    [[nodiscard]] bool is_private(VarId v) const {
+      return (privates && privates->contains(v)) ||
+             (firstprivates && firstprivates->contains(v));
+    }
+    [[nodiscard]] bool is_critical_only(VarId v) const {
+      return critical_only && critical_only->contains(v);
+    }
+  };
+
+  // -- Symbol creation --------------------------------------------------------
+  void create_symbols() {
+    comp_ = prog_.add_var({"comp", VarKind::FpScalar, VarRole::Comp, FpWidth::F64, 0});
+    prog_.set_comp(comp_);
+
+    const int num_int = static_cast<int>(rng_.uniform_int(1, 2));
+    const int num_fp = static_cast<int>(rng_.uniform_int(3, 6));
+    const int num_arr = static_cast<int>(rng_.uniform_int(1, 3));
+
+    for (int i = 0; i < num_int; ++i) {
+      const VarId id = prog_.add_var({next_var_name(), VarKind::IntScalar,
+                                      VarRole::Param, FpWidth::F64, 0});
+      prog_.add_param(id);
+      int_params_.push_back(id);
+    }
+    for (int i = 0; i < num_fp; ++i) {
+      const VarId id = prog_.add_var({next_var_name(), VarKind::FpScalar,
+                                      VarRole::Param, random_width(), 0});
+      prog_.add_param(id);
+      fp_scalars_.push_back(id);
+    }
+    for (int i = 0; i < num_arr; ++i) {
+      const VarId id = prog_.add_var({next_var_name(), VarKind::FpArray,
+                                      VarRole::Param, random_width(),
+                                      cfg_.array_size});
+      prog_.add_param(id);
+      arrays_.push_back(id);
+    }
+  }
+
+  std::string next_var_name() { return "var_" + std::to_string(++var_counter_); }
+
+  /// Static loop bounds are biased toward the upper range so generated tests
+  /// do meaningful work (tiny-trip tests would all fall under the campaign's
+  /// minimum-time filter, Section V-A), and shrink geometrically with loop
+  /// nesting so deep nests cannot explode the total iteration count.
+  std::int64_t random_trip_count() {
+    std::int64_t hi = cfg_.max_loop_trip_count;
+    for (std::size_t d = 0; d < loop_indices_.size(); ++d) hi /= 3;
+    hi = std::max<std::int64_t>(hi, 2);
+    const std::int64_t lo = std::max<std::int64_t>(1, hi / 4);
+    return rng_.uniform_int(lo, hi);
+  }
+
+  FpWidth random_width() {
+    return rng_.bernoulli(0.5) ? FpWidth::F32 : FpWidth::F64;
+  }
+
+  // -- Expression generation ---------------------------------------------------
+  /// A random fp literal in Varity style: a few significant digits, modest
+  /// exponent, occasionally an exact small constant like +2.0 or -0.0.
+  ExprPtr gen_fp_const() {
+    if (rng_.bernoulli(0.15)) {
+      static constexpr double kSpecials[] = {0.0, -0.0, 1.0, -1.0, 2.0, 0.5};
+      return Expr::fp_const(kSpecials[rng_.uniform_index(std::size(kSpecials))]);
+    }
+    const double mantissa = rng_.uniform_real(1.0, 10.0);
+    const int digits = static_cast<int>(rng_.uniform_int(2, 5));
+    const double scale = std::pow(10.0, digits - 1);
+    const double rounded = std::round(mantissa * scale) / scale;
+    const int exp10 = static_cast<int>(rng_.uniform_int(-10, 10));
+    const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+    return Expr::fp_const(sign * rounded * std::pow(10.0, exp10));
+  }
+
+  /// fp scalar variables readable in this context.
+  std::vector<VarId> readable_scalars(const BlockCtx& ctx) const {
+    std::vector<VarId> out;
+    for (VarId v : fp_scalars_) {
+      if (ctx.in_parallel && ctx.is_critical_only(v) && !ctx.in_critical) continue;
+      out.push_back(v);
+    }
+    for (VarId v : temps_in_scope_) {
+      // Temps declared before the region are shared unless privatized; they
+      // are never in the critical-only set, so reading is always safe.
+      out.push_back(v);
+    }
+    if (!ctx.in_parallel) out.push_back(comp_);
+    return out;
+  }
+
+  /// Arrays readable in this context, honoring the region's array modes.
+  std::vector<VarId> readable_arrays(const BlockCtx& ctx) const {
+    std::vector<VarId> out;
+    for (VarId v : arrays_) {
+      if (!ctx.in_parallel) {
+        out.push_back(v);
+        continue;
+      }
+      const ArrayMode mode = ctx.array_modes->at(v);
+      if (mode == ArrayMode::ReadOnly || mode == ArrayMode::ThreadLocal) {
+        out.push_back(v);
+      } else if (mode == ArrayMode::LoopPartitioned && ctx.in_omp_for) {
+        out.push_back(v);
+      }
+    }
+    return out;
+  }
+
+  /// Subscript expression for reading array `arr` in this context.
+  ExprPtr gen_read_index(VarId arr, const BlockCtx& ctx) {
+    const int size = prog_.var(arr).array_size;
+    if (ctx.in_parallel) {
+      const ArrayMode mode = ctx.array_modes->at(arr);
+      if (mode == ArrayMode::ThreadLocal) return Expr::thread_id();
+      if (mode == ArrayMode::LoopPartitioned) return Expr::var(ctx.omp_for_index);
+      // ReadOnly: any in-bounds subscript is race-free.
+    }
+    // Serial (or read-only shared): loop index modulo size, a constant, or
+    // the raw loop index when its static bound fits.
+    std::vector<double> weights;
+    enum Choice { kModIndex, kConst, kRawIndex };
+    std::vector<Choice> choices;
+    if (!loop_indices_.empty()) {
+      choices.push_back(kModIndex);
+      weights.push_back(2.0);
+      if (!loop_static_bounds_.empty() && loop_static_bounds_.back() <= size) {
+        choices.push_back(kRawIndex);
+        weights.push_back(1.0);
+      }
+    }
+    choices.push_back(kConst);
+    weights.push_back(1.0);
+    switch (choices[rng_.pick_weighted(weights)]) {
+      case kModIndex:
+        return Expr::binary(BinOp::Mod, Expr::var(loop_indices_.back()),
+                            Expr::int_const(size));
+      case kRawIndex:
+        return Expr::var(loop_indices_.back());
+      case kConst:
+      default:
+        return Expr::int_const(rng_.uniform_int(0, size - 1));
+    }
+  }
+
+  /// One <term>: identifier, fp literal, array element, or math call.
+  ExprPtr gen_term(const BlockCtx& ctx, int depth) {
+    if (cfg_.math_func_allowed && depth < 2 &&
+        rng_.bernoulli(cfg_.math_func_probability)) {
+      const auto f = static_cast<MathFunc>(rng_.uniform_index(ast::kNumMathFuncs));
+      return Expr::call(f, gen_term(ctx, depth + 1));
+    }
+    const auto scalars = readable_scalars(ctx);
+    const auto arrays = readable_arrays(ctx);
+    const double w_scalar = scalars.empty() ? 0.0 : 3.0;
+    const double w_array = arrays.empty() ? 0.0 : 1.5;
+    const double w_const = 1.5;
+    const std::array<double, 3> weights = {w_scalar, w_array, w_const};
+    switch (rng_.pick_weighted(weights)) {
+      case 0: return Expr::var(scalars[rng_.uniform_index(scalars.size())]);
+      case 1: {
+        const VarId arr = arrays[rng_.uniform_index(arrays.size())];
+        return Expr::array(arr, gen_read_index(arr, ctx));
+      }
+      default: return gen_fp_const();
+    }
+  }
+
+  /// <expression>: 1..MAX_EXPRESSION_SIZE terms joined by random operators,
+  /// with occasional parenthesized sub-chains.
+  ExprPtr gen_expr(FpWidth, const BlockCtx& ctx) {
+    const int terms = static_cast<int>(rng_.uniform_int(1, cfg_.max_expression_size));
+    ExprPtr e = gen_term(ctx, 0);
+    int chain = 1;  // terms in the current unparenthesized chain
+    for (int i = 1; i < terms; ++i) {
+      static constexpr BinOp kOps[] = {BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div};
+      const BinOp op = kOps[rng_.uniform_index(4)];
+      const bool paren = rng_.bernoulli(0.2);
+      e = Expr::binary(op, std::move(e), gen_term(ctx, 0), paren);
+      chain = paren ? 1 : chain + 1;
+    }
+    (void)chain;
+    return e;
+  }
+
+  BoolExpr gen_bool_expr(const BlockCtx& ctx) {
+    BoolExpr b;
+    const auto scalars = readable_scalars(ctx);
+    if (!scalars.empty() && !rng_.bernoulli(0.2)) {
+      b.lhs = scalars[rng_.uniform_index(scalars.size())];
+    } else if (!int_params_.empty()) {
+      b.lhs = int_params_[rng_.uniform_index(int_params_.size())];
+    } else {
+      b.lhs = scalars.empty() ? comp_ : scalars[rng_.uniform_index(scalars.size())];
+    }
+    static constexpr BoolOp kOps[] = {BoolOp::Lt, BoolOp::Gt, BoolOp::Eq,
+                                      BoolOp::Ne, BoolOp::Ge, BoolOp::Le};
+    // A third of the guards are zero comparisons (`if (x != 0.0)` style),
+    // ubiquitous in numerical codes — and the trigger for control-flow
+    // divergence between flush-to-zero and IEEE-subnormal implementations
+    // (the paper's Section V-B numerical-exception effect).
+    if (rng_.bernoulli(0.45)) {
+      b.op = rng_.bernoulli(0.5) ? BoolOp::Ne : kOps[rng_.uniform_index(6)];
+      b.rhs = Expr::fp_const(0.0);
+      return b;
+    }
+    b.op = kOps[rng_.uniform_index(6)];
+    b.rhs = gen_expr(FpWidth::F64, ctx);
+    return b;
+  }
+
+  // -- Statement generation -----------------------------------------------------
+  static constexpr AssignOp kFpAssignOps[] = {
+      AssignOp::Assign, AssignOp::AddAssign, AssignOp::SubAssign,
+      AssignOp::MulAssign, AssignOp::DivAssign};
+
+  AssignOp random_assign_op() {
+    return kFpAssignOps[rng_.uniform_index(std::size(kFpAssignOps))];
+  }
+
+  /// One <assignment> line legal in this context: a comp update, a temp
+  /// declaration, a scalar reassignment, or an array-element store.
+  StmtPtr gen_assignment(const BlockCtx& ctx) {
+    enum Choice { kComp, kDeclTemp, kReassign, kArrayStore };
+    std::vector<Choice> choices;
+    std::vector<double> weights;
+
+    // comp is legal: anywhere in serial code; inside a region only through
+    // the reduction clause (outside criticals, with the matching operator)
+    // or, when there is no reduction, inside a critical section (III-G).
+    const bool comp_ok =
+        !ctx.in_parallel ||
+        (ctx.reduction.has_value() ? !ctx.in_critical : ctx.in_critical);
+    if (comp_ok) {
+      choices.push_back(kComp);
+      weights.push_back(ctx.in_critical ? 3.0 : 1.5);
+    }
+    choices.push_back(kDeclTemp);
+    weights.push_back(1.5);
+
+    // Reassignable scalars: temps (serial), privates (in region), and
+    // critical-only scalars (inside critical).
+    std::vector<VarId> targets = reassignable_scalars(ctx);
+    if (!targets.empty()) {
+      choices.push_back(kReassign);
+      weights.push_back(2.0);
+    }
+    std::vector<VarId> store_arrays = writable_arrays(ctx);
+    if (!store_arrays.empty()) {
+      choices.push_back(kArrayStore);
+      weights.push_back(1.5);
+    }
+
+    switch (choices[rng_.pick_weighted(weights)]) {
+      case kComp: {
+        AssignOp op;
+        if (ctx.in_parallel && ctx.reduction) {
+          // R9: the update operator must match the reduction operator.
+          op = *ctx.reduction == ReductionOp::Sum
+                   ? (rng_.bernoulli(0.8) ? AssignOp::AddAssign : AssignOp::SubAssign)
+                   : AssignOp::MulAssign;
+        } else {
+          // Plain '=' would discard prior contributions; bias to compound ops.
+          op = rng_.bernoulli(0.7) ? AssignOp::AddAssign : random_assign_op();
+        }
+        writes_comp_ = true;
+        return Stmt::assign(LValue{comp_, nullptr}, op, gen_expr(FpWidth::F64, ctx));
+      }
+      case kDeclTemp: {
+        const FpWidth w = random_width();
+        const VarId id = prog_.add_var(
+            {next_var_name(), VarKind::FpScalar, VarRole::Temp, w, 0});
+        // Temps declared inside a parallel region are block-local and thus
+        // thread-private; only serial-scope temps join the shared pool.
+        if (!ctx.in_parallel) {
+          temps_in_scope_.push_back(id);
+        } else {
+          region_temps_.push_back(id);
+        }
+        return Stmt::decl(id, gen_expr(w, ctx));
+      }
+      case kReassign: {
+        std::vector<VarId> targets2 = reassignable_scalars(ctx);
+        const VarId id = targets2[rng_.uniform_index(targets2.size())];
+        if (prog_.var(id).kind == VarKind::IntScalar) {
+          return Stmt::assign(LValue{id, nullptr}, AssignOp::Assign,
+                              Expr::int_const(rng_.uniform_int(0, cfg_.max_loop_trip_count)));
+        }
+        return Stmt::assign(LValue{id, nullptr}, random_assign_op(),
+                            gen_expr(prog_.var(id).width, ctx));
+      }
+      case kArrayStore:
+      default: {
+        std::vector<VarId> arrays2 = writable_arrays(ctx);
+        const VarId arr = arrays2[rng_.uniform_index(arrays2.size())];
+        return Stmt::assign(LValue{arr, gen_write_index(arr, ctx)},
+                            random_assign_op(),
+                            gen_expr(prog_.var(arr).width, ctx));
+      }
+    }
+  }
+
+  std::vector<VarId> reassignable_scalars(const BlockCtx& ctx) const {
+    std::vector<VarId> out;
+    if (!ctx.in_parallel) {
+      out = temps_in_scope_;
+      return out;
+    }
+    for (VarId v : fp_scalars_) {
+      if (ctx.is_private(v)) out.push_back(v);
+      if (ctx.in_critical && ctx.is_critical_only(v)) out.push_back(v);
+    }
+    for (VarId v : int_params_) {
+      if (ctx.is_private(v)) out.push_back(v);
+    }
+    for (VarId v : region_temps_) out.push_back(v);
+    return out;
+  }
+
+  std::vector<VarId> writable_arrays(const BlockCtx& ctx) const {
+    std::vector<VarId> out;
+    for (VarId v : arrays_) {
+      if (!ctx.in_parallel) {
+        out.push_back(v);
+        continue;
+      }
+      const ArrayMode mode = ctx.array_modes->at(v);
+      if (mode == ArrayMode::ThreadLocal ||
+          (mode == ArrayMode::LoopPartitioned && ctx.in_omp_for)) {
+        out.push_back(v);
+      }
+    }
+    return out;
+  }
+
+  ExprPtr gen_write_index(VarId arr, const BlockCtx& ctx) {
+    const int size = prog_.var(arr).array_size;
+    if (ctx.in_parallel) {
+      const ArrayMode mode = ctx.array_modes->at(arr);
+      if (mode == ArrayMode::ThreadLocal) return Expr::thread_id();
+      OMPFUZZ_CHECK(mode == ArrayMode::LoopPartitioned && ctx.in_omp_for,
+                    "write to read-only array in region");
+      return Expr::var(ctx.omp_for_index);
+    }
+    if (!loop_indices_.empty() && rng_.bernoulli(0.6)) {
+      return Expr::binary(BinOp::Mod, Expr::var(loop_indices_.back()),
+                          Expr::int_const(size));
+    }
+    return Expr::int_const(rng_.uniform_int(0, size - 1));
+  }
+
+  // -- Blocks ------------------------------------------------------------------
+  /// <block>: assignments plus nested if/for/OpenMP blocks. Temps declared
+  /// here go out of scope (for later statement generation) when we return.
+  Block gen_block(int depth, const BlockCtx& ctx) {
+    const std::size_t serial_mark = temps_in_scope_.size();
+    const std::size_t region_mark = region_temps_.size();
+    Block block;
+    // The top-level block reserves one line for the guaranteed comp
+    // assignment that build() may append.
+    const int max_lines = depth == 0 ? std::max(1, cfg_.max_lines_in_block - 1)
+                                     : cfg_.max_lines_in_block;
+    const int lines = static_cast<int>(rng_.uniform_int(1, max_lines));
+    for (int i = 0; i < lines; ++i) {
+      block.stmts.push_back(gen_assignment(ctx));
+    }
+    if (depth >= cfg_.max_nesting_levels) {
+      temps_in_scope_.resize(serial_mark);
+      region_temps_.resize(region_mark);
+      return block;
+    }
+
+    // The top-level block always contains at least one structured block so
+    // every test does loop/region work (pure straight-line tests are trivia
+    // the minimum-time filter would discard anyway).
+    const int min_blocks = depth == 0 ? 1 : 0;
+    const int sub_blocks = static_cast<int>(
+        rng_.uniform_int(min_blocks, cfg_.max_same_level_blocks));
+    for (int i = 0; i < sub_blocks; ++i) {
+      const double w_if = cfg_.p_if_block;
+      const double w_for = cfg_.p_for_block;
+      // Regions inside loops re-launch per iteration (expensive everywhere,
+      // pathological for some runtimes — Case Study 2); they appear at a
+      // throttled rate so they stay the interesting minority they are in
+      // real scientific codes.
+      const double w_omp = (ctx.in_parallel ? 0.0 : cfg_.p_openmp_block) *
+                           (loop_indices_.empty() ? 1.0 : 0.15);
+      const std::array<double, 3> weights = {w_if, w_for, w_omp};
+      if (w_if + w_for + w_omp <= 0.0) break;
+      switch (rng_.pick_weighted(weights)) {
+        case 0: block.stmts.push_back(gen_if(depth + 1, ctx)); break;
+        case 1: block.stmts.push_back(gen_for(depth + 1, ctx)); break;
+        default: block.stmts.push_back(gen_parallel(depth + 1)); break;
+      }
+    }
+    temps_in_scope_.resize(serial_mark);
+    region_temps_.resize(region_mark);
+    return block;
+  }
+
+  StmtPtr gen_if(int depth, const BlockCtx& ctx) {
+    return Stmt::if_block(gen_bool_expr(ctx), gen_block(depth, ctx));
+  }
+
+  /// A serial for loop (inside or outside a region). The region's own
+  /// (possibly work-shared) loop is generated by gen_parallel instead.
+  StmtPtr gen_for(int depth, const BlockCtx& ctx) {
+    const VarId idx = prog_.add_var({"i_" + std::to_string(++loop_counter_),
+                                     VarKind::IntScalar, VarRole::LoopIndex,
+                                     FpWidth::F64, 0});
+    ExprPtr bound;
+    std::int64_t static_bound = -1;
+    // Inside a region, bounds come from constants or firstprivate ints
+    // (privates are mutated, hence unsafe as loop-invariant bounds). Input
+    // driven bounds are restricted to outermost loops so nested loops cannot
+    // multiply into runaway iteration counts.
+    std::vector<VarId> bound_vars;
+    if (loop_indices_.empty()) {
+      for (VarId v : int_params_) {
+        if (!ctx.in_parallel ||
+            (ctx.firstprivates && ctx.firstprivates->contains(v))) {
+          bound_vars.push_back(v);
+        }
+      }
+    }
+    if (!bound_vars.empty() && rng_.bernoulli(0.4)) {
+      bound = Expr::var(bound_vars[rng_.uniform_index(bound_vars.size())]);
+    } else {
+      static_bound = random_trip_count();
+      bound = Expr::int_const(static_bound);
+    }
+
+    loop_indices_.push_back(idx);
+    loop_static_bounds_.push_back(static_bound < 0 ? cfg_.max_loop_trip_count + 1
+                                                   : static_bound);
+    Block body = gen_block(depth, ctx);
+    // Chance to maybe nest a parallel region in a serial loop (Case Study 2
+    // pattern: region launch overhead paid once per iteration).
+    if (!ctx.in_parallel && depth < cfg_.max_nesting_levels &&
+        rng_.bernoulli(cfg_.p_parallel_in_loop)) {
+      body.stmts.push_back(gen_parallel(depth + 1));
+    }
+    loop_indices_.pop_back();
+    loop_static_bounds_.pop_back();
+    return Stmt::for_loop(idx, std::move(bound), std::move(body), /*omp_for=*/false);
+  }
+
+  /// <openmp-block>: clause head, {assignment}+ preamble, one for loop.
+  StmtPtr gen_parallel(int depth) {
+    OmpClauses clauses;
+    clauses.num_threads = cfg_.num_threads;
+    if (rng_.bernoulli(cfg_.p_reduction)) {
+      clauses.reduction = rng_.bernoulli(0.8) ? ReductionOp::Sum : ReductionOp::Prod;
+    }
+
+    // Randomly partition visible scalars into private / firstprivate /
+    // shared (Section III-E). comp and loop indices are never listed.
+    std::set<VarId> privates, firstprivates;
+    std::vector<VarId> clause_candidates;
+    for (VarId v : int_params_) clause_candidates.push_back(v);
+    for (VarId v : fp_scalars_) clause_candidates.push_back(v);
+    for (VarId v : temps_in_scope_) clause_candidates.push_back(v);
+    for (VarId v : clause_candidates) {
+      const double roll = rng_.uniform_real();
+      if (roll < 0.3) {
+        privates.insert(v);
+      } else if (roll < 0.6) {
+        firstprivates.insert(v);
+      }  // else shared by default(shared)
+    }
+
+    // Shared scalars reserved for exclusive use inside critical sections.
+    std::set<VarId> critical_only;
+    for (VarId v : fp_scalars_) {
+      if (!privates.contains(v) && !firstprivates.contains(v) &&
+          rng_.bernoulli(0.25)) {
+        critical_only.insert(v);
+      }
+    }
+
+    clauses.privates.assign(privates.begin(), privates.end());
+    clauses.firstprivates.assign(firstprivates.begin(), firstprivates.end());
+
+    // Decide the region's loop: work-shared or serial, bound, and from that
+    // the per-array access modes.
+    const bool omp_for = rng_.bernoulli(0.75);
+    std::int64_t bound_const = -1;
+    ExprPtr bound;
+    std::vector<VarId> bound_vars;
+    if (loop_indices_.empty()) {
+      for (VarId v : int_params_) {
+        if (firstprivates.contains(v) || !privates.contains(v)) {
+          bound_vars.push_back(v);
+        }
+      }
+    }
+    if (!bound_vars.empty() && rng_.bernoulli(0.5)) {
+      bound = Expr::var(bound_vars[rng_.uniform_index(bound_vars.size())]);
+    } else {
+      bound_const = random_trip_count();
+      bound = Expr::int_const(bound_const);
+    }
+
+    std::map<VarId, ArrayMode> array_modes;
+    const bool partition_ok = omp_for && bound_const >= 1 &&
+                              bound_const <= cfg_.array_size;
+    for (VarId v : arrays_) {
+      std::array<double, 3> w = {2.0, 1.5, partition_ok ? 1.0 : 0.0};
+      array_modes[v] = static_cast<ArrayMode>(rng_.pick_weighted(w));
+    }
+
+    BlockCtx region_ctx;
+    region_ctx.in_parallel = true;
+    region_ctx.reduction = clauses.reduction;
+    region_ctx.privates = &privates;
+    region_ctx.firstprivates = &firstprivates;
+    region_ctx.critical_only = &critical_only;
+    region_ctx.array_modes = &array_modes;
+
+    // Region-local temps live only for this region.
+    const std::size_t temps_mark = region_temps_.size();
+
+    Block body;
+    // Preamble: initialize every private before use (paper Listing 1 line 9).
+    for (VarId v : privates) {
+      if (prog_.var(v).kind == VarKind::IntScalar) {
+        body.stmts.push_back(
+            Stmt::assign(LValue{v, nullptr}, AssignOp::Assign,
+                         Expr::int_const(rng_.uniform_int(0, cfg_.max_loop_trip_count))));
+      } else {
+        body.stmts.push_back(Stmt::assign(LValue{v, nullptr}, AssignOp::Assign,
+                                          gen_fp_const()));
+      }
+    }
+    // A few more preamble assignment lines.
+    const int extra = static_cast<int>(
+        rng_.uniform_int(privates.empty() ? 1 : 0, 3));
+    for (int i = 0; i < extra; ++i) {
+      body.stmts.push_back(gen_assignment(region_ctx));
+    }
+
+    // The region's for loop.
+    const VarId idx = prog_.add_var({"i_" + std::to_string(++loop_counter_),
+                                     VarKind::IntScalar, VarRole::LoopIndex,
+                                     FpWidth::F64, 0});
+    BlockCtx loop_ctx = region_ctx;
+    loop_ctx.in_omp_for = omp_for;
+    loop_ctx.omp_for_index = idx;
+
+    loop_indices_.push_back(idx);
+    loop_static_bounds_.push_back(bound_const < 0 ? cfg_.max_loop_trip_count + 1
+                                                  : bound_const);
+    // The <openmp-block> production (head + preamble + loop) counts as one
+    // nesting level, so the loop body shares the region's depth.
+    Block loop_body = gen_block(depth, loop_ctx);
+    // Critical sections are items of the loop body ({<block>|<openmp-critical>}+).
+    if (rng_.bernoulli(cfg_.p_critical)) {
+      loop_body.stmts.push_back(gen_critical(depth + 1, loop_ctx));
+    }
+    loop_indices_.pop_back();
+    loop_static_bounds_.pop_back();
+
+    body.stmts.push_back(Stmt::for_loop(idx, std::move(bound),
+                                        std::move(loop_body), omp_for));
+    region_temps_.resize(temps_mark);
+    return Stmt::omp_parallel(std::move(clauses), std::move(body));
+  }
+
+  StmtPtr gen_critical(int depth, const BlockCtx& ctx) {
+    BlockCtx crit_ctx = ctx;
+    crit_ctx.in_critical = true;
+    const std::size_t serial_mark = temps_in_scope_.size();
+    const std::size_t region_mark = region_temps_.size();
+    Block body;
+    const int lines = static_cast<int>(
+        rng_.uniform_int(1, std::min(3, cfg_.max_lines_in_block)));
+    for (int i = 0; i < lines; ++i) {
+      body.stmts.push_back(gen_assignment(crit_ctx));
+    }
+    (void)depth;
+    temps_in_scope_.resize(serial_mark);
+    region_temps_.resize(region_mark);
+    return Stmt::omp_critical(std::move(body));
+  }
+
+  // -- State --------------------------------------------------------------------
+  const GeneratorConfig& cfg_;
+  RandomEngine rng_;
+  Program prog_;
+  VarId comp_ = ast::kInvalidVar;
+  std::vector<VarId> int_params_;
+  std::vector<VarId> fp_scalars_;   ///< fp scalar params
+  std::vector<VarId> arrays_;
+  std::vector<VarId> temps_in_scope_;  ///< serial-scope temporaries
+  std::vector<VarId> region_temps_;    ///< temps declared inside current region
+  std::vector<VarId> loop_indices_;    ///< innermost last
+  std::vector<std::int64_t> loop_static_bounds_;
+  int var_counter_ = 0;
+  int loop_counter_ = 0;
+  bool writes_comp_ = false;
+};
+
+}  // namespace
+
+ProgramGenerator::ProgramGenerator(GeneratorConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+ast::Program ProgramGenerator::generate(const std::string& name,
+                                        std::uint64_t seed) const {
+  Builder builder(config_, name, seed);
+  return builder.build();
+}
+
+}  // namespace ompfuzz::core

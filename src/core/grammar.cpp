@@ -1,0 +1,249 @@
+#include "core/grammar.hpp"
+
+#include <functional>
+
+namespace ompfuzz::core {
+
+const std::vector<Production>& test_program_grammar() {
+  static const std::vector<Production> grammar = {
+      {"<function>",
+       {"\"void\" \"compute\" \"(\" <param-list> \")\" \"{\" <block> \"}\""},
+       "Function-level rules"},
+      {"<param-list>",
+       {"<param-declaration>", "<param-list> \",\" <param-declaration>"},
+       ""},
+      {"<param-declaration>",
+       {"\"int\" <id>", "<fp-type> <id>", "<fp-type> \"*\" <id>"},
+       ""},
+      {"<assignment>",
+       {"\"comp\" <assign-op> <expression> \";\"",
+        "<fp-type> <id> <assign-op> <expression> \";\""},
+       "Expression- and term-level rules"},
+      {"<expression>",
+       {"<term>", "\"(\" <expression> \")\"", "<expression> <op> <expression>"},
+       ""},
+      {"<term>", {"<identifier>", "<fp-numeral>"}, ""},
+      {"<block>",
+       {"{<assignment>}+", "<if-block> <block>", "<for-loop-block> <block>",
+        "<openmp-block>"},
+       "Block-level rules"},
+      {"<openmp-head>",
+       {"\"#pragma omp parallel default(shared) private(\" <private-vars> \")\" "
+        "\" firstprivate(\" <first-private-vars> \")\" "
+        "{\" reduction(\" <reduction-op> \": comp)\"}?"},
+       "OpenMP-block-level rules"},
+      {"<openmp-block>",
+       {"<openmp-head> \"\\n{\" {<assignment>}+ <for-loop-block> \"}\""},
+       ""},
+      {"<openmp-critical>",
+       {"\"#pragma omp critical {\\n\" <block> \"}\""},
+       ""},
+      {"<if-block>",
+       {"\"if\" \"(\" <bool-expression> \")\" \"{\" <block> \"}\""},
+       "If-block-level rules"},
+      {"<for-loop-head>", {"\"#pragma omp for \\n for\"", "\"for\""},
+       "For-loop-level rules"},
+      {"<for-loop-block>",
+       {"<for-loop-head> \"(\" <loop-header> \")\" \"{\" "
+        "{<block>|<openmp-critical>}+ \"}\""},
+       ""},
+      {"<loop-header>",
+       {"\"int\" <id> \";\" <id> \"<\" <int-numeral> \";\" \"++\" <id>"},
+       ""},
+      {"<bool-expression>", {"<id> <bool-op> <expression>"},
+       "Bool-expression-level rules"},
+  };
+  return grammar;
+}
+
+std::string render_grammar() {
+  std::string out;
+  for (const auto& p : test_program_grammar()) {
+    if (!p.comment.empty()) {
+      out += "/** " + p.comment + " **/\n";
+    }
+    out += p.name + " ::= ";
+    for (std::size_t i = 0; i < p.alternatives.size(); ++i) {
+      if (i != 0) out += " | ";
+      out += p.alternatives[i];
+    }
+    out += "\n";
+  }
+  out +=
+      "\n<fp-type> supports {float, double}; <assign-op> supports {=, +=, -=, "
+      "*=, /=};\n<op> supports {+, -, *, /}; <bool-op> supports {<, >, ==, !=, "
+      ">=, <=};\n<fp-numeral> is a constant, e.g. 1.23e+4; <reduction-op> "
+      "supports {+, *}.\n";
+  return out;
+}
+
+namespace {
+
+using ast::Block;
+using ast::Expr;
+using ast::Program;
+using ast::ReductionOp;
+using ast::Stmt;
+
+class ConformanceChecker {
+ public:
+  ConformanceChecker(const Program& program, const GeneratorConfig& config)
+      : program_(program), config_(config) {}
+
+  std::vector<Violation> run() {
+    check_block(program_.body(), /*depth=*/0, /*in_parallel=*/false,
+                /*reduction=*/std::nullopt, /*is_for_body=*/false);
+    return std::move(violations_);
+  }
+
+ private:
+  void add(std::string rule, std::string detail) {
+    violations_.push_back({std::move(rule), std::move(detail)});
+  }
+
+  /// Counts the top-level terms of an expression: a binary chain of N
+  /// operators has N+1 terms. Parenthesized groups count as one term, and so
+  /// does subscript arithmetic (`i % 1000` is a <loop-header>-style index,
+  /// not an <expression> of the grammar).
+  static int count_terms(const Expr& e) {
+    if (e.kind() == Expr::Kind::Binary && !e.parenthesized() &&
+        e.bin_op() != ast::BinOp::Mod) {
+      return count_terms(e.lhs()) + count_terms(e.rhs());
+    }
+    return 1;
+  }
+
+  void check_expr(const Expr& e) {
+    const int terms = count_terms(e);
+    if (terms > config_.max_expression_size) {
+      add("R6", "expression has " + std::to_string(terms) + " terms, max is " +
+                    std::to_string(config_.max_expression_size));
+    }
+    e.walk([this](const Expr& node) {
+      if (node.kind() == Expr::Kind::Call && !config_.math_func_allowed) {
+        add("R10", "math call generated but MATH_FUNC_ALLOWED is false");
+      }
+    });
+  }
+
+  void check_stmt_exprs(const Stmt& s) {
+    if (s.value) check_expr(*s.value);
+    if (s.target.index) check_expr(*s.target.index);
+    if (s.kind == Stmt::Kind::If && s.cond.rhs) check_expr(*s.cond.rhs);
+  }
+
+  void check_block(const Block& block, int depth, bool in_parallel,
+                   std::optional<ReductionOp> reduction, bool is_for_body) {
+    if (depth > config_.max_nesting_levels) {
+      add("R8", "nesting depth " + std::to_string(depth) + " exceeds max " +
+                    std::to_string(config_.max_nesting_levels));
+    }
+    // R7 counts only "lines" (assignments/decls), as MAX_LINES_IN_BLOCK does.
+    int lines = 0;
+    for (const auto& s : block.stmts) {
+      if (s->kind == Stmt::Kind::Assign || s->kind == Stmt::Kind::Decl) ++lines;
+    }
+    if (lines > config_.max_lines_in_block) {
+      add("R7", "block has " + std::to_string(lines) + " lines, max is " +
+                    std::to_string(config_.max_lines_in_block));
+    }
+
+    for (const auto& s : block.stmts) {
+      switch (s->kind) {
+        case Stmt::Kind::Assign:
+          if (in_parallel && reduction && s->target.var == program_.comp() &&
+              !s->target.is_array_element()) {
+            check_reduction_op(*s, *reduction);
+          }
+          check_stmt_exprs(*s);
+          break;
+        case Stmt::Kind::Decl:
+          check_stmt_exprs(*s);
+          break;
+        case Stmt::Kind::If:
+          if (s->body.empty()) add("R5", "empty if body");
+          check_stmt_exprs(*s);
+          check_block(s->body, depth + 1, in_parallel, reduction, false);
+          break;
+        case Stmt::Kind::For:
+          if (s->body.empty()) add("R5", "empty for body");
+          if (s->omp_for) {
+            add("R2", "omp for loop not directly inside a parallel region");
+          }
+          check_block(s->body, depth + 1, in_parallel, reduction, true);
+          break;
+        case Stmt::Kind::OmpParallel:
+          if (in_parallel) add("R4", "nested parallel region");
+          check_parallel(*s, depth);
+          break;
+        case Stmt::Kind::OmpCritical:
+          if (!is_for_body || !in_parallel) {
+            add("R3", "critical section outside a parallel for-loop body");
+          }
+          // MAX_NESTING_LEVELS counts if/for blocks only (paper Fig. 2), so a
+          // critical wrapper does not consume a nesting level.
+          check_block(s->body, depth, in_parallel, reduction, false);
+          break;
+      }
+    }
+  }
+
+  void check_parallel(const Stmt& region, int depth) {
+    // R1: {<assignment>}+ then exactly one <for-loop-block>.
+    const auto& stmts = region.body.stmts;
+    bool shape_ok = !stmts.empty();
+    std::size_t i = 0;
+    while (i < stmts.size() && (stmts[i]->kind == Stmt::Kind::Assign ||
+                                stmts[i]->kind == Stmt::Kind::Decl)) {
+      ++i;
+    }
+    if (i == 0) shape_ok = false;  // needs at least one preamble assignment
+    if (i + 1 != stmts.size() || (shape_ok && stmts[i]->kind != Stmt::Kind::For)) {
+      shape_ok = false;
+    }
+    if (!shape_ok) {
+      add("R1", "parallel region body is not {assignment}+ for-loop");
+      // Still recurse to surface nested violations.
+      check_block(region.body, depth + 1, true, region.clauses.reduction, false);
+      return;
+    }
+    for (std::size_t k = 0; k < i; ++k) {
+      if (region.clauses.reduction &&
+          stmts[k]->kind == Stmt::Kind::Assign &&
+          stmts[k]->target.var == program_.comp()) {
+        check_reduction_op(*stmts[k], *region.clauses.reduction);
+      }
+      check_stmt_exprs(*stmts[k]);
+    }
+    const Stmt& loop = *stmts[i];
+    if (loop.body.empty()) add("R5", "empty for body");
+    // The whole <openmp-block> production (head + preamble + loop) counts as
+    // one nesting level, so the loop body sits at depth + 1. The region's own
+    // loop is the only place "omp for" may appear (R2); any omp for nested in
+    // its body is reported by check_block, which has no special case for it.
+    check_block(loop.body, depth + 1, true, region.clauses.reduction, true);
+  }
+
+  void check_reduction_op(const Stmt& s, ReductionOp op) {
+    const bool ok = op == ReductionOp::Sum
+                        ? (s.assign_op == ast::AssignOp::AddAssign ||
+                           s.assign_op == ast::AssignOp::SubAssign)
+                        : s.assign_op == ast::AssignOp::MulAssign;
+    if (!ok) {
+      add("R9", "comp update operator does not match the reduction operator");
+    }
+  }
+
+  const Program& program_;
+  const GeneratorConfig& config_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+std::vector<Violation> check_conformance(const ast::Program& program,
+                                         const GeneratorConfig& config) {
+  return ConformanceChecker(program, config).run();
+}
+
+}  // namespace ompfuzz::core

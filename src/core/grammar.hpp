@@ -1,0 +1,63 @@
+// The formal grammar of the generated test programs (paper Listing 2).
+//
+// The grammar serves three purposes here:
+//   1. documentation — render() reproduces the paper's Listing 2;
+//   2. specification — GrammarConformance checks that an AST could have been
+//      derived from the grammar plus the paper's OpenMP structural rules
+//      (Sections III-E..III-G), e.g. an <openmp-block> is a clause head,
+//      one or more preamble assignments, then exactly one for loop;
+//   3. bounds — the Section III-C size parameters (MAX_EXPRESSION_SIZE, ...)
+//      are validated against a GeneratorConfig.
+// The ProgramGenerator is the constructive sampler of this grammar; the
+// conformance checker is its independent oracle in the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/program.hpp"
+#include "support/config.hpp"
+
+namespace ompfuzz::core {
+
+/// One production rule, e.g. name="<if-block>",
+/// alternatives={"\"if\" \"(\" <bool-expression> \")\" \"{\" <block> \"}\""}.
+struct Production {
+  std::string name;
+  std::vector<std::string> alternatives;
+  std::string comment;  ///< section header in the rendered listing
+};
+
+/// The grammar of Listing 2, as data.
+[[nodiscard]] const std::vector<Production>& test_program_grammar();
+
+/// Renders the grammar in the paper's BNF style.
+[[nodiscard]] std::string render_grammar();
+
+/// A conformance violation: where and what.
+struct Violation {
+  std::string rule;     ///< which structural rule was broken
+  std::string detail;   ///< human-readable description
+};
+
+/// Checks that a program is derivable from the grammar with the given
+/// bounds. Returns all violations (empty == conformant).
+///
+/// Structural rules checked:
+///   R1  <openmp-block> body is {<assignment>}+ followed by one <for-loop-block>
+///   R2  "#pragma omp for" appears only on the loop directly inside a parallel
+///       region (no orphaned or nested work-sharing)
+///   R3  <openmp-critical> appears only among the items of a for-loop body
+///       inside a parallel region
+///   R4  no parallel region nests (statically) inside another parallel region
+///   R5  <if-block> and <for-loop-block> bodies are non-empty
+///   R6  expression term counts respect MAX_EXPRESSION_SIZE
+///   R7  block statement counts respect MAX_LINES_IN_BLOCK
+///   R8  block nesting respects MAX_NESTING_LEVELS
+///   R9  a reduction region updates comp only with the matching operator
+///       (+ or - for reduction(+), * for reduction(*))
+///   R10 math calls appear only if MATH_FUNC_ALLOWED
+[[nodiscard]] std::vector<Violation> check_conformance(const ast::Program& program,
+                                                       const GeneratorConfig& config);
+
+}  // namespace ompfuzz::core

@@ -1,0 +1,174 @@
+#include "core/outlier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ompfuzz::core {
+
+const char* to_string(RunStatus s) noexcept {
+  switch (s) {
+    case RunStatus::Ok: return "OK";
+    case RunStatus::Crash: return "CRASH";
+    case RunStatus::Hang: return "HANG";
+    case RunStatus::Skipped: return "SKIPPED";
+  }
+  return "?";
+}
+
+const char* to_string(OutlierKind k) noexcept {
+  switch (k) {
+    case OutlierKind::None: return "none";
+    case OutlierKind::Slow: return "slow";
+    case OutlierKind::Fast: return "fast";
+    case OutlierKind::Crash: return "crash";
+    case OutlierKind::Hang: return "hang";
+  }
+  return "?";
+}
+
+bool OutlierVerdict::has_outlier() const noexcept {
+  return std::any_of(per_run.begin(), per_run.end(),
+                     [](OutlierKind k) { return k != OutlierKind::None; });
+}
+
+bool comparable_times(double ri, double rj, double alpha) noexcept {
+  const double lo = std::min(ri, rj);
+  if (lo == 0.0) return ri == rj;  // Eq. 1 requires min != 0
+  return std::fabs(ri - rj) / lo <= alpha;
+}
+
+OutlierDetector::OutlierDetector(OutlierParams params) : params_(params) {
+  OMPFUZZ_CHECK(params_.alpha > 0.0, "alpha must be > 0");
+  OMPFUZZ_CHECK(params_.beta > 1.0, "beta must be > 1");
+}
+
+std::vector<std::size_t> OutlierDetector::largest_comparable_group(
+    std::span<const double> times, std::span<const std::size_t> ids) const {
+  const std::size_t n = times.size();
+  OMPFUZZ_CHECK(n <= 20, "too many implementations for exact clique search");
+  // Pairwise comparability as adjacency bitmasks.
+  std::vector<std::uint32_t> adj(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && comparable_times(times[i], times[j], params_.alpha)) {
+        adj[i] |= (1u << j);
+      }
+    }
+  }
+
+  std::uint32_t best_mask = 0;
+  int best_size = 0;
+  double best_spread = 0.0;
+  double best_mean = 0.0;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const int size = std::popcount(mask);
+    if (size < best_size) continue;
+    // Clique test: every member must be adjacent to every other member.
+    bool is_clique = true;
+    for (std::size_t i = 0; i < n && is_clique; ++i) {
+      if (!(mask & (1u << i))) continue;
+      const std::uint32_t others = mask & ~(1u << i);
+      if ((adj[i] & others) != others) is_clique = false;
+    }
+    if (!is_clique) continue;
+
+    double lo = times[0], hi = times[0], sum = 0.0;
+    bool first = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      if (first) {
+        lo = hi = times[i];
+        first = false;
+      } else {
+        lo = std::min(lo, times[i]);
+        hi = std::max(hi, times[i]);
+      }
+      sum += times[i];
+    }
+    const double spread = hi - lo;
+    const double mu = sum / size;
+    const bool better =
+        size > best_size ||
+        (size == best_size &&
+         (spread < best_spread || (spread == best_spread && mu < best_mean)));
+    if (better) {
+      best_mask = mask;
+      best_size = size;
+      best_spread = spread;
+      best_mean = mu;
+    }
+  }
+
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best_mask & (1u << i)) out.push_back(ids[i]);
+  }
+  return out;
+}
+
+OutlierVerdict OutlierDetector::analyze(std::span<const RunResult> runs) const {
+  OutlierVerdict v;
+  v.per_run.assign(runs.size(), OutlierKind::None);
+
+  // Correctness outliers first (Section IV-C): a CRASH/HANG is an outlier
+  // iff at least one implementation terminated OK.
+  const bool any_ok = std::any_of(runs.begin(), runs.end(), [](const RunResult& r) {
+    return r.status == RunStatus::Ok;
+  });
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].status == RunStatus::Crash && any_ok) {
+      v.per_run[i] = OutlierKind::Crash;
+    } else if (runs[i].status == RunStatus::Hang && any_ok) {
+      v.per_run[i] = OutlierKind::Hang;
+    }
+  }
+
+  // Performance analysis over the OK runs.
+  std::vector<double> times;
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].status == RunStatus::Ok) {
+      times.push_back(runs[i].time_us);
+      ids.push_back(i);
+    }
+  }
+  if (times.size() < 2) {
+    v.filter_reason = "fewer than two OK runs";
+    return v;
+  }
+
+  v.comparable_group = largest_comparable_group(times, ids);
+  if (v.comparable_group.size() < 2) {
+    v.filter_reason = "no comparable baseline group";
+    return v;
+  }
+  double sum = 0.0;
+  for (std::size_t id : v.comparable_group) sum += runs[id].time_us;
+  v.midpoint_us = sum / static_cast<double>(v.comparable_group.size());
+
+  if (v.midpoint_us < params_.min_time_us) {
+    v.filter_reason = "midpoint below minimum-time filter";
+    return v;
+  }
+  v.analyzable = true;
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].status != RunStatus::Ok) continue;
+    if (std::find(v.comparable_group.begin(), v.comparable_group.end(), i) !=
+        v.comparable_group.end()) {
+      continue;
+    }
+    const double r = runs[i].time_us;
+    if (v.midpoint_us > 0.0 && r / v.midpoint_us >= params_.beta) {
+      v.per_run[i] = OutlierKind::Slow;
+    } else if (r > 0.0 && v.midpoint_us / r >= params_.beta) {
+      v.per_run[i] = OutlierKind::Fast;
+    }
+  }
+  return v;
+}
+
+}  // namespace ompfuzz::core

@@ -1,0 +1,92 @@
+// Differential-testing outlier detection (paper Section IV).
+//
+// Given one generated test (program + input) executed by N OpenMP
+// implementations, the detector classifies each implementation's run:
+//
+//   Comparable times (Eq. 1):  |ri - rj| / min(ri, rj) <= alpha
+//   The midpoint M is the mean of the largest set of pairwise-comparable
+//   run times (the paper's "comparable group"; a maximum clique of the
+//   comparability relation, computed exactly since N is small).
+//   Slow outlier (Eq. 2):  ri / M >= beta
+//   Fast outlier:          M / ri >= beta
+//
+//   Correctness outliers: a run that CRASHed or HANGed while at least one
+//   other implementation terminated OK (Section IV-C). Correctness outliers
+//   are never also performance outliers.
+//
+// Tests whose midpoint falls below `min_time_us` are filtered from analysis,
+// as in the paper's evaluation (Section V-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ompfuzz::core {
+
+/// Terminal state of one test execution by one implementation.
+enum class RunStatus : std::uint8_t {
+  Ok,       ///< produced an output and an execution time
+  Crash,    ///< terminated abnormally (signal / nonzero exit) before output
+  Hang,     ///< exceeded the hang timeout and was stopped (SIGINT semantics)
+  Skipped,  ///< not executed (e.g. interpreter budget exceeded); excluded
+};
+
+[[nodiscard]] const char* to_string(RunStatus s) noexcept;
+
+/// Result of one (program, input, implementation) execution.
+struct RunResult {
+  std::string impl;              ///< implementation name, e.g. "gcc"
+  RunStatus status = RunStatus::Ok;
+  double time_us = 0.0;          ///< valid when status == Ok
+  double output = 0.0;           ///< comp value; valid when status == Ok
+};
+
+/// Classification of one run within its test.
+enum class OutlierKind : std::uint8_t { None, Slow, Fast, Crash, Hang };
+
+[[nodiscard]] const char* to_string(OutlierKind k) noexcept;
+
+struct OutlierParams {
+  double alpha = 0.2;          ///< Eq. 1 comparability threshold
+  double beta = 1.5;           ///< Eq. 2 outlier threshold
+  double min_time_us = 1000.0; ///< analysis filter (Section V-A)
+};
+
+/// Verdict for one test across all implementations.
+struct OutlierVerdict {
+  bool analyzable = false;        ///< false if filtered (too fast / no baseline)
+  std::string filter_reason;      ///< why not analyzable (empty otherwise)
+  double midpoint_us = 0.0;       ///< mean time of the comparable group
+  std::vector<std::size_t> comparable_group;  ///< indices into the run vector
+  std::vector<OutlierKind> per_run;           ///< one entry per run
+  [[nodiscard]] bool has_outlier() const noexcept;
+};
+
+/// Eq. 1. Zero times are comparable only to zero.
+[[nodiscard]] bool comparable_times(double ri, double rj, double alpha) noexcept;
+
+class OutlierDetector {
+ public:
+  explicit OutlierDetector(OutlierParams params = {});
+
+  /// Classifies every run of one test. Correctness outliers are assigned
+  /// regardless of analyzability; performance outliers only when the test
+  /// passes the minimum-time filter and a comparable baseline (>= 2 runs)
+  /// exists.
+  [[nodiscard]] OutlierVerdict analyze(std::span<const RunResult> runs) const;
+
+  [[nodiscard]] const OutlierParams& params() const noexcept { return params_; }
+
+ private:
+  /// Largest pairwise-comparable subset of the given times (exact maximum
+  /// clique; ties broken toward the smallest spread, then smallest mean).
+  [[nodiscard]] std::vector<std::size_t> largest_comparable_group(
+      std::span<const double> times, std::span<const std::size_t> ids) const;
+
+  OutlierParams params_;
+};
+
+}  // namespace ompfuzz::core

@@ -1,0 +1,101 @@
+#include "fp/input_gen.hpp"
+
+#include <charconv>
+
+#include "support/error.hpp"
+#include "support/string_utils.hpp"
+
+namespace ompfuzz::fp {
+
+const char* to_keyword(FpWidth w) noexcept {
+  return w == FpWidth::F32 ? "float" : "double";
+}
+
+std::string InputValue::to_argv_string() const {
+  if (kind == ParamKind::Int) return std::to_string(int_value);
+  return to_exact_string(fp_value);
+}
+
+std::vector<std::string> InputSet::to_argv() const {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (const auto& v : values) out.push_back(v.to_argv_string());
+  return out;
+}
+
+std::string InputSet::to_string() const {
+  return join(to_argv(), " ");
+}
+
+std::uint64_t InputSet::hash() const {
+  std::uint64_t h = fnv1a64("input-set");
+  for (const auto& v : values) h = hash_combine(h, fnv1a64(v.to_argv_string()));
+  return h;
+}
+
+InputGenerator::InputGenerator(InputGenOptions options)
+    : options_(options) {
+  OMPFUZZ_CHECK(options_.min_trip_count >= 1, "min_trip_count must be >= 1");
+  OMPFUZZ_CHECK(options_.max_trip_count >= options_.min_trip_count,
+                "max_trip_count must be >= min_trip_count");
+}
+
+InputSet InputGenerator::generate(std::span<const ParamSpec> params,
+                                  RandomEngine& rng) const {
+  InputSet set;
+  set.values.reserve(params.size());
+  for (const auto& p : params) {
+    InputValue v;
+    v.kind = p.kind;
+    v.width = p.width;
+    if (p.kind == ParamKind::Int) {
+      v.int_value = rng.uniform_int(options_.min_trip_count, options_.max_trip_count);
+    } else {
+      const std::size_t idx = rng.pick_weighted(options_.class_weights);
+      v.fp_class = fp_class_from_index(static_cast<int>(idx));
+      if (p.width == FpWidth::F32) {
+        // Store the float value widened to double so the interpreter and the
+        // emitted binary (which parses into a float variable) agree exactly.
+        v.fp_value = static_cast<double>(random_float(v.fp_class, rng));
+      } else {
+        v.fp_value = random_double(v.fp_class, rng);
+      }
+    }
+    set.values.push_back(v);
+  }
+  return set;
+}
+
+InputSet InputGenerator::parse(std::span<const ParamSpec> params,
+                               std::span<const std::string> argv) {
+  if (params.size() != argv.size()) {
+    throw Error("input parse: expected " + std::to_string(params.size()) +
+                " arguments, got " + std::to_string(argv.size()));
+  }
+  InputSet set;
+  set.values.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& p = params[i];
+    const std::string& text = argv[i];
+    InputValue v;
+    v.kind = p.kind;
+    v.width = p.width;
+    if (p.kind == ParamKind::Int) {
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v.int_value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        throw Error("input parse: bad integer '" + text + "'");
+      }
+    } else {
+      v.fp_value = from_exact_string(text);
+      if (p.width == FpWidth::F32) {
+        v.fp_value = static_cast<double>(static_cast<float>(v.fp_value));
+      }
+      v.fp_class = classify(v.fp_value);
+    }
+    set.values.push_back(v);
+  }
+  return set;
+}
+
+}  // namespace ompfuzz::fp

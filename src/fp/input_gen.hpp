@@ -1,0 +1,94 @@
+// Random input generation for generated test programs (Section III-D).
+//
+// Every generated program is a `compute(...)` kernel whose parameters are
+// integer scalars (loop bounds), floating-point scalars, and floating-point
+// arrays. An InputSet assigns a value to each parameter:
+//   - int parameters get a positive trip count,
+//   - fp scalars get a value drawn from one of the five FpClass categories,
+//   - fp arrays get a *fill value* (main() initializes every element with it,
+//     as Varity does), also drawn from a random category.
+// Inputs serialize to argv-style strings using hex-float notation so the
+// emitted binaries and the in-process interpreter read bit-identical values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fp/fp_class.hpp"
+#include "support/rng.hpp"
+
+namespace ompfuzz::fp {
+
+/// Floating-point width of a generated variable.
+enum class FpWidth : std::uint8_t { F32, F64 };
+
+[[nodiscard]] const char* to_keyword(FpWidth w) noexcept;  // "float" / "double"
+
+/// Kind of a compute() parameter.
+enum class ParamKind : std::uint8_t { Int, Scalar, Array };
+
+/// Declaration of one compute() parameter, as seen by the input generator.
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::Scalar;
+  FpWidth width = FpWidth::F64;  ///< ignored for Int
+  int array_size = 0;            ///< used only for Array
+};
+
+/// The value bound to one parameter.
+struct InputValue {
+  ParamKind kind = ParamKind::Scalar;
+  FpWidth width = FpWidth::F64;
+  std::int64_t int_value = 0;  ///< for Int
+  double fp_value = 0.0;       ///< scalar value, or the array fill value
+  FpClass fp_class = FpClass::Zero;  ///< category the fp value was drawn from
+
+  /// The value as the emitted binary would parse it from argv.
+  [[nodiscard]] std::string to_argv_string() const;
+};
+
+/// A complete assignment of values to a program's parameters.
+struct InputSet {
+  std::vector<InputValue> values;
+
+  [[nodiscard]] std::vector<std::string> to_argv() const;
+  /// Space-separated argv form, convenient for logs and file names.
+  [[nodiscard]] std::string to_string() const;
+  /// Stable content hash used by the deterministic fault models.
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// Generation policy: how often each FpClass is drawn. The default favors
+/// normal values so most tests compute finite results, with a steady minority
+/// of extreme inputs (the source of the NaN/exception-driven divergence the
+/// paper discusses in Section V-B). The ablation benches re-weight, e.g. to
+/// measure the contribution of subnormal inputs to GCC fast outliers; uniform
+/// weights reproduce Varity's original behavior.
+struct InputGenOptions {
+  /// Order: Normal, Subnormal, AlmostInfinity, AlmostSubnormal, Zero.
+  std::array<double, kNumFpClasses> class_weights{3.0, 1.3, 0.4, 0.8, 0.8};
+  std::int64_t min_trip_count = 1;
+  std::int64_t max_trip_count = 1000;
+};
+
+class InputGenerator {
+ public:
+  explicit InputGenerator(InputGenOptions options = {});
+
+  /// Draws one value per parameter. Deterministic given the engine state.
+  [[nodiscard]] InputSet generate(std::span<const ParamSpec> params,
+                                  RandomEngine& rng) const;
+
+  /// Parses argv strings back into an InputSet (bit-exact round trip).
+  /// Throws Error if the argument count or format does not match.
+  [[nodiscard]] static InputSet parse(std::span<const ParamSpec> params,
+                                      std::span<const std::string> argv);
+
+ private:
+  InputGenOptions options_;
+};
+
+}  // namespace ompfuzz::fp

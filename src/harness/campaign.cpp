@@ -1,0 +1,172 @@
+#include "harness/campaign.hpp"
+
+#include <algorithm>
+
+#include "core/race_checker.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ompfuzz::harness {
+
+int CampaignResult::outlier_runs() const {
+  int n = 0;
+  for (const auto& [name, counts] : per_impl) n += counts.total();
+  return n;
+}
+
+double CampaignResult::outlier_rate() const {
+  return total_runs == 0 ? 0.0
+                         : static_cast<double>(outlier_runs()) /
+                               static_cast<double>(total_runs);
+}
+
+Campaign::Campaign(CampaignConfig config, Executor& executor)
+    : config_(std::move(config)), executor_(executor),
+      generator_(config_.generator) {
+  config_.validate();
+}
+
+TestCase Campaign::make_test_case(int program_index) const {
+  RandomEngine campaign_rng(config_.seed);
+  RandomEngine program_rng =
+      campaign_rng.fork(static_cast<std::uint64_t>(program_index));
+
+  TestCase test;
+  test.seed = program_rng.next_u64();
+  // Regenerate racy drafts: the paper filtered race cases manually
+  // (Section III, Limitations); the automated pipeline regenerates instead
+  // so every shipped test is race-free by the static checker.
+  constexpr int kMaxAttempts = 16;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const std::uint64_t seed = hash_combine(test.seed, attempt);
+    ast::Program candidate = generator_.generate(
+        "test_" + std::to_string(program_index), seed);
+    if (core::check_races(candidate).race_free()) {
+      test.program = std::move(candidate);
+      test.regeneration_attempts = attempt;
+      break;
+    }
+    OMPFUZZ_CHECK(attempt + 1 < kMaxAttempts,
+                  "could not generate a race-free program in 16 attempts");
+  }
+  test.features = ast::analyze(test.program);
+
+  fp::InputGenOptions in_opt;
+  in_opt.max_trip_count = config_.generator.max_loop_trip_count;
+  // Same high bias as the generator's static bounds: tiny trip counts would
+  // put most tests under the minimum-time analysis filter.
+  in_opt.min_trip_count =
+      std::max<std::int64_t>(1, config_.generator.max_loop_trip_count / 4);
+  const fp::InputGenerator input_gen(in_opt);
+  const auto signature = test.program.signature();
+  RandomEngine input_rng = program_rng.fork(0x1457);
+  for (int i = 0; i < config_.inputs_per_program; ++i) {
+    test.inputs.push_back(input_gen.generate(signature, input_rng));
+  }
+  return test;
+}
+
+CampaignResult Campaign::run(const ProgressFn& progress) {
+  CampaignResult result;
+  result.impl_names = executor_.implementations();
+  for (const auto& name : result.impl_names) result.per_impl[name];
+
+  core::OutlierParams params;
+  params.alpha = config_.alpha;
+  params.beta = config_.beta;
+  params.min_time_us = static_cast<double>(config_.min_time_us);
+  const core::OutlierDetector detector(params);
+
+  for (int p = 0; p < config_.num_programs; ++p) {
+    const TestCase test = make_test_case(p);
+    result.regenerated_programs += test.regeneration_attempts > 0 ? 1 : 0;
+
+    for (int i = 0; i < config_.inputs_per_program; ++i) {
+      TestOutcome outcome;
+      outcome.program_index = p;
+      outcome.input_index = i;
+      outcome.program_name = test.program.name();
+      outcome.input_text = test.inputs[static_cast<std::size_t>(i)].to_string();
+
+      for (const auto& impl : result.impl_names) {
+        outcome.runs.push_back(
+            executor_.run(test, static_cast<std::size_t>(i), impl));
+        ++result.total_runs;
+        if (outcome.runs.back().status == core::RunStatus::Skipped) {
+          ++result.skipped_runs;
+        }
+      }
+      ++result.total_tests;
+
+      outcome.verdict = detector.analyze(outcome.runs);
+      if (outcome.verdict.analyzable) ++result.analyzable_tests;
+
+      // Output divergence across the OK runs (NaN-aware majority vote);
+      // non-OK runs are marked non-divergent placeholders.
+      std::vector<double> ok_outputs;
+      std::vector<std::size_t> ok_ids;
+      for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+        if (outcome.runs[r].status == core::RunStatus::Ok) {
+          ok_outputs.push_back(outcome.runs[r].output);
+          ok_ids.push_back(r);
+        }
+      }
+      // The paper's driver compares the printed outputs, and %.17g
+      // round-trips doubles exactly — so divergence is bitwise (NaN-aware).
+      core::DiffTolerance exact;
+      exact.max_ulps = 0;
+      exact.max_rel_error = 0.0;
+      const auto ok_divergence = core::analyze_outputs(ok_outputs, exact);
+      outcome.divergence.all_equivalent = ok_divergence.all_equivalent;
+      outcome.divergence.majority_size = ok_divergence.majority_size;
+      outcome.divergence.diverges.assign(outcome.runs.size(), false);
+      for (std::size_t k = 0; k < ok_ids.size(); ++k) {
+        outcome.divergence.diverges[ok_ids[k]] = ok_divergence.diverges[k];
+      }
+
+      // Aggregate per-implementation counts.
+      for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+        auto& counts = result.per_impl[outcome.runs[r].impl];
+        switch (outcome.verdict.per_run[r]) {
+          case core::OutlierKind::Slow: ++counts.slow; break;
+          case core::OutlierKind::Fast:
+            ++counts.fast;
+            if (outcome.divergence.diverges[r]) ++counts.fast_with_divergence;
+            break;
+          case core::OutlierKind::Crash: ++counts.crash; break;
+          case core::OutlierKind::Hang: ++counts.hang; break;
+          case core::OutlierKind::None: break;
+        }
+      }
+      result.outcomes.push_back(std::move(outcome));
+    }
+    if (progress) progress(p + 1, config_.num_programs);
+  }
+  return result;
+}
+
+const TestOutcome* find_outcome(const CampaignResult& result,
+                                const std::string& impl,
+                                core::OutlierKind kind) {
+  const TestOutcome* best = nullptr;
+  double best_ratio = 0.0;
+  for (const auto& outcome : result.outcomes) {
+    for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+      if (outcome.runs[r].impl != impl) continue;
+      if (outcome.verdict.per_run[r] != kind) continue;
+      double ratio = 1.0;
+      if (kind == core::OutlierKind::Slow && outcome.verdict.midpoint_us > 0) {
+        ratio = outcome.runs[r].time_us / outcome.verdict.midpoint_us;
+      } else if (kind == core::OutlierKind::Fast && outcome.runs[r].time_us > 0) {
+        ratio = outcome.verdict.midpoint_us / outcome.runs[r].time_us;
+      }
+      if (best == nullptr || ratio > best_ratio) {
+        best = &outcome;
+        best_ratio = ratio;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ompfuzz::harness

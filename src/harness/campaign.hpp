@@ -1,0 +1,93 @@
+// Campaign orchestration: the full workflow of the paper's Figure 1.
+//
+//   (a) generate `num_programs` random programs (each validated race-free —
+//       racy drafts are regenerated and counted, implementing the paper's
+//       "filter out data race cases" as an automatic step) and
+//       `inputs_per_program` random inputs each;
+//   (b,c) execute every (program, input) under every implementation through
+//       an Executor;
+//   (d) classify each test's runs with the outlier detector and the output
+//       differ; aggregate per-implementation counts (Table I).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/differ.hpp"
+#include "core/generator.hpp"
+#include "core/outlier.hpp"
+#include "harness/executor.hpp"
+#include "support/config.hpp"
+
+namespace ompfuzz::harness {
+
+/// Result of one test (program + one input) across all implementations.
+struct TestOutcome {
+  int program_index = 0;
+  int input_index = 0;
+  std::string program_name;
+  std::string input_text;
+  std::vector<core::RunResult> runs;        ///< one per implementation
+  core::OutlierVerdict verdict;
+  core::OutputDivergence divergence;        ///< aligned with `runs`
+};
+
+struct ImplOutlierCounts {
+  int slow = 0;
+  int fast = 0;
+  int crash = 0;
+  int hang = 0;
+  /// Fast outliers whose output diverged from the consensus (the paper's
+  /// NaN/control-flow attribution, Section V-B).
+  int fast_with_divergence = 0;
+
+  [[nodiscard]] int total() const noexcept { return slow + fast + crash + hang; }
+};
+
+struct CampaignResult {
+  std::vector<std::string> impl_names;
+  std::vector<TestOutcome> outcomes;
+  std::map<std::string, ImplOutlierCounts> per_impl;
+
+  int total_runs = 0;
+  int total_tests = 0;       ///< programs x inputs
+  int analyzable_tests = 0;  ///< passed the minimum-time filter
+  int skipped_runs = 0;      ///< interpreter budget exceeded
+  int regenerated_programs = 0;  ///< racy drafts discarded during generation
+
+  [[nodiscard]] int outlier_runs() const;
+  [[nodiscard]] double outlier_rate() const;  ///< outlier runs / total runs
+};
+
+/// Progress callback: (programs done, total programs).
+using ProgressFn = std::function<void(int, int)>;
+
+class Campaign {
+ public:
+  Campaign(CampaignConfig config, Executor& executor);
+
+  /// Runs the whole campaign. Deterministic given the config seed and the
+  /// executor (SimExecutor is fully deterministic).
+  [[nodiscard]] CampaignResult run(const ProgressFn& progress = nullptr);
+
+  /// Generates the i-th test case of this campaign (exposed so benches can
+  /// re-create a specific test for case-study analysis).
+  [[nodiscard]] TestCase make_test_case(int program_index) const;
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+ private:
+  CampaignConfig config_;
+  Executor& executor_;
+  core::ProgramGenerator generator_;
+};
+
+/// Finds the analyzable outcome where `impl` is flagged with `kind`,
+/// preferring the most extreme time ratio. Returns nullptr if none.
+[[nodiscard]] const TestOutcome* find_outcome(const CampaignResult& result,
+                                              const std::string& impl,
+                                              core::OutlierKind kind);
+
+}  // namespace ompfuzz::harness

@@ -1,0 +1,46 @@
+// Execution backends for the differential-testing campaign (Fig. 1 b-c).
+//
+// An Executor runs one generated test under one OpenMP implementation and
+// reports the observable outcome (status, time, output). Two backends:
+//
+//   SimExecutor        — interprets the program under the implementation's
+//                        simulated profile (sim_executor.hpp); deterministic,
+//                        laptop-fast, used by the paper-reproduction benches.
+//   SubprocessExecutor — emits the program to disk, compiles it with a real
+//                        compiler command, runs the binary with a timeout;
+//                        the paper's actual driver (subprocess_executor.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/program.hpp"
+#include "core/outlier.hpp"
+#include "fp/input_gen.hpp"
+
+namespace ompfuzz::harness {
+
+/// One generated test: a program plus its generated inputs.
+struct TestCase {
+  ast::Program program;
+  ast::ProgramFeatures features;
+  std::vector<fp::InputSet> inputs;
+  std::uint64_t seed = 0;
+  int regeneration_attempts = 0;  ///< racy drafts discarded before this one
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs input `input_index` of `test` under implementation `impl_name`.
+  [[nodiscard]] virtual core::RunResult run(const TestCase& test,
+                                            std::size_t input_index,
+                                            const std::string& impl_name) = 0;
+
+  /// Names of the implementations this executor can drive.
+  [[nodiscard]] virtual std::vector<std::string> implementations() const = 0;
+};
+
+}  // namespace ompfuzz::harness

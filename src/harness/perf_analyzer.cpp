@@ -1,0 +1,61 @@
+#include "harness/perf_analyzer.hpp"
+
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+namespace ompfuzz::harness {
+
+std::string render_counter_comparison(const std::string& name_a,
+                                      const rt::PerfCounters& a,
+                                      const std::string& name_b,
+                                      const rt::PerfCounters& b) {
+  TextTable table({"Counters", name_a, name_b});
+  table.set_alignment({Align::Left, Align::Right, Align::Right});
+  const auto row = [&](const char* label, std::uint64_t va, std::uint64_t vb) {
+    table.add_row({label, format_thousands(va), format_thousands(vb)});
+  };
+  row("context-switches", a.context_switches, b.context_switches);
+  row("cpu-migrations", a.cpu_migrations, b.cpu_migrations);
+  row("page-faults", a.page_faults, b.page_faults);
+  row("cycles", a.cycles, b.cycles);
+  row("instructions", a.instructions, b.instructions);
+  row("branches", a.branches, b.branches);
+  row("branch-misses", a.branch_misses, b.branch_misses);
+  return table.render();
+}
+
+std::string render_time_breakdown(const std::string& impl,
+                                  const rt::TimeBreakdown& time) {
+  const double total = time.total_ns();
+  TextTable table({"Component (" + impl + ")", "ns", "share"});
+  table.set_alignment({Align::Left, Align::Right, Align::Right});
+  const auto row = [&](const char* label, double ns) {
+    table.add_row({label, format_fixed(ns, 0),
+                   format_fixed(total > 0 ? 100.0 * ns * time.noise_factor / total : 0.0, 1) + "%"});
+  };
+  row("compute", time.compute_ns);
+  row("region launches", time.launch_ns);
+  row("thread starts", time.thread_ns);
+  row("barriers", time.barrier_ns);
+  row("critical sections", time.critical_ns);
+  row("reduction combines", time.reduction_ns);
+  table.add_row({"total", format_fixed(total, 0), "100%"});
+  return table.render();
+}
+
+CaseStudy analyze_case(Campaign& campaign, SimExecutor& executor,
+                       const TestOutcome& outcome,
+                       const std::string& subject_impl,
+                       const std::string& baseline_impl) {
+  const TestCase test = campaign.make_test_case(outcome.program_index);
+  CaseStudy cs;
+  cs.subject_impl = subject_impl;
+  cs.baseline_impl = baseline_impl;
+  cs.subject = executor.run_detailed(
+      test, static_cast<std::size_t>(outcome.input_index), subject_impl);
+  cs.baseline = executor.run_detailed(
+      test, static_cast<std::size_t>(outcome.input_index), baseline_impl);
+  return cs;
+}
+
+}  // namespace ompfuzz::harness

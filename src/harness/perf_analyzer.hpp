@@ -1,0 +1,44 @@
+// Case-study analysis: perf-counter comparisons (paper Tables II and III).
+//
+// Given one outlier test, the analyzer re-executes it in detailed mode under
+// two implementations (the outlier and the baseline — the paper always
+// baselines against Intel) and renders the side-by-side counter table the
+// paper uses to explain the anomaly.
+#pragma once
+
+#include <string>
+
+#include "harness/campaign.hpp"
+#include "harness/sim_executor.hpp"
+
+namespace ompfuzz::harness {
+
+/// Table II/III shape: one row per counter, one column per implementation.
+[[nodiscard]] std::string render_counter_comparison(const std::string& name_a,
+                                                    const rt::PerfCounters& a,
+                                                    const std::string& name_b,
+                                                    const rt::PerfCounters& b);
+
+/// Renders the simulated time breakdown of one run (launch / barrier /
+/// critical / compute shares) — the quantitative form of "where did the
+/// time go" that the paper reads off the perf stacks.
+[[nodiscard]] std::string render_time_breakdown(const std::string& impl,
+                                                const rt::TimeBreakdown& time);
+
+/// Full case study for one outcome: detailed runs of subject and baseline,
+/// counter table, and both call-stack profiles (self or children mode).
+struct CaseStudy {
+  DetailedRun subject;
+  DetailedRun baseline;
+  std::string subject_impl;
+  std::string baseline_impl;
+};
+
+/// Re-runs `outcome`'s test under both implementations in detailed mode.
+/// `campaign` must be the campaign that produced the outcome.
+[[nodiscard]] CaseStudy analyze_case(Campaign& campaign, SimExecutor& executor,
+                                     const TestOutcome& outcome,
+                                     const std::string& subject_impl,
+                                     const std::string& baseline_impl);
+
+}  // namespace ompfuzz::harness

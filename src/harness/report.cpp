@@ -1,0 +1,147 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+
+#include "support/json_writer.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+namespace ompfuzz::harness {
+
+std::string render_table1(const CampaignResult& result) {
+  TextTable table({"Implementation", "Slow", "Fast", "Crash", "Hang"});
+  table.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right,
+                       Align::Right});
+  const auto cell = [](int n) { return n == 0 ? std::string("-") : std::to_string(n); };
+  for (const auto& name : result.impl_names) {
+    const auto& c = result.per_impl.at(name);
+    table.add_row({name, cell(c.slow), cell(c.fast), cell(c.crash), cell(c.hang)});
+  }
+  return table.render();
+}
+
+std::string render_summary(const CampaignResult& result) {
+  std::string out;
+  out += "runs:               " + std::to_string(result.total_runs) + "\n";
+  out += "tests:              " + std::to_string(result.total_tests) + "\n";
+  out += "analyzable tests:   " + std::to_string(result.analyzable_tests) +
+         " (min-time filter keeps " +
+         format_fixed(result.total_tests == 0
+                          ? 0.0
+                          : 100.0 * result.analyzable_tests / result.total_tests,
+                      1) +
+         "%)\n";
+  out += "skipped runs:       " + std::to_string(result.skipped_runs) + "\n";
+  out += "regenerated (racy): " + std::to_string(result.regenerated_programs) + "\n";
+  out += "outlier runs:       " + std::to_string(result.outlier_runs()) + " (" +
+         format_fixed(100.0 * result.outlier_rate(), 2) + "% of runs)\n";
+
+  int correctness = 0;
+  int fast_total = 0;
+  int fast_diverging = 0;
+  for (const auto& [name, c] : result.per_impl) {
+    correctness += c.crash + c.hang;
+    fast_total += c.fast;
+    fast_diverging += c.fast_with_divergence;
+  }
+  out += "correctness outliers: " + std::to_string(correctness) + " (" +
+         format_fixed(result.total_runs == 0
+                          ? 0.0
+                          : 100.0 * correctness / result.total_runs,
+                      2) +
+         "% of runs)\n";
+  if (fast_total > 0) {
+    out += "fast outliers with diverging output: " +
+           std::to_string(fast_diverging) + " of " + std::to_string(fast_total) +
+           " (" + format_fixed(100.0 * fast_diverging / fast_total, 1) + "%)\n";
+  }
+  return out;
+}
+
+std::string render_outlier_list(const CampaignResult& result,
+                                std::size_t max_rows) {
+  TextTable table({"Test", "Input", "Impl", "Kind", "Time (us)", "Midpoint (us)",
+                   "Ratio"});
+  table.set_alignment({Align::Left, Align::Right, Align::Left, Align::Left,
+                       Align::Right, Align::Right, Align::Right});
+  std::size_t rows = 0;
+  for (const auto& outcome : result.outcomes) {
+    for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+      const auto kind = outcome.verdict.per_run[r];
+      if (kind == core::OutlierKind::None) continue;
+      if (rows++ >= max_rows) continue;
+      const auto& run = outcome.runs[r];
+      std::string time_text = "-";
+      std::string ratio_text = "-";
+      if (run.status == core::RunStatus::Ok) {
+        time_text = format_fixed(run.time_us, 0);
+        if (outcome.verdict.midpoint_us > 0 && run.time_us > 0) {
+          const double ratio = kind == core::OutlierKind::Fast
+                                   ? outcome.verdict.midpoint_us / run.time_us
+                                   : run.time_us / outcome.verdict.midpoint_us;
+          ratio_text = format_fixed(ratio, 2) + "x";
+        }
+      }
+      table.add_row({outcome.program_name, std::to_string(outcome.input_index),
+                     run.impl, core::to_string(kind), time_text,
+                     format_fixed(outcome.verdict.midpoint_us, 0), ratio_text});
+    }
+  }
+  std::string out = table.render();
+  if (rows > max_rows) {
+    out += "... (" + std::to_string(rows - max_rows) + " more)\n";
+  }
+  return out;
+}
+
+std::string to_json(const CampaignResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("total_runs").value(static_cast<std::int64_t>(result.total_runs));
+  json.key("total_tests").value(static_cast<std::int64_t>(result.total_tests));
+  json.key("analyzable_tests")
+      .value(static_cast<std::int64_t>(result.analyzable_tests));
+  json.key("outlier_rate").value(result.outlier_rate());
+
+  json.key("per_impl").begin_object();
+  for (const auto& name : result.impl_names) {
+    const auto& c = result.per_impl.at(name);
+    json.key(name).begin_object();
+    json.key("slow").value(static_cast<std::int64_t>(c.slow));
+    json.key("fast").value(static_cast<std::int64_t>(c.fast));
+    json.key("crash").value(static_cast<std::int64_t>(c.crash));
+    json.key("hang").value(static_cast<std::int64_t>(c.hang));
+    json.key("fast_with_divergence")
+        .value(static_cast<std::int64_t>(c.fast_with_divergence));
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("outcomes").begin_array();
+  for (const auto& outcome : result.outcomes) {
+    json.begin_object();
+    json.key("program").value(outcome.program_name);
+    json.key("input_index").value(static_cast<std::int64_t>(outcome.input_index));
+    json.key("analyzable").value(outcome.verdict.analyzable);
+    json.key("midpoint_us").value(outcome.verdict.midpoint_us);
+    json.key("runs").begin_array();
+    for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+      const auto& run = outcome.runs[r];
+      json.begin_object();
+      json.key("impl").value(run.impl);
+      json.key("status").value(core::to_string(run.status));
+      json.key("time_us").value(run.time_us);
+      json.key("output").value(run.output);
+      json.key("outlier").value(core::to_string(outcome.verdict.per_run[r]));
+      json.key("diverges").value(static_cast<bool>(outcome.divergence.diverges[r]));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace ompfuzz::harness

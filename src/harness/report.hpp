@@ -1,0 +1,29 @@
+// Campaign report rendering.
+//
+// Produces the paper's Table I ("Overview of the results using three OpenMP
+// implementations") as a text table, a prose summary answering the paper's
+// Q1 (outlier rates, divergence attribution), and a machine-readable JSON
+// dump of every outcome.
+#pragma once
+
+#include <string>
+
+#include "harness/campaign.hpp"
+
+namespace ompfuzz::harness {
+
+/// Table I: rows = implementations, columns = Slow / Fast / Crash / Hang.
+[[nodiscard]] std::string render_table1(const CampaignResult& result);
+
+/// Prose summary: totals, filter and outlier rates, correctness-outlier
+/// rate, and the share of fast outliers with diverging outputs.
+[[nodiscard]] std::string render_summary(const CampaignResult& result);
+
+/// One line per outlier test: which implementation, kind, ratio vs midpoint.
+[[nodiscard]] std::string render_outlier_list(const CampaignResult& result,
+                                              std::size_t max_rows = 20);
+
+/// Full JSON dump (config-independent; every outcome with runs and verdict).
+[[nodiscard]] std::string to_json(const CampaignResult& result);
+
+}  // namespace ompfuzz::harness

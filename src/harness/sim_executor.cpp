@@ -1,0 +1,91 @@
+#include "harness/sim_executor.hpp"
+
+#include "runtime/cost_model.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ompfuzz::harness {
+
+SimExecutor::SimExecutor(SimExecutorOptions options)
+    : SimExecutor({rt::gcc_profile(), rt::clang_profile(), rt::intel_profile()},
+                  options) {}
+
+SimExecutor::SimExecutor(std::vector<rt::OmpImplProfile> profiles,
+                         SimExecutorOptions options)
+    : profiles_(std::move(profiles)), options_(options) {
+  OMPFUZZ_CHECK(!profiles_.empty(), "SimExecutor needs at least one profile");
+}
+
+const rt::OmpImplProfile& SimExecutor::profile(const std::string& name) const {
+  for (const auto& p : profiles_) {
+    if (p.name == name) return p;
+  }
+  throw Error("unknown implementation: " + name);
+}
+
+std::vector<std::string> SimExecutor::implementations() const {
+  std::vector<std::string> names;
+  names.reserve(profiles_.size());
+  for (const auto& p : profiles_) names.push_back(p.name);
+  return names;
+}
+
+DetailedRun SimExecutor::run_detailed(const TestCase& test,
+                                      std::size_t input_index,
+                                      const std::string& impl_name) {
+  OMPFUZZ_CHECK(input_index < test.inputs.size(), "input index out of range");
+  const rt::OmpImplProfile& prof = profile(impl_name);
+  const fp::InputSet& input = test.inputs[input_index];
+
+  DetailedRun out;
+  out.result.impl = impl_name;
+
+  // Deterministic per-(program, input, impl) identity.
+  const std::uint64_t run_hash = hash_combine(
+      hash_combine(test.program.fingerprint(), input.hash()), fnv1a64(impl_name));
+
+  interp::InterpOptions iopt;
+  iopt.fp = prof.fp;
+  iopt.num_threads_override = options_.num_threads;
+  iopt.max_steps = options_.max_interp_steps;
+  const interp::InterpResult ir = interp::execute(test.program, input, iopt);
+  out.events = ir.events;
+
+  if (ir.over_budget) {
+    out.result.status = core::RunStatus::Skipped;
+    return out;
+  }
+
+  out.fault = rt::decide_fault(test.features, options_.num_threads, prof, run_hash);
+  out.time = rt::simulate_time(ir.events, test.features, options_.num_threads,
+                               prof, run_hash);
+  out.counters = rt::synthesize_counters(ir.events, out.time,
+                                         options_.num_threads, prof, run_hash);
+
+  switch (out.fault.kind) {
+    case rt::FaultKind::Crash:
+      out.result.status = core::RunStatus::Crash;
+      return out;
+    case rt::FaultKind::Hang:
+      out.result.status = core::RunStatus::Hang;
+      return out;
+    case rt::FaultKind::None:
+      break;
+  }
+  if (out.time.total_us() > static_cast<double>(options_.hang_timeout_us)) {
+    out.result.status = core::RunStatus::Hang;
+    return out;
+  }
+
+  out.result.status = core::RunStatus::Ok;
+  out.result.time_us = out.time.total_us();
+  out.result.output = ir.comp;
+  return out;
+}
+
+core::RunResult SimExecutor::run(const TestCase& test, std::size_t input_index,
+                                 const std::string& impl_name) {
+  return run_detailed(test, input_index, impl_name).result;
+}
+
+}  // namespace ompfuzz::harness

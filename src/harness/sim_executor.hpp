@@ -1,0 +1,59 @@
+// Simulated execution backend: interpreter + vendor runtime profiles.
+//
+// For each run, the program is interpreted under the implementation's
+// floating-point semantics (so control flow may legitimately diverge between
+// implementations), the event stream is priced by the implementation's cost
+// model, and the fault model decides rare crash/hang outcomes. Every
+// decision derives from a hash of (program fingerprint, input, impl), making
+// whole campaigns bit-reproducible.
+#pragma once
+
+#include <optional>
+
+#include "harness/executor.hpp"
+#include "interp/interp.hpp"
+#include "runtime/fault_model.hpp"
+#include "runtime/impl_profile.hpp"
+#include "runtime/perf_counters.hpp"
+
+namespace ompfuzz::harness {
+
+/// Everything the case-study analysis needs about one simulated run.
+struct DetailedRun {
+  core::RunResult result;
+  interp::EventCounts events;
+  rt::TimeBreakdown time;
+  rt::PerfCounters counters;
+  rt::FaultDecision fault;
+};
+
+struct SimExecutorOptions {
+  int num_threads = 32;                      ///< team size (Section V-A uses 32)
+  std::int64_t hang_timeout_us = 180'000'000;///< 3 minutes, as in Case Study 3
+  std::uint64_t max_interp_steps = 4'000'000;
+};
+
+class SimExecutor final : public Executor {
+ public:
+  /// Uses the three built-in vendor profiles by default.
+  explicit SimExecutor(SimExecutorOptions options = {});
+  SimExecutor(std::vector<rt::OmpImplProfile> profiles, SimExecutorOptions options);
+
+  [[nodiscard]] core::RunResult run(const TestCase& test, std::size_t input_index,
+                                    const std::string& impl_name) override;
+  [[nodiscard]] std::vector<std::string> implementations() const override;
+
+  /// Full observability for the perf-analysis benches (Tables II/III).
+  [[nodiscard]] DetailedRun run_detailed(const TestCase& test,
+                                         std::size_t input_index,
+                                         const std::string& impl_name);
+
+  [[nodiscard]] const rt::OmpImplProfile& profile(const std::string& name) const;
+  [[nodiscard]] const SimExecutorOptions& options() const noexcept { return options_; }
+
+ private:
+  std::vector<rt::OmpImplProfile> profiles_;
+  SimExecutorOptions options_;
+};
+
+}  // namespace ompfuzz::harness

@@ -1,0 +1,217 @@
+#include "harness/subprocess_executor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "emit/codegen.hpp"
+#include "support/error.hpp"
+#include "support/string_utils.hpp"
+
+namespace ompfuzz::harness {
+
+namespace {
+
+/// Splits a command line on spaces (the templates use no quoting).
+std::vector<std::string> tokenize(const std::string& command) {
+  std::vector<std::string> out;
+  for (auto& tok : split(command, ' ')) {
+    if (!trim(tok).empty()) out.emplace_back(trim(tok));
+  }
+  return out;
+}
+
+}  // namespace
+
+ProcessResult run_process(const std::vector<std::string>& argv,
+                          std::int64_t timeout_ms) {
+  OMPFUZZ_CHECK(!argv.empty(), "run_process needs a command");
+  ProcessResult result;
+
+  int pipe_fd[2];
+  if (pipe(pipe_fd) != 0) throw Error("pipe() failed");
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(pipe_fd[0]);
+    close(pipe_fd[1]);
+    throw Error("fork() failed");
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, stderr silenced, exec.
+    dup2(pipe_fd[1], STDOUT_FILENO);
+    const int devnull = open("/dev/null", O_WRONLY);
+    if (devnull >= 0) dup2(devnull, STDERR_FILENO);
+    close(pipe_fd[0]);
+    close(pipe_fd[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    execvp(cargv[0], cargv.data());
+    _exit(127);
+  }
+
+  close(pipe_fd[1]);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  char buffer[4096];
+  bool child_done = false;
+  int status = 0;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    if (left <= 0) {
+      // The paper stops hung tests with a signal; escalate to SIGKILL so the
+      // harness never blocks.
+      result.timed_out = true;
+      kill(pid, SIGINT);
+      usleep(50'000);
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      child_done = true;
+      break;
+    }
+    pollfd pfd{pipe_fd[0], POLLIN, 0};
+    const int rc = poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(left, 200)));
+    if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP))) {
+      const ssize_t n = read(pipe_fd[0], buffer, sizeof(buffer));
+      if (n > 0) {
+        result.output.append(buffer, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) break;  // EOF: child closed stdout
+      if (errno != EINTR && errno != EAGAIN) break;
+    }
+    // Reap early exits even if the pipe stays open (grandchildren).
+    const pid_t done = waitpid(pid, &status, WNOHANG);
+    if (done == pid) {
+      child_done = true;
+      // Drain whatever remains.
+      ssize_t n;
+      while ((n = read(pipe_fd[0], buffer, sizeof(buffer))) > 0) {
+        result.output.append(buffer, static_cast<std::size_t>(n));
+      }
+      break;
+    }
+  }
+  close(pipe_fd[0]);
+  if (!child_done) waitpid(pid, &status, 0);
+
+  if (!result.timed_out) {
+    if (WIFEXITED(status)) {
+      result.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      result.signaled = true;
+      result.term_signal = WTERMSIG(status);
+    }
+  }
+  return result;
+}
+
+SubprocessExecutor::SubprocessExecutor(std::vector<ImplementationSpec> impls,
+                                       SubprocessOptions options)
+    : impls_(std::move(impls)), options_(std::move(options)) {
+  OMPFUZZ_CHECK(!impls_.empty(), "SubprocessExecutor needs implementations");
+  for (const auto& impl : impls_) {
+    OMPFUZZ_CHECK(!impl.compile_command.empty(),
+                  "implementation '" + impl.name + "' has no compile command");
+  }
+  ::mkdir(options_.work_dir.c_str(), 0755);
+}
+
+std::vector<std::string> SubprocessExecutor::implementations() const {
+  std::vector<std::string> names;
+  names.reserve(impls_.size());
+  for (const auto& impl : impls_) names.push_back(impl.name);
+  return names;
+}
+
+std::string SubprocessExecutor::ensure_binary(const TestCase& test,
+                                              const ImplementationSpec& impl) {
+  const auto key = std::make_pair(test.program.fingerprint(), impl.name);
+  if (const auto it = binary_cache_.find(key); it != binary_cache_.end()) {
+    return it->second;
+  }
+
+  const std::string stem =
+      options_.work_dir + "/" + test.program.name() + "_" + impl.name;
+  const std::string src = stem + ".cpp";
+  const std::string bin = stem + ".bin";
+  {
+    std::ofstream out(src);
+    if (!out) throw Error("cannot write " + src);
+    out << emit::emit_translation_unit(test.program);
+  }
+
+  std::string command = replace_all(impl.compile_command, "{src}", src);
+  command = replace_all(command, "{bin}", bin);
+  const ProcessResult compile =
+      run_process(tokenize(command), options_.compile_timeout_ms);
+  const bool ok = !compile.timed_out && !compile.signaled && compile.exit_code == 0;
+  binary_cache_[key] = ok ? bin : std::string{};
+  return binary_cache_[key];
+}
+
+core::RunResult SubprocessExecutor::run(const TestCase& test,
+                                        std::size_t input_index,
+                                        const std::string& impl_name) {
+  OMPFUZZ_CHECK(input_index < test.inputs.size(), "input index out of range");
+  const ImplementationSpec* spec = nullptr;
+  for (const auto& impl : impls_) {
+    if (impl.name == impl_name) spec = &impl;
+  }
+  OMPFUZZ_CHECK(spec != nullptr, "unknown implementation: " + impl_name);
+
+  core::RunResult result;
+  result.impl = impl_name;
+
+  const std::string bin = ensure_binary(test, *spec);
+  if (bin.empty()) {
+    // A compiler that rejects a valid program is itself a correctness bug;
+    // surfaced like an abnormal termination.
+    result.status = core::RunStatus::Crash;
+    return result;
+  }
+
+  std::vector<std::string> argv = {bin};
+  for (auto& arg : test.inputs[input_index].to_argv()) argv.push_back(std::move(arg));
+  const ProcessResult proc = run_process(argv, options_.run_timeout_ms);
+
+  if (proc.timed_out) {
+    result.status = core::RunStatus::Hang;
+    return result;
+  }
+  if (proc.signaled || proc.exit_code != 0) {
+    result.status = core::RunStatus::Crash;
+    return result;
+  }
+
+  // Expected output: "<comp>\n" then "time_us: <n>\n".
+  const auto lines = split(proc.output, '\n');
+  if (lines.empty()) {
+    result.status = core::RunStatus::Crash;
+    return result;
+  }
+  result.status = core::RunStatus::Ok;
+  result.output = std::strtod(lines[0].c_str(), nullptr);
+  for (const auto& line : lines) {
+    if (starts_with(line, "time_us: ")) {
+      result.time_us = std::strtod(line.c_str() + 9, nullptr);
+    }
+  }
+  return result;
+}
+
+}  // namespace ompfuzz::harness

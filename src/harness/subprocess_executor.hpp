@@ -1,0 +1,67 @@
+// Real-compiler execution backend (the paper's actual driver, Fig. 1 b-c).
+//
+// For each implementation the campaign provides a compile command template,
+// e.g. "g++ -fopenmp -O3 {src} -o {bin}". The executor emits the generated
+// program to a work directory, compiles it once per implementation, runs the
+// binary with the test's input on argv, and classifies the outcome exactly
+// as the paper does:
+//   * normal exit with parseable output  -> OK (+ comp value + time_us),
+//   * timeout -> HANG (the driver stops the process, Section IV-C),
+//   * signal or nonzero exit -> CRASH.
+//
+// On a machine with several OpenMP toolchains installed this class runs the
+// paper's experiment verbatim; with a single compiler, optimization levels
+// serve as implementation proxies (see DESIGN.md, substitutions).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "harness/executor.hpp"
+#include "support/config.hpp"
+
+namespace ompfuzz::harness {
+
+struct SubprocessOptions {
+  std::string work_dir = "_tests";       ///< sources and binaries land here
+  std::int64_t run_timeout_ms = 10'000;  ///< HANG threshold
+  std::int64_t compile_timeout_ms = 60'000;
+};
+
+/// Raw outcome of one child process.
+struct ProcessResult {
+  int exit_code = -1;
+  bool signaled = false;
+  int term_signal = 0;
+  bool timed_out = false;
+  std::string output;  ///< captured stdout
+};
+
+/// Runs argv[0] with the given arguments, capturing stdout, killing the
+/// child after timeout_ms. Building block for the executor; exposed for
+/// tests.
+[[nodiscard]] ProcessResult run_process(const std::vector<std::string>& argv,
+                                        std::int64_t timeout_ms);
+
+class SubprocessExecutor final : public Executor {
+ public:
+  SubprocessExecutor(std::vector<ImplementationSpec> impls,
+                     SubprocessOptions options);
+
+  [[nodiscard]] core::RunResult run(const TestCase& test, std::size_t input_index,
+                                    const std::string& impl_name) override;
+  [[nodiscard]] std::vector<std::string> implementations() const override;
+
+ private:
+  /// Emits (once) and compiles (once per impl) the test; returns the binary
+  /// path, or empty if compilation failed.
+  [[nodiscard]] std::string ensure_binary(const TestCase& test,
+                                          const ImplementationSpec& impl);
+
+  std::vector<ImplementationSpec> impls_;
+  SubprocessOptions options_;
+  /// (program fingerprint, impl) -> compiled binary path ("" = failed).
+  std::map<std::pair<std::uint64_t, std::string>, std::string> binary_cache_;
+};
+
+}  // namespace ompfuzz::harness

@@ -1,0 +1,528 @@
+#include "interp/interp.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ompfuzz::interp {
+
+namespace {
+
+using ast::AssignOp;
+using ast::BinOp;
+using ast::Block;
+using ast::Expr;
+using ast::FpWidth;
+using ast::MathFunc;
+using ast::Program;
+using ast::ReductionOp;
+using ast::Stmt;
+using ast::VarId;
+using ast::VarKind;
+
+/// Internal signal for budget exhaustion; converted to a result flag.
+struct BudgetExceeded {};
+
+double apply_math(MathFunc f, double x) noexcept {
+  switch (f) {
+    case MathFunc::Sin: return std::sin(x);
+    case MathFunc::Cos: return std::cos(x);
+    case MathFunc::Tan: return std::tan(x);
+    case MathFunc::Exp: return std::exp(x);
+    case MathFunc::Log: return std::log(x);
+    case MathFunc::Sqrt: return std::sqrt(x);
+    case MathFunc::Fabs: return std::fabs(x);
+    case MathFunc::Floor: return std::floor(x);
+    case MathFunc::Ceil: return std::ceil(x);
+    case MathFunc::Atan: return std::atan(x);
+  }
+  return x;
+}
+
+template <typename T>
+T apply_bin(BinOp op, T a, T b) noexcept {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Div: return a / b;
+    case BinOp::Mod: return a;  // never reached for fp (checked by caller)
+  }
+  return a;
+}
+
+class Engine {
+ public:
+  Engine(const Program& program, const fp::InputSet& input,
+         const InterpOptions& options)
+      : prog_(program), opt_(options) {
+    const std::size_t n = program.var_count();
+    globals_.assign(n, Value{});
+    arrays_.assign(n, {});
+    bind_inputs(input);
+  }
+
+  InterpResult run() {
+    InterpResult result;
+    try {
+      exec_block(prog_.body());
+      result.ok = true;
+    } catch (const BudgetExceeded&) {
+      // The unwind may have skipped exec_parallel's epilogue; frame_ would
+      // dangle into the unwound stack frame.
+      frame_ = nullptr;
+      result.over_budget = true;
+    }
+    result.comp = globals_[prog_.comp()].as_double();
+    result.events = ev_;
+    result.steps = steps_;
+    return result;
+  }
+
+ private:
+  // -- storage -----------------------------------------------------------------
+  struct Frame {
+    std::vector<std::uint8_t> is_private;  ///< per VarId
+    std::vector<Value> locals;             ///< per VarId
+    int tid = 0;
+    int team_size = 1;
+  };
+
+  void bind_inputs(const fp::InputSet& input) {
+    const auto params = prog_.params();
+    OMPFUZZ_CHECK(input.values.size() == params.size(),
+                  "input arity does not match program signature");
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      const VarId id = params[k];
+      const auto& decl = prog_.var(id);
+      const auto& v = input.values[k];
+      switch (decl.kind) {
+        case VarKind::IntScalar:
+          globals_[id] = Value::make_int(v.int_value);
+          break;
+        case VarKind::FpScalar:
+          globals_[id] = decl.width == FpWidth::F32
+                             ? Value::make_f32(flush32(static_cast<float>(v.fp_value)))
+                             : Value::make_f64(flush64(v.fp_value));
+          break;
+        case VarKind::FpArray: {
+          const double fill = decl.width == FpWidth::F32
+                                  ? static_cast<double>(flush32(static_cast<float>(v.fp_value)))
+                                  : flush64(v.fp_value);
+          arrays_[id].assign(static_cast<std::size_t>(decl.array_size), fill);
+          break;
+        }
+      }
+    }
+    globals_[prog_.comp()] = Value::make_f64(0.0);
+  }
+
+  // -- fp semantics -------------------------------------------------------------
+  [[nodiscard]] double flush64(double v) const noexcept {
+    if (opt_.fp.flush_subnormals && v != 0.0 && std::fpclassify(v) == FP_SUBNORMAL) {
+      return std::signbit(v) ? -0.0 : 0.0;
+    }
+    return v;
+  }
+  [[nodiscard]] float flush32(float v) const noexcept {
+    if (opt_.fp.flush_subnormals && v != 0.0f && std::fpclassify(v) == FP_SUBNORMAL) {
+      return std::signbit(v) ? -0.0f : 0.0f;
+    }
+    return v;
+  }
+
+  // -- budget ---------------------------------------------------------------------
+  void step() {
+    if (++steps_ > opt_.max_steps) throw BudgetExceeded{};
+  }
+
+  // -- variable access --------------------------------------------------------------
+  [[nodiscard]] bool frame_private(VarId id) const {
+    return frame_ != nullptr && frame_->is_private[id] != 0;
+  }
+
+  Value read_scalar(VarId id) {
+    ++ev_.scalar_loads;
+    if (frame_private(id)) return frame_->locals[id];
+    return globals_[id];
+  }
+
+  void write_scalar(VarId id, Value v) {
+    ++ev_.scalar_stores;
+    if (frame_private(id)) {
+      frame_->locals[id] = v;
+    } else {
+      globals_[id] = v;
+    }
+  }
+
+  /// Marks a variable thread-private from this point on (Decl / loop index
+  /// inside a region).
+  void make_frame_local(VarId id, Value v) {
+    if (frame_ != nullptr) {
+      frame_->is_private[id] = 1;
+      frame_->locals[id] = v;
+    } else {
+      globals_[id] = v;
+    }
+  }
+
+  std::vector<double>& array_storage(VarId id) {
+    auto& storage = arrays_[id];
+    OMPFUZZ_CHECK(!storage.empty(), "array never bound: " + prog_.var(id).name);
+    return storage;
+  }
+
+  std::size_t eval_index(const Expr& idx, int array_size) {
+    const Value v = eval(idx);
+    const std::int64_t raw = v.as_int();
+    if (raw < 0 || raw >= array_size) {
+      throw InterpError("array subscript out of bounds: " + std::to_string(raw) +
+                        " (size " + std::to_string(array_size) + ")");
+    }
+    return static_cast<std::size_t>(raw);
+  }
+
+  // -- expression evaluation -----------------------------------------------------------
+  Value eval(const Expr& e) {
+    switch (e.kind()) {
+      case Expr::Kind::FpConst:
+        return Value::make_f64(e.fp_value());
+      case Expr::Kind::IntConst:
+        return Value::make_int(e.int_value());
+      case Expr::Kind::VarRef:
+        return read_scalar(e.var_id());
+      case Expr::Kind::ArrayRef: {
+        const auto& decl = prog_.var(e.var_id());
+        const std::size_t i = eval_index(e.index(), decl.array_size);
+        ++ev_.array_loads;
+        const double stored = array_storage(e.var_id())[i];
+        return decl.width == FpWidth::F32
+                   ? Value::make_f32(static_cast<float>(stored))
+                   : Value::make_f64(stored);
+      }
+      case Expr::Kind::ThreadId:
+        return Value::make_int(frame_ != nullptr ? frame_->tid : 0);
+      case Expr::Kind::Binary:
+        return eval_binary(e);
+      case Expr::Kind::Call: {
+        const double arg = eval(e.arg()).as_double();
+        ++ev_.math_calls;
+        return Value::make_f64(flush64(apply_math(e.func(), arg)));
+      }
+    }
+    throw InterpError("unreachable expr kind");
+  }
+
+  Value eval_binary(const Expr& e) {
+    const BinOp op = e.bin_op();
+    if (op == BinOp::Mod) {
+      const std::int64_t a = eval(e.lhs()).as_int();
+      const std::int64_t b = eval(e.rhs()).as_int();
+      if (b == 0) throw InterpError("modulo by zero");
+      ++ev_.int_ops;
+      return Value::make_int(a % b);
+    }
+    // FMA contraction (Intel-style -fp-model fast): (x * y) +/- z evaluated
+    // with a single rounding. Only double chains contract; the event stream
+    // still records both the multiply and the add.
+    if (opt_.fp.contract_fma && (op == BinOp::Add || op == BinOp::Sub) &&
+        e.lhs().kind() == Expr::Kind::Binary &&
+        e.lhs().bin_op() == BinOp::Mul) {
+      const Value x = eval(e.lhs().lhs());
+      const Value y = eval(e.lhs().rhs());
+      const Value z = eval(e.rhs());
+      const bool all_float = x.tag == Value::Tag::F32 &&
+                             y.tag == Value::Tag::F32 &&
+                             z.tag == Value::Tag::F32;
+      ++ev_.fp_mul;
+      ++ev_.fp_add_sub;
+      if (all_float) {
+        const float r = std::fmaf(x.f, y.f, op == BinOp::Add ? z.f : -z.f);
+        return Value::make_f32(flush32(r));
+      }
+      const double r = std::fma(x.as_double(), y.as_double(),
+                                op == BinOp::Add ? z.as_double() : -z.as_double());
+      return Value::make_f64(flush64(r));
+    }
+    const Value a = eval(e.lhs());
+    const Value b = eval(e.rhs());
+    switch (op) {
+      case BinOp::Add:
+      case BinOp::Sub: ++ev_.fp_add_sub; break;
+      case BinOp::Mul: ++ev_.fp_mul; break;
+      case BinOp::Div: ++ev_.fp_div; break;
+      case BinOp::Mod: break;
+    }
+    // C++ usual arithmetic conversions: float only if both sides are float.
+    if (a.tag == Value::Tag::F32 && b.tag == Value::Tag::F32) {
+      const float r = flush32(apply_bin<float>(op, a.f, b.f));
+      if (is_subnormal(a.f) || is_subnormal(b.f) || is_subnormal(r)) {
+        ++ev_.subnormal_fp_ops;
+      }
+      return Value::make_f32(r);
+    }
+    const double ad = a.as_double();
+    const double bd = b.as_double();
+    const double r = flush64(apply_bin<double>(op, ad, bd));
+    if (is_subnormal(ad) || is_subnormal(bd) || is_subnormal(r)) {
+      ++ev_.subnormal_fp_ops;
+    }
+    return Value::make_f64(r);
+  }
+
+  static bool is_subnormal(double v) noexcept {
+    return v != 0.0 && std::fpclassify(v) == FP_SUBNORMAL;
+  }
+  static bool is_subnormal(float v) noexcept {
+    return v != 0.0f && std::fpclassify(v) == FP_SUBNORMAL;
+  }
+
+  bool eval_bool(const ast::BoolExpr& b) {
+    const double lhs = read_scalar(b.lhs).as_double();
+    const double rhs = eval(*b.rhs).as_double();
+    ++ev_.branches;
+    switch (b.op) {
+      case ast::BoolOp::Lt: return lhs < rhs;
+      case ast::BoolOp::Gt: return lhs > rhs;
+      case ast::BoolOp::Eq: return lhs == rhs;
+      case ast::BoolOp::Ne: return lhs != rhs;
+      case ast::BoolOp::Ge: return lhs >= rhs;
+      case ast::BoolOp::Le: return lhs <= rhs;
+    }
+    return false;
+  }
+
+  // -- assignment ------------------------------------------------------------------------
+  template <typename T>
+  [[nodiscard]] static T combine(AssignOp op, T old_value, T rhs) noexcept {
+    switch (op) {
+      case AssignOp::Assign: return rhs;
+      case AssignOp::AddAssign: return old_value + rhs;
+      case AssignOp::SubAssign: return old_value - rhs;
+      case AssignOp::MulAssign: return old_value * rhs;
+      case AssignOp::DivAssign: return old_value / rhs;
+    }
+    return rhs;
+  }
+
+  /// `target op= rhs` with C++ compound-assignment typing: the computation
+  /// runs in float only when both the target and the rhs expression are
+  /// float; otherwise in double with a narrowing store for float targets.
+  [[nodiscard]] float combine_f32(AssignOp op, float old_value, Value rhs) const noexcept {
+    if (rhs.tag == Value::Tag::F32) {
+      return flush32(combine<float>(op, old_value, rhs.f));
+    }
+    return flush32(static_cast<float>(
+        combine<double>(op, static_cast<double>(old_value), rhs.as_double())));
+  }
+
+  void exec_assign(const Stmt& s) {
+    const auto& decl = prog_.var(s.target.var);
+    if (s.target.is_array_element()) {
+      const std::size_t i = eval_index(*s.target.index, decl.array_size);
+      auto& storage = array_storage(s.target.var);
+      const Value rhs = eval(*s.value);
+      double result;
+      if (decl.width == FpWidth::F32) {
+        const float old_value =
+            s.assign_op == AssignOp::Assign ? 0.0f : static_cast<float>(storage[i]);
+        result = static_cast<double>(combine_f32(s.assign_op, old_value, rhs));
+      } else {
+        const double old_value = s.assign_op == AssignOp::Assign ? 0.0 : storage[i];
+        result = flush64(combine<double>(s.assign_op, old_value, rhs.as_double()));
+      }
+      ++ev_.array_stores;
+      storage[i] = result;
+      return;
+    }
+    if (decl.kind == VarKind::IntScalar) {
+      write_scalar(s.target.var, Value::make_int(eval(*s.value).as_int()));
+      return;
+    }
+    const Value rhs = eval(*s.value);
+    if (decl.width == FpWidth::F32) {
+      const float old_value = s.assign_op == AssignOp::Assign
+                                  ? 0.0f
+                                  : read_scalar(s.target.var).f;
+      write_scalar(s.target.var,
+                   Value::make_f32(combine_f32(s.assign_op, old_value, rhs)));
+    } else {
+      const double old_value = s.assign_op == AssignOp::Assign
+                                   ? 0.0
+                                   : read_scalar(s.target.var).as_double();
+      write_scalar(s.target.var, Value::make_f64(flush64(combine<double>(
+                                     s.assign_op, old_value, rhs.as_double()))));
+    }
+  }
+
+  // -- statements -------------------------------------------------------------------------
+  void exec_block(const Block& block) {
+    for (const auto& s : block.stmts) exec_stmt(*s);
+  }
+
+  void exec_stmt(const Stmt& s) {
+    step();
+    if (in_critical_) ++ev_.critical_stmts;
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        exec_assign(s);
+        break;
+      case Stmt::Kind::Decl: {
+        const auto& decl = prog_.var(s.target.var);
+        const double init = eval(*s.value).as_double();
+        const Value v = decl.width == FpWidth::F32
+                            ? Value::make_f32(flush32(static_cast<float>(init)))
+                            : Value::make_f64(flush64(init));
+        make_frame_local(s.target.var, v);
+        ++ev_.scalar_stores;
+        break;
+      }
+      case Stmt::Kind::If:
+        if (eval_bool(s.cond)) exec_block(s.body);
+        break;
+      case Stmt::Kind::For:
+        exec_for(s);
+        break;
+      case Stmt::Kind::OmpParallel:
+        exec_parallel(s);
+        break;
+      case Stmt::Kind::OmpCritical: {
+        ++ev_.critical_entries;
+        const bool saved = in_critical_;
+        in_critical_ = true;
+        exec_block(s.body);
+        in_critical_ = saved;
+        break;
+      }
+    }
+  }
+
+  void exec_for(const Stmt& s) {
+    const std::int64_t n = eval(*s.loop_bound).as_int();
+    std::int64_t begin = 0, end = n;
+    if (s.omp_for && frame_ != nullptr) {
+      ++ev_.omp_for_loops;
+      const IterRange r = static_chunk(n, frame_->team_size, frame_->tid);
+      begin = r.begin;
+      end = r.end;
+    }
+    for (std::int64_t i = begin; i < end; ++i) {
+      step();
+      ++ev_.loop_iterations;
+      ++ev_.branches;  // loop condition check
+      make_frame_local(s.loop_var, Value::make_int(i));
+      exec_block(s.body);
+    }
+    if (s.omp_for && frame_ != nullptr) {
+      ++ev_.barriers;  // this thread arriving at the work-shared loop barrier
+    }
+  }
+
+  void exec_parallel(const Stmt& s) {
+    OMPFUZZ_CHECK(frame_ == nullptr, "nested parallel regions are not supported");
+    ++ev_.parallel_regions;
+    const int team = opt_.num_threads_override > 0 ? opt_.num_threads_override
+                                                   : s.clauses.num_threads;
+
+    const VarId comp = prog_.comp();
+    const bool has_reduction = s.clauses.reduction.has_value();
+    std::vector<double> contributions;  // per-thread reduction contributions
+
+    Frame frame;
+    frame.is_private.assign(prog_.var_count(), 0);
+    frame.locals.assign(prog_.var_count(), Value{});
+    frame.team_size = team;
+
+    for (int tid = 0; tid < team; ++tid) {
+      ++ev_.thread_starts;
+      // Rebuild the thread's private environment.
+      std::fill(frame.is_private.begin(), frame.is_private.end(), 0);
+      for (VarId v : s.clauses.privates) {
+        frame.is_private[v] = 1;
+        const auto& d = prog_.var(v);
+        frame.locals[v] = d.kind == VarKind::IntScalar ? Value::make_int(0)
+                                                       : Value::zero_of(d.width);
+      }
+      for (VarId v : s.clauses.firstprivates) {
+        frame.is_private[v] = 1;
+        frame.locals[v] = globals_[v];
+      }
+      if (has_reduction) {
+        frame.is_private[comp] = 1;
+        frame.locals[comp] = Value::make_f64(
+            *s.clauses.reduction == ReductionOp::Sum ? 0.0 : 1.0);
+      }
+      frame.tid = tid;
+      frame_ = &frame;
+      exec_block(s.body);
+      frame_ = nullptr;
+      if (has_reduction) {
+        ++ev_.reduction_combines;
+        contributions.push_back(frame.locals[comp].as_double());
+      }
+    }
+    if (has_reduction) {
+      const bool is_sum = *s.clauses.reduction == ReductionOp::Sum;
+      const auto combine2 = [&](double a, double b) {
+        return flush64(is_sum ? a + b : a * b);
+      };
+      if (opt_.fp.reassociate_reductions) {
+        // Pairwise tree combine, as a vectorized reduction produces.
+        while (contributions.size() > 1) {
+          std::vector<double> next;
+          next.reserve((contributions.size() + 1) / 2);
+          for (std::size_t k = 0; k + 1 < contributions.size(); k += 2) {
+            next.push_back(combine2(contributions[k], contributions[k + 1]));
+          }
+          if (contributions.size() % 2 == 1) next.push_back(contributions.back());
+          contributions.swap(next);
+        }
+      } else {
+        // Thread-order left fold.
+        for (std::size_t k = 1; k < contributions.size(); ++k) {
+          contributions[0] = combine2(contributions[0], contributions[k]);
+        }
+        contributions.resize(1);
+      }
+      const double total = contributions.empty()
+                               ? (is_sum ? 0.0 : 1.0)
+                               : contributions[0];
+      globals_[comp] =
+          Value::make_f64(combine2(globals_[comp].as_double(), total));
+    }
+    // Implicit join barrier: one arrival per team member (ev_.barriers counts
+    // arrivals so the cost models can charge per-thread synchronization).
+    ev_.barriers += static_cast<std::uint64_t>(team);
+  }
+
+  const Program& prog_;
+  const InterpOptions& opt_;
+  std::vector<Value> globals_;
+  std::vector<std::vector<double>> arrays_;
+  Frame* frame_ = nullptr;
+  bool in_critical_ = false;
+  EventCounts ev_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+IterRange static_chunk(std::int64_t n, int num_threads, int tid) noexcept {
+  if (n <= 0 || num_threads <= 0 || tid < 0 || tid >= num_threads) return {0, 0};
+  const std::int64_t base = n / num_threads;
+  const std::int64_t extra = n % num_threads;
+  const std::int64_t begin =
+      tid < extra ? tid * (base + 1) : extra * (base + 1) + (tid - extra) * base;
+  const std::int64_t len = base + (tid < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+InterpResult execute(const ast::Program& program, const fp::InputSet& input,
+                     const InterpOptions& options) {
+  Engine engine(program, input, options);
+  return engine.run();
+}
+
+}  // namespace ompfuzz::interp

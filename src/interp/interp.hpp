@@ -1,0 +1,64 @@
+// Deterministic interpreter for generated test programs.
+//
+// Executes a Program on an InputSet with full OpenMP semantics:
+//
+//   * parallel regions fork a team of `num_threads` logical threads, each
+//     with private / firstprivate copies per its clauses; threads execute
+//     sequentially in thread-id order, which is a legal schedule for the
+//     data-race-free programs the generator produces (shared state is only
+//     touched through reductions, criticals, and disjoint array partitions);
+//   * "#pragma omp for" loops distribute iterations with the static schedule
+//     (src/runtime/sched.hpp semantics inlined here as contiguous chunks);
+//   * reductions keep a per-thread private comp initialized to the operator
+//     identity and combine in thread order at region exit;
+//   * critical sections count acquisitions for the contention cost models;
+//   * arithmetic follows C++ typing exactly (see emit/codegen.hpp), so an
+//     emitted binary compiled on the same machine produces bit-identical
+//     output — an integration test enforces this.
+//
+// The interpreter also records the EventCounts stream and honors a step
+// budget so pathological trip-count combinations cannot stall a campaign.
+#pragma once
+
+#include <cstdint>
+
+#include "ast/program.hpp"
+#include "fp/input_gen.hpp"
+#include "interp/events.hpp"
+#include "interp/value.hpp"
+
+namespace ompfuzz::interp {
+
+struct InterpOptions {
+  FpSemantics fp;
+  /// 0 keeps each region's own num_threads clause; otherwise overrides it.
+  int num_threads_override = 0;
+  /// Hard budget on executed statements + loop iterations.
+  std::uint64_t max_steps = 50'000'000;
+};
+
+struct InterpResult {
+  bool ok = false;            ///< completed within budget
+  bool over_budget = false;   ///< stopped by the step budget
+  double comp = 0.0;          ///< final comp value (valid when ok)
+  EventCounts events;
+  std::uint64_t steps = 0;
+};
+
+/// Executes the program. Throws InterpError only for ill-formed programs
+/// (framework bugs); budget exhaustion is reported via the result.
+[[nodiscard]] InterpResult execute(const ast::Program& program,
+                                   const fp::InputSet& input,
+                                   const InterpOptions& options = {});
+
+/// Contiguous static-schedule chunk of `n` iterations for thread `tid` of
+/// `num_threads`: the first `n % T` threads get one extra iteration.
+/// Returns {begin, end}.
+struct IterRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+[[nodiscard]] IterRange static_chunk(std::int64_t n, int num_threads,
+                                     int tid) noexcept;
+
+}  // namespace ompfuzz::interp

@@ -1,0 +1,46 @@
+// Synthetic `perf report` call-stack attribution (paper Figures 6 and 7).
+//
+// The paper explains its case studies by profiling the outlier binaries with
+// Linux perf and comparing where time is attributed: Intel's libiomp5 waits
+// in __kmp_wait_template, GCC's libgomp in do_wait/do_spin, Clang's libomp
+// launches through __kmp_invoke_microtask with heavy malloc traffic. This
+// module reconstructs those reports from the simulated time breakdown: each
+// cost component maps onto the implementation's characteristic frames, with
+// overhead percentages derived from the component's share of total time.
+//
+// Two render modes mirror perf's:
+//   self mode      (Fig. 6)  — flat self-overhead per symbol;
+//   children mode  (Fig. 7)  — hierarchical, parents accumulate children
+//                              (columns sum to more than 100%).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+#include "runtime/impl_profile.hpp"
+
+namespace ompfuzz::prof {
+
+struct StackEntry {
+  double overhead_pct = 0.0;   ///< self overhead (self mode)
+  double children_pct = 0.0;   ///< subtree overhead (children mode)
+  std::string command;         ///< process name, e.g. "_test_2"
+  std::string shared_object;   ///< e.g. "libiomp5.so"
+  std::string symbol;          ///< e.g. "__kmp_wait_template<...>"
+};
+
+struct StackProfile {
+  std::string impl;
+  std::vector<StackEntry> entries;  ///< sorted by overhead, descending
+
+  /// Renders in `perf report` style; children mode adds the Children column.
+  [[nodiscard]] std::string render(bool children_mode) const;
+};
+
+/// Builds the profile for one run of one implementation.
+[[nodiscard]] StackProfile build_stack_profile(const rt::TimeBreakdown& time,
+                                               const rt::OmpImplProfile& profile,
+                                               const std::string& command);
+
+}  // namespace ompfuzz::prof

@@ -1,0 +1,107 @@
+#include "profiler/thread_state.hpp"
+
+#include "runtime/cost_model.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
+
+namespace ompfuzz::prof {
+
+const char* to_string(ThreadWaitState s) noexcept {
+  switch (s) {
+    case ThreadWaitState::WaitSpin: return "__kmp_wait_4";
+    case ThreadWaitState::TestLock: return "__kmp_eq_4";
+    case ThreadWaitState::Yielding: return "sched_yield";
+  }
+  return "?";
+}
+
+HangReport analyze_hang(const rt::OmpImplProfile& profile, int threads,
+                        std::uint64_t hang_seed, const std::string& test_file) {
+  OMPFUZZ_CHECK(threads >= 1, "hang analysis needs >= 1 thread");
+  HangReport report;
+  report.impl = profile.name;
+
+  for (int tid = 0; tid < threads; ++tid) {
+    ThreadSnapshot snap;
+    snap.tid = tid;
+    // Deterministic per-thread state: roughly half spin-wait, the rest split
+    // between testing the lock word and yielding — the three groups of Fig 9.
+    const double u = rt::hash_uniform(
+        hash_combine(hang_seed, static_cast<std::uint64_t>(tid) + 0x7712));
+    if (u < 0.50) {
+      snap.state = ThreadWaitState::WaitSpin;
+    } else if (u < 0.78) {
+      snap.state = ThreadWaitState::TestLock;
+    } else {
+      snap.state = ThreadWaitState::Yielding;
+    }
+
+    // Innermost-first backtrace mirroring the paper's Fig. 8.
+    if (snap.state == ThreadWaitState::Yielding) {
+      snap.backtrace.push_back("sched_yield () from /lib64/libc.so.6");
+    }
+    snap.backtrace.push_back(
+        std::string(to_string(snap.state == ThreadWaitState::Yielding
+                                  ? ThreadWaitState::WaitSpin
+                                  : snap.state)) +
+        " (...) at ../../src/kmp_dispatch.cpp:3118");
+    snap.backtrace.push_back(
+        "_INTERNAL77814fad::__kmp_acquire_queuing_lock_timed_template<false> "
+        "(...) at ../../src/kmp_lock.cpp:1208");
+    snap.backtrace.push_back(
+        "__kmp_acquire_queuing_lock (lck=0x1, gtid=" + std::to_string(tid) +
+        ") at ../../src/kmp_lock.cpp:1254");
+    snap.backtrace.push_back(
+        "__kmpc_critical_with_hint (...) at ../../src/kmp_csupport.cpp:1610");
+    snap.backtrace.push_back(".omp_outlined._debug__ (...) at " + test_file);
+    snap.backtrace.push_back(".omp_outlined.(void) const (...) at " + test_file);
+    report.threads.push_back(std::move(snap));
+  }
+  return report;
+}
+
+std::vector<int> HangReport::group_sizes() const {
+  std::vector<int> sizes(3, 0);
+  for (const auto& t : threads) sizes[static_cast<int>(t.state)]++;
+  return sizes;
+}
+
+std::string HangReport::render_backtrace(int tid) const {
+  OMPFUZZ_CHECK(tid >= 0 && tid < static_cast<int>(threads.size()),
+                "thread id out of range");
+  const ThreadSnapshot& t = threads[tid];
+  std::string out = "Thread " + std::to_string(tid + 1) +
+                    " received signal SIGINT, Interrupt.\n(gdb) bt\n";
+  int frame = 0;
+  for (const auto& f : t.backtrace) {
+    out += "#" + std::to_string(frame++) + "  " + f + "\n";
+  }
+  return out;
+}
+
+std::string HangReport::render_groups() const {
+  const auto sizes = group_sizes();
+  std::string out;
+  out += "All " + std::to_string(threads.size()) +
+         " threads stuck in __kmpc_critical_with_hint -> "
+         "__kmp_acquire_queuing_lock:\n";
+  static constexpr ThreadWaitState kStates[] = {
+      ThreadWaitState::WaitSpin, ThreadWaitState::TestLock,
+      ThreadWaitState::Yielding};
+  for (int g = 0; g < 3; ++g) {
+    out += "  Group " + std::to_string(g + 1) + " (" +
+           std::to_string(sizes[g]) + " threads): " + to_string(kStates[g]);
+    if (kStates[g] == ThreadWaitState::Yielding) {
+      out += " (called by __kmp_wait_4)";
+    }
+    out += "\n    threads:";
+    for (const auto& t : threads) {
+      if (t.state == kStates[g]) out += " " + std::to_string(t.tid);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ompfuzz::prof

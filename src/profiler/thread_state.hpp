@@ -1,0 +1,54 @@
+// Hang triage: per-thread state reconstruction (paper Figures 8 and 9).
+//
+// For the Intel hang of Case Study 3, the paper attaches gdb, dumps all 32
+// thread backtraces, and finds them grouped into three states under
+// __kmpc_critical_with_hint -> __kmp_acquire_queuing_lock:
+//   group 1: spinning in __kmp_wait_4,
+//   group 2: testing the lock word in __kmp_eq_4,
+//   group 3: yielding via sched_yield (called from __kmp_wait_4).
+// ThreadStateAnalyzer reconstructs the same dump from the queuing-lock model:
+// one thread nominally holds the lock (stalled), the rest distribute across
+// the three waiting states deterministically by thread id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/impl_profile.hpp"
+
+namespace ompfuzz::prof {
+
+enum class ThreadWaitState : std::uint8_t {
+  WaitSpin,    ///< __kmp_wait_4 spin loop
+  TestLock,    ///< __kmp_eq_4 lock-word test
+  Yielding,    ///< sched_yield from the wait loop
+};
+
+[[nodiscard]] const char* to_string(ThreadWaitState s) noexcept;
+
+struct ThreadSnapshot {
+  int tid = 0;
+  ThreadWaitState state = ThreadWaitState::WaitSpin;
+  std::vector<std::string> backtrace;  ///< innermost frame first
+};
+
+struct HangReport {
+  std::string impl;
+  std::vector<ThreadSnapshot> threads;
+
+  /// Threads per state, in ThreadWaitState order.
+  [[nodiscard]] std::vector<int> group_sizes() const;
+  /// gdb-style dump of one thread (Fig. 8).
+  [[nodiscard]] std::string render_backtrace(int tid) const;
+  /// Grouped summary (Fig. 9).
+  [[nodiscard]] std::string render_groups() const;
+};
+
+/// Reconstructs the thread states of a hung run. `hang_seed` makes the group
+/// split deterministic per run.
+[[nodiscard]] HangReport analyze_hang(const rt::OmpImplProfile& profile,
+                                      int threads, std::uint64_t hang_seed,
+                                      const std::string& test_file);
+
+}  // namespace ompfuzz::prof

@@ -1,0 +1,78 @@
+#include "runtime/cost_model.hpp"
+
+#include "support/rng.hpp"
+
+namespace ompfuzz::rt {
+
+double hash_uniform(std::uint64_t h) noexcept {
+  // One extra mixing round, then take the top 53 bits as a mantissa.
+  const std::uint64_t mixed = hash_combine(h, 0x5bf0'3635'dead'beefULL);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+TimeBreakdown simulate_time(const interp::EventCounts& events,
+                            const ast::ProgramFeatures& features,
+                            int threads, const OmpImplProfile& profile,
+                            std::uint64_t noise_seed) {
+  const CostModel& c = profile.cost;
+  TimeBreakdown t;
+
+  // Vectorization accelerates the fp lanes and the contiguous array traffic
+  // that feeds them; scalar bookkeeping and branches stay scalar. Mixed
+  // float/double programs pay the implementation's SLP penalty.
+  double vec_factor = c.vectorization_factor;
+  if (features.num_float_vars > 0 && features.num_double_vars > 0) {
+    vec_factor *= c.mixed_width_vector_penalty;
+  }
+  const double vec_ns =
+      (static_cast<double>(events.fp_add_sub) * c.ns_fp_add +
+       static_cast<double>(events.fp_mul) * c.ns_fp_mul +
+       static_cast<double>(events.fp_div) * c.ns_fp_div +
+       static_cast<double>(events.array_loads) * c.ns_array_load +
+       static_cast<double>(events.array_stores) * c.ns_array_store) *
+      vec_factor;
+  t.compute_ns = vec_ns +
+                 static_cast<double>(events.subnormal_fp_ops) * c.ns_subnormal_assist +
+                 static_cast<double>(events.math_calls) * c.ns_math_call +
+                 static_cast<double>(events.int_ops) * c.ns_int_op +
+                 static_cast<double>(events.scalar_loads) * c.ns_scalar_load +
+                 static_cast<double>(events.scalar_stores) * c.ns_scalar_store +
+                 static_cast<double>(events.branches) * c.ns_branch;
+
+  // Region launches: repeated re-launching (a region inside a serial loop,
+  // Case Study 2) leaves the runtime's hot path and pays the relaunch
+  // multiplier on every entry beyond the threshold.
+  const auto regions = static_cast<double>(events.parallel_regions);
+  double launch = regions * c.ns_region_launch;
+  if (events.parallel_regions > static_cast<std::uint64_t>(c.relaunch_threshold)) {
+    const double cold =
+        regions - static_cast<double>(c.relaunch_threshold);
+    launch += cold * c.ns_region_launch * (c.relaunch_multiplier - 1.0);
+  }
+  t.launch_ns = launch;
+  t.thread_ns = static_cast<double>(events.thread_starts) * c.ns_thread_start;
+  t.barrier_ns = static_cast<double>(events.barriers) * c.ns_barrier_arrival;
+
+  if (events.critical_entries > 0) {
+    // Average lock hold time: statements executed while holding the lock,
+    // priced at a representative per-statement cost.
+    constexpr double kNsPerCriticalStmt = 14.0;
+    const double hold_ns = kNsPerCriticalStmt *
+                           static_cast<double>(events.critical_stmts) /
+                           static_cast<double>(events.critical_entries);
+    const double per_entry =
+        uncontended_ns(profile.critical_lock) +
+        wait_ns_per_entry(profile.critical_lock, threads, hold_ns);
+    t.critical_ns = static_cast<double>(events.critical_entries) * per_entry;
+  }
+  t.reduction_ns =
+      static_cast<double>(events.reduction_combines) * c.ns_reduction_combine;
+
+  // Deterministic run-to-run variance in [1 - f, 1 + f].
+  const double u = hash_uniform(noise_seed);
+  t.noise_factor = 1.0 + c.noise_fraction * (2.0 * u - 1.0);
+  t.time_scale = c.time_scale;
+  return t;
+}
+
+}  // namespace ompfuzz::rt

@@ -1,0 +1,55 @@
+// Conversion of interpreter event streams into simulated execution times.
+//
+// The simulated time of a run is the implementation-weighted cost of its
+// events plus the implementation's runtime-system overheads. All
+// implementations price the same event stream (unless their FP semantics
+// already diverged control flow), so differences come from the overhead
+// terms — exactly the effects the paper's case studies trace:
+//   launch_ns    — parallel-region fork cost; Clang's relaunch_multiplier
+//                  makes regions-inside-serial-loops pathological (Case 2);
+//   critical_ns  — lock algorithm contention (Case 1, Intel's queuing lock);
+//   barrier_ns   — per-arrival synchronization cost.
+// A small deterministic noise factor models run-to-run variance so the
+// alpha-comparability analysis faces realistic data.
+#pragma once
+
+#include <cstdint>
+
+#include "ast/program.hpp"
+#include "interp/events.hpp"
+#include "runtime/impl_profile.hpp"
+
+namespace ompfuzz::rt {
+
+struct TimeBreakdown {
+  double compute_ns = 0.0;    ///< arithmetic + memory + branches
+  double launch_ns = 0.0;     ///< region forks (incl. relaunch penalty)
+  double thread_ns = 0.0;     ///< per-thread start costs
+  double barrier_ns = 0.0;    ///< barrier arrivals
+  double critical_ns = 0.0;   ///< critical entries incl. contention
+  double reduction_ns = 0.0;  ///< reduction combines
+  double noise_factor = 1.0;  ///< applied multiplicatively to the total
+
+  double time_scale = 1.0;    ///< CostModel::time_scale, applied to the total
+
+  [[nodiscard]] double overhead_ns() const noexcept {
+    return launch_ns + thread_ns + barrier_ns + critical_ns + reduction_ns;
+  }
+  [[nodiscard]] double total_ns() const noexcept {
+    return (compute_ns + overhead_ns()) * noise_factor * time_scale;
+  }
+  [[nodiscard]] double total_us() const noexcept { return total_ns() / 1000.0; }
+};
+
+/// Prices one run. `noise_seed` must identify (program, input, impl) so the
+/// simulated variance is deterministic per run.
+[[nodiscard]] TimeBreakdown simulate_time(const interp::EventCounts& events,
+                                          const ast::ProgramFeatures& features,
+                                          int threads,
+                                          const OmpImplProfile& profile,
+                                          std::uint64_t noise_seed);
+
+/// Uniform draw in [0,1) from a hash (shared by fault model and noise).
+[[nodiscard]] double hash_uniform(std::uint64_t h) noexcept;
+
+}  // namespace ompfuzz::rt

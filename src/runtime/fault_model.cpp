@@ -1,0 +1,37 @@
+#include "runtime/fault_model.hpp"
+
+#include "runtime/cost_model.hpp"
+#include "support/rng.hpp"
+
+namespace ompfuzz::rt {
+
+FaultDecision decide_fault(const ast::ProgramFeatures& features, int threads,
+                           const OmpImplProfile& profile,
+                           std::uint64_t run_hash) {
+  const FaultModel& f = profile.fault;
+
+  // Hang hazard: queuing-lock pathology needs contended criticals in a wide
+  // team (Case Study 3's trigger pattern).
+  if (f.hang_probability > 0.0 && features.has_critical_in_parallel_loop &&
+      threads >= f.hang_min_threads) {
+    const double u = hash_uniform(hash_combine(run_hash, 0x4a46'0001));
+    if (u < f.hang_probability) {
+      return {FaultKind::Hang,
+              "threads blocked acquiring the critical-section queuing lock"};
+    }
+  }
+
+  // Crash hazard: deep nesting plus libm calls (miscompilation proxy).
+  if (f.crash_probability > 0.0 &&
+      features.max_nesting_depth >= f.crash_min_nesting &&
+      features.num_math_calls > 0) {
+    const double u = hash_uniform(hash_combine(run_hash, 0xc4a5'0002));
+    if (u < f.crash_probability) {
+      return {FaultKind::Crash,
+              "segmentation fault in deeply nested generated kernel"};
+    }
+  }
+  return {};
+}
+
+}  // namespace ompfuzz::rt

@@ -1,0 +1,36 @@
+// Deterministic fault injection reproducing the paper's correctness outliers.
+//
+// The paper observed 4 correctness outliers in 1,800 runs (0.22%): three GCC
+// crashes and one Intel hang, the latter diagnosed as 32 threads stuck in
+// __kmp_acquire_queuing_lock under a critical section (Case Study 3). The
+// fault models condition those hazards on the same structural triggers —
+// a hang needs a critical inside a wide work-shared loop; a crash needs deep
+// nesting with libm calls — and draw deterministically from a hash of
+// (program fingerprint, input, implementation), so campaigns are exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ast/program.hpp"
+#include "runtime/impl_profile.hpp"
+
+namespace ompfuzz::rt {
+
+enum class FaultKind : std::uint8_t { None, Crash, Hang };
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::None;
+  std::string detail;  ///< human-readable trigger description
+};
+
+/// Decides whether this (program, input, implementation) run faults.
+/// `run_hash` must combine the program fingerprint, the input hash and the
+/// implementation name.
+[[nodiscard]] FaultDecision decide_fault(const ast::ProgramFeatures& features,
+                                         int threads,
+                                         const OmpImplProfile& profile,
+                                         std::uint64_t run_hash);
+
+}  // namespace ompfuzz::rt

@@ -1,0 +1,106 @@
+#include "runtime/lock_models.hpp"
+
+#include <thread>
+
+namespace ompfuzz::rt {
+
+const char* to_string(LockAlgorithm a) noexcept {
+  switch (a) {
+    case LockAlgorithm::TestAndSet: return "test-and-set";
+    case LockAlgorithm::Ticket: return "ticket";
+    case LockAlgorithm::Queuing: return "queuing";
+    case LockAlgorithm::FutexMutex: return "futex-mutex";
+  }
+  return "?";
+}
+
+double wait_ns_per_entry(LockAlgorithm algorithm, int threads,
+                         double hold_ns) noexcept {
+  if (threads <= 1) return 0.0;
+  const double waiters = static_cast<double>(threads - 1);
+  switch (algorithm) {
+    case LockAlgorithm::TestAndSet:
+      // Every waiter hammers the same line; cache-line ping-pong grows with
+      // the square of the waiter count on top of the serialized hold time.
+      return waiters * hold_ns * 0.5 + waiters * waiters * 7.5;
+    case LockAlgorithm::Ticket:
+      // Fair FIFO: each entry waits on average half the queue ahead of it.
+      return waiters * 0.5 * (hold_ns + 40.0);
+    case LockAlgorithm::Queuing:
+      // Local spinning avoids line ping-pong, but the queue handoff installs
+      // a fixed latency per waiting thread and queue-maintenance bookkeeping
+      // per entry; at high hold times the serialized queue dominates.
+      return waiters * 0.6 * hold_ns + waiters * 220.0 + 350.0;
+    case LockAlgorithm::FutexMutex:
+      // Short spin then sleep: contention adds wake latency amortized over
+      // the waiters that actually sleep.
+      return waiters * 0.5 * hold_ns + waiters * 60.0;
+  }
+  return 0.0;
+}
+
+double uncontended_ns(LockAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case LockAlgorithm::TestAndSet: return 22.0;
+    case LockAlgorithm::Ticket: return 26.0;
+    case LockAlgorithm::Queuing: return 95.0;  // queue node setup every entry
+    case LockAlgorithm::FutexMutex: return 30.0;
+  }
+  return 0.0;
+}
+
+void SpinLock::lock() noexcept {
+  int backoff = 1;
+  while (true) {
+    if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    while (locked_.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < backoff; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+      if (backoff < 1024) backoff *= 2;
+    }
+  }
+}
+
+void SpinLock::unlock() noexcept {
+  locked_.store(false, std::memory_order_release);
+}
+
+void TicketLock::lock() noexcept {
+  const std::uint32_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  while (serving_.load(std::memory_order_acquire) != ticket) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void TicketLock::unlock() noexcept {
+  serving_.fetch_add(1, std::memory_order_release);
+}
+
+QueueLock::QueueLock() noexcept {
+  // The first acquirer of ticket 0 may proceed immediately.
+  slots_[0].may_enter.store(true, std::memory_order_relaxed);
+}
+
+void QueueLock::lock() noexcept {
+  const std::uint64_t ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % kMaxThreads];
+  while (!slot.may_enter.load(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+  slot.may_enter.store(false, std::memory_order_relaxed);  // consume the grant
+  serving_index_ = ticket;
+}
+
+void QueueLock::unlock() noexcept {
+  Slot& nextSlot = slots_[(serving_index_ + 1) % kMaxThreads];
+  nextSlot.may_enter.store(true, std::memory_order_release);
+}
+
+}  // namespace ompfuzz::rt

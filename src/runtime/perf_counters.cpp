@@ -1,0 +1,77 @@
+#include "runtime/perf_counters.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace ompfuzz::rt {
+
+namespace {
+
+std::uint64_t jitter(double value, std::uint64_t seed, std::uint64_t salt) {
+  if (value <= 0.0) return 0;
+  const double u = hash_uniform(hash_combine(seed, salt));
+  const double scaled = value * (0.92 + 0.16 * u);  // +/- 8%
+  return static_cast<std::uint64_t>(scaled);
+}
+
+}  // namespace
+
+PerfCounters synthesize_counters(const interp::EventCounts& events,
+                                 const TimeBreakdown& time, int threads,
+                                 const OmpImplProfile& profile,
+                                 std::uint64_t noise_seed) {
+  const WaitPolicy& w = profile.wait;
+  PerfCounters pc;
+
+  // Time the team spends waiting on the runtime (launches, barriers, locks),
+  // split into active spinning and passive sleeping by the wait policy.
+  // time_scale is applied so counter magnitudes track the simulated clock.
+  const double wait_ns = time.overhead_ns() * time.time_scale;
+  const double compute_ns = time.compute_ns * time.time_scale;
+  const double spin_ns = wait_ns * w.active_fraction;
+  const double sleep_ns = wait_ns - spin_ns;
+
+  const double user_instr = static_cast<double>(events.total_ops()) * 1.12;
+  const double runtime_instr =
+      static_cast<double>(events.parallel_regions) * 2400.0 +
+      static_cast<double>(events.thread_starts) * 650.0 +
+      static_cast<double>(events.critical_entries) * 160.0;
+  const double spin_instr = spin_ns * w.spin_instr_per_ns;
+  pc.instructions = jitter(user_instr + runtime_instr + spin_instr, noise_seed, 1);
+
+  // Cycles accumulate on every core that is busy: compute plus active spin.
+  pc.cycles = jitter((compute_ns + spin_ns) * kSimGhz, noise_seed, 2);
+
+  const double user_branches = static_cast<double>(events.branches) * 1.05;
+  const double spin_branches = spin_ns * 0.24;  // ~1 branch per 4ns of spin
+  pc.branches = jitter(user_branches + spin_branches, noise_seed, 3);
+
+  const double misses =
+      (user_branches + spin_branches) * w.branch_miss_rate +
+      static_cast<double>(events.critical_entries) * 1.8;
+  pc.branch_misses = jitter(misses, noise_seed, 4);
+
+  // Context switches: sleeping waiters are descheduled; per-launch thread
+  // wake-ups dominate for runtimes that park their pool between regions.
+  const double cs = w.base_ctx_switches +
+                    static_cast<double>(events.parallel_regions) *
+                        static_cast<double>(threads) * w.cs_per_thread_launch +
+                    sleep_ns / 80'000.0;  // one switch per 80us slept
+  pc.context_switches = jitter(cs, noise_seed, 5);
+
+  const double migrations =
+      w.migrations_per_thread * static_cast<double>(threads) *
+      (events.parallel_regions > 0 ? 1.0 : 0.1);
+  pc.cpu_migrations = jitter(migrations, noise_seed, 6);
+
+  const double faults = w.base_page_faults +
+                        static_cast<double>(events.parallel_regions) *
+                            w.pages_per_region +
+                        static_cast<double>(events.array_stores) / 4096.0;
+  pc.page_faults = jitter(faults, noise_seed, 7);
+
+  return pc;
+}
+
+}  // namespace ompfuzz::rt

@@ -1,0 +1,43 @@
+// Synthetic perf-style hardware/software counters (paper Tables II and III).
+//
+// The paper explains its case-study outliers with `perf stat` counters. The
+// synthesizer reconstructs the same seven counters from the interpreter's
+// event stream, the priced time breakdown, and the implementation's wait
+// policy. The key qualitative relationships it reproduces:
+//   * spinning runtimes (GCC's do_wait) burn cycles and instructions while
+//     waiting — more cycles than a sleeping runtime even when faster in wall
+//     time (Table II);
+//   * per-launch allocation (Clang) multiplies page faults and context
+//     switches with the region-launch count (Table III);
+//   * contention inflates branch misses.
+#pragma once
+
+#include <cstdint>
+
+#include "interp/events.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/impl_profile.hpp"
+
+namespace ompfuzz::rt {
+
+struct PerfCounters {
+  std::uint64_t context_switches = 0;
+  std::uint64_t cpu_migrations = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+};
+
+/// Simulated core clock used to convert nanoseconds to cycles (the paper's
+/// testbed Xeon E5-2695 runs at 2.1 GHz).
+inline constexpr double kSimGhz = 2.1;
+
+[[nodiscard]] PerfCounters synthesize_counters(const interp::EventCounts& events,
+                                               const TimeBreakdown& time,
+                                               int threads,
+                                               const OmpImplProfile& profile,
+                                               std::uint64_t noise_seed);
+
+}  // namespace ompfuzz::rt

@@ -1,0 +1,90 @@
+#include "runtime/sched.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ompfuzz::rt {
+
+const char* to_string(ScheduleKind k) noexcept {
+  switch (k) {
+    case ScheduleKind::Static: return "static";
+    case ScheduleKind::StaticChunked: return "static-chunked";
+    case ScheduleKind::Dynamic: return "dynamic";
+    case ScheduleKind::Guided: return "guided";
+  }
+  return "?";
+}
+
+std::vector<Chunk> compute_schedule(ScheduleKind kind, std::int64_t n,
+                                    int threads, std::int64_t chunk) {
+  OMPFUZZ_CHECK(threads >= 1, "schedule needs >= 1 thread");
+  OMPFUZZ_CHECK(chunk >= 1, "schedule needs chunk >= 1");
+  std::vector<Chunk> out;
+  if (n <= 0) return out;
+
+  switch (kind) {
+    case ScheduleKind::Static: {
+      // Contiguous blocks; the first n % T threads get one extra iteration.
+      const std::int64_t base = n / threads;
+      const std::int64_t extra = n % threads;
+      std::int64_t begin = 0;
+      for (int t = 0; t < threads && begin < n; ++t) {
+        const std::int64_t len = base + (t < extra ? 1 : 0);
+        if (len == 0) continue;
+        out.push_back({begin, begin + len, t});
+        begin += len;
+      }
+      break;
+    }
+    case ScheduleKind::StaticChunked: {
+      std::int64_t begin = 0;
+      std::int64_t index = 0;
+      while (begin < n) {
+        const std::int64_t end = std::min(n, begin + chunk);
+        out.push_back({begin, end, static_cast<int>(index % threads)});
+        begin = end;
+        ++index;
+      }
+      break;
+    }
+    case ScheduleKind::Dynamic: {
+      // Deterministic canonical claim order: threads cycle 0,1,2,...
+      std::int64_t begin = 0;
+      std::int64_t claim = 0;
+      while (begin < n) {
+        const std::int64_t end = std::min(n, begin + chunk);
+        out.push_back({begin, end, static_cast<int>(claim % threads)});
+        begin = end;
+        ++claim;
+      }
+      break;
+    }
+    case ScheduleKind::Guided: {
+      std::int64_t begin = 0;
+      std::int64_t claim = 0;
+      while (begin < n) {
+        const std::int64_t remaining = n - begin;
+        const std::int64_t len =
+            std::max<std::int64_t>(chunk, remaining / threads);
+        const std::int64_t end = std::min(n, begin + len);
+        out.push_back({begin, end, static_cast<int>(claim % threads)});
+        begin = end;
+        ++claim;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::size_t claim_count(ScheduleKind kind, std::int64_t n, int threads,
+                        std::int64_t chunk) {
+  if (n <= 0) return 0;
+  if (kind == ScheduleKind::Static) {
+    return static_cast<std::size_t>(std::min<std::int64_t>(threads, n));
+  }
+  return compute_schedule(kind, n, threads, chunk).size();
+}
+
+}  // namespace ompfuzz::rt

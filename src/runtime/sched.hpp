@@ -1,0 +1,47 @@
+// OpenMP loop-schedule calculators.
+//
+// The interpreter's work-shared loops use the default static schedule
+// (contiguous chunks, interp::static_chunk). This module provides the full
+// family — static (chunked and unchunked), dynamic, and guided — as exact,
+// deterministic calculators, used by the schedule unit tests and by the
+// grammar-parameter ablation bench to measure how schedule choice shifts the
+// runtime-overhead profile of generated tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ompfuzz::rt {
+
+enum class ScheduleKind : std::uint8_t { Static, StaticChunked, Dynamic, Guided };
+
+[[nodiscard]] const char* to_string(ScheduleKind k) noexcept;
+
+/// One contiguous run of iterations assigned to a thread.
+struct Chunk {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;    ///< half-open
+  int thread = 0;
+
+  [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+};
+
+/// Computes the full chunk assignment for `n` iterations over `threads`
+/// threads. For Dynamic and Guided — whose real assignment is racy — the
+/// simulation is the canonical deterministic one: threads claim chunks in
+/// round-robin order, which preserves chunk sizes and count (the quantities
+/// the cost model consumes).
+///   Static        — one contiguous chunk per thread, remainder spread left;
+///   StaticChunked — size-`chunk` pieces dealt round-robin;
+///   Dynamic       — size-`chunk` pieces claimed in order;
+///   Guided        — each claim takes max(remaining / threads, chunk).
+[[nodiscard]] std::vector<Chunk> compute_schedule(ScheduleKind kind,
+                                                  std::int64_t n, int threads,
+                                                  std::int64_t chunk = 1);
+
+/// Number of scheduler interactions (chunk claims) — the dynamic-overhead
+/// driver: static costs one claim per thread, dynamic one per chunk.
+[[nodiscard]] std::size_t claim_count(ScheduleKind kind, std::int64_t n,
+                                      int threads, std::int64_t chunk = 1);
+
+}  // namespace ompfuzz::rt

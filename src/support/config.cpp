@@ -1,0 +1,204 @@
+#include "support/config.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_utils.hpp"
+
+namespace ompfuzz {
+
+namespace {
+
+/// Strips an unquoted trailing comment beginning with ';' or '#'.
+std::string_view strip_comment(std::string_view line) noexcept {
+  const std::size_t pos = line.find_first_of(";#");
+  return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::parse(const std::string& text) {
+  ConfigFile cfg;
+  std::string section;
+  int line_no = 0;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string_view line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw ConfigError("malformed section header at line " + std::to_string(line_no));
+      }
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw ConfigError("expected 'key = value' at line " + std::to_string(line_no));
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      throw ConfigError("empty key at line " + std::to_string(line_no));
+    }
+    cfg.set(section.empty() ? key : section + "." + key, value);
+  }
+  return cfg;
+}
+
+ConfigFile ConfigFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool ConfigFile::has(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+std::optional<std::string> ConfigFile::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigFile::get_or(const std::string& key,
+                               const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::int64_t ConfigFile::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc() || ptr != v->data() + v->size()) {
+    throw ConfigError("value of '" + key + "' is not an integer: " + *v);
+  }
+  return out;
+}
+
+double ConfigFile::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument(*v);
+    return out;
+  } catch (const std::exception&) {
+    throw ConfigError("value of '" + key + "' is not a number: " + *v);
+  }
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const std::string lower = to_lower(*v);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  throw ConfigError("value of '" + key + "' is not a boolean: " + *v);
+}
+
+void ConfigFile::set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+GeneratorConfig GeneratorConfig::from_config(const ConfigFile& file) {
+  GeneratorConfig g;
+  const auto geti = [&](const char* k, int d) {
+    return static_cast<int>(file.get_int(std::string("generator.") + k, d));
+  };
+  const auto getd = [&](const char* k, double d) {
+    return file.get_double(std::string("generator.") + k, d);
+  };
+  g.max_expression_size = geti("max_expression_size", g.max_expression_size);
+  g.max_nesting_levels = geti("max_nesting_levels", g.max_nesting_levels);
+  g.max_lines_in_block = geti("max_lines_in_block", g.max_lines_in_block);
+  g.array_size = geti("array_size", g.array_size);
+  g.max_same_level_blocks = geti("max_same_level_blocks", g.max_same_level_blocks);
+  g.math_func_allowed = file.get_bool("generator.math_func_allowed", g.math_func_allowed);
+  g.math_func_probability = getd("math_func_probability", g.math_func_probability);
+  g.input_samples_per_run = geti("input_samples_per_run", g.input_samples_per_run);
+  g.num_threads = geti("num_threads", g.num_threads);
+  g.max_loop_trip_count = geti("max_loop_trip_count", g.max_loop_trip_count);
+  g.p_if_block = getd("p_if_block", g.p_if_block);
+  g.p_for_block = getd("p_for_block", g.p_for_block);
+  g.p_openmp_block = getd("p_openmp_block", g.p_openmp_block);
+  g.p_reduction = getd("p_reduction", g.p_reduction);
+  g.p_critical = getd("p_critical", g.p_critical);
+  g.p_parallel_in_loop = getd("p_parallel_in_loop", g.p_parallel_in_loop);
+  g.validate();
+  return g;
+}
+
+void GeneratorConfig::validate() const {
+  const auto require = [](bool ok, const char* what) {
+    if (!ok) throw ConfigError(what);
+  };
+  require(max_expression_size >= 1, "max_expression_size must be >= 1");
+  require(max_nesting_levels >= 1, "max_nesting_levels must be >= 1");
+  require(max_lines_in_block >= 1, "max_lines_in_block must be >= 1");
+  require(array_size >= 1, "array_size must be >= 1");
+  require(max_same_level_blocks >= 1, "max_same_level_blocks must be >= 1");
+  require(input_samples_per_run >= 1, "input_samples_per_run must be >= 1");
+  require(num_threads >= 1, "num_threads must be >= 1");
+  require(max_loop_trip_count >= 1, "max_loop_trip_count must be >= 1");
+  require(math_func_probability >= 0.0 && math_func_probability <= 1.0,
+          "math_func_probability must be in [0,1]");
+  for (double p : {p_if_block, p_for_block, p_openmp_block, p_reduction,
+                   p_critical, p_parallel_in_loop}) {
+    require(p >= 0.0 && p <= 1.0, "block probabilities must be in [0,1]");
+  }
+}
+
+CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {
+  CampaignConfig c;
+  c.generator = GeneratorConfig::from_config(file);
+  c.num_programs = static_cast<int>(file.get_int("campaign.num_programs", c.num_programs));
+  c.inputs_per_program =
+      static_cast<int>(file.get_int("campaign.inputs_per_program", c.inputs_per_program));
+  c.seed = static_cast<std::uint64_t>(file.get_int("campaign.seed",
+                                                   static_cast<std::int64_t>(c.seed)));
+  c.alpha = file.get_double("campaign.alpha", c.alpha);
+  c.beta = file.get_double("campaign.beta", c.beta);
+  c.min_time_us = file.get_int("campaign.min_time_us", c.min_time_us);
+  c.hang_timeout_us = file.get_int("campaign.hang_timeout_us", c.hang_timeout_us);
+  c.output_dir = file.get_or("campaign.output_dir", c.output_dir);
+
+  // Implementations are listed as "implementations.NAME = profile_or_command".
+  // A value starting with "profile:" selects a simulated runtime profile;
+  // anything else is treated as a compile command template.
+  for (const auto& [key, value] : file.entries()) {
+    constexpr std::string_view prefix = "implementations.";
+    if (!starts_with(key, prefix)) continue;
+    ImplementationSpec spec;
+    spec.name = key.substr(prefix.size());
+    if (starts_with(value, "profile:")) {
+      spec.profile = std::string(trim(std::string_view(value).substr(8)));
+    } else {
+      spec.compile_command = value;
+    }
+    c.implementations.push_back(std::move(spec));
+  }
+  c.validate();
+  return c;
+}
+
+void CampaignConfig::validate() const {
+  generator.validate();
+  if (num_programs < 1) throw ConfigError("num_programs must be >= 1");
+  if (inputs_per_program < 1) throw ConfigError("inputs_per_program must be >= 1");
+  if (alpha <= 0.0) throw ConfigError("alpha must be > 0");
+  if (beta <= 1.0) throw ConfigError("beta must be > 1");
+  if (min_time_us < 0) throw ConfigError("min_time_us must be >= 0");
+  if (hang_timeout_us <= 0) throw ConfigError("hang_timeout_us must be > 0");
+}
+
+}  // namespace ompfuzz

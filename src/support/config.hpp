@@ -1,0 +1,106 @@
+// Configuration for a testing campaign (paper Fig. 1, step (a)).
+//
+// The paper's workflow starts from a configuration file naming the compilers
+// to use, optimization levels, output directories, and the knobs that bound
+// program complexity (Section III-C). We support the same: an INI-style file
+// parsed into ConfigFile, plus the strongly-typed GeneratorConfig /
+// CampaignConfig views used by the rest of the framework.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ompfuzz {
+
+/// Generic INI-style configuration file:
+///   [section]
+///   key = value      ; comment
+/// Keys are case-sensitive; lookup is by "section.key".
+class ConfigFile {
+ public:
+  ConfigFile() = default;
+
+  /// Parses INI text. Throws ConfigError on malformed lines.
+  static ConfigFile parse(const std::string& text);
+
+  /// Loads and parses a file. Throws ConfigError if unreadable.
+  static ConfigFile load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  /// Typed getters throw ConfigError if present but unparsable.
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Bounds on random program generation (Section III-C; Fig. 2). Defaults are
+/// the paper's evaluation configuration (Section V-A).
+struct GeneratorConfig {
+  int max_expression_size = 5;    ///< max terms in an arithmetic/boolean expression
+  int max_nesting_levels = 3;     ///< max nested if/for/OpenMP blocks
+  int max_lines_in_block = 10;    ///< max statements in a block
+  int array_size = 1000;          ///< elements per generated array
+  int max_same_level_blocks = 3;  ///< max sibling blocks at one nesting level
+  bool math_func_allowed = true;  ///< allow calls into <math.h>
+  double math_func_probability = 0.01;  ///< chance an expression term is a call
+  int input_samples_per_run = 3;  ///< distinct inputs generated per program
+
+  int num_threads = 32;           ///< num_threads(...) on every parallel region
+  int max_loop_trip_count = 1000; ///< upper bound for random loop bounds
+
+  // Probabilities steering block-kind selection (uniform choice in the paper;
+  // exposed so ablations can re-weight the grammar).
+  double p_if_block = 0.25;
+  double p_for_block = 0.35;
+  double p_openmp_block = 0.30;
+  double p_reduction = 0.5;       ///< chance a parallel region carries reduction(:comp)
+  double p_critical = 0.38;       ///< chance a loop body contains an omp critical
+  double p_parallel_in_loop = 0.07;  ///< chance an OpenMP region nests inside a serial loop
+
+  /// Reads the [generator] section; unspecified keys keep their defaults.
+  static GeneratorConfig from_config(const ConfigFile& file);
+  /// Validates ranges (e.g. positive sizes); throws ConfigError otherwise.
+  void validate() const;
+};
+
+/// One OpenMP implementation as seen by the campaign driver: a display name
+/// plus either a simulated profile name or a real compile command template.
+struct ImplementationSpec {
+  std::string name;            ///< e.g. "gcc", "clang", "intel"
+  std::string compile_command; ///< subprocess mode: "g++ -fopenmp -O3 {src} -o {bin}"
+  std::string profile;         ///< simulation mode: profile id, e.g. "libgomp"
+};
+
+/// Campaign-level configuration (Fig. 1 steps (a)-(d); Section V-A).
+struct CampaignConfig {
+  GeneratorConfig generator;
+  std::vector<ImplementationSpec> implementations;
+  int num_programs = 200;
+  int inputs_per_program = 3;
+  std::uint64_t seed = 0xC0FFEE;
+  double alpha = 0.2;            ///< comparable-times threshold (Eq. 1)
+  double beta = 1.5;             ///< outlier threshold (Eq. 2)
+  std::int64_t min_time_us = 1000;   ///< analysis filter: ignore tests faster than this
+  std::int64_t hang_timeout_us = 180'000'000;  ///< 3 minutes, as in Case Study 3
+  std::string output_dir = "_tests";
+
+  static CampaignConfig from_config(const ConfigFile& file);
+  void validate() const;
+};
+
+}  // namespace ompfuzz

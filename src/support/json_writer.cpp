@@ -1,0 +1,133 @@
+#include "support/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/string_utils.hpp"
+
+namespace ompfuzz {
+
+void JsonWriter::maybe_comma() {
+  if (pending_key_) return;  // a value right after "key": needs no comma
+  if (!has_element_.empty() && has_element_.back()) out_ += ',';
+}
+
+void JsonWriter::on_value() {
+  // A completed key:value pair counts as an element of the enclosing object
+  // just like a bare array element does, so the next entry gets its comma.
+  pending_key_ = false;
+  if (!has_element_.empty()) has_element_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  maybe_comma();
+  on_value();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_element_.pop_back();
+  out_ += '}';
+  if (!has_element_.empty()) has_element_.back() = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  maybe_comma();
+  on_value();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_element_.pop_back();
+  out_ += ']';
+  if (!has_element_.empty()) has_element_.back() = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  maybe_comma();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  maybe_comma();
+  on_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  maybe_comma();
+  on_value();
+  if (std::isfinite(v)) {
+    out_ += format_double(v);
+  } else {
+    // JSON has no Inf/NaN; encode as strings so reports stay parseable.
+    out_ += std::isnan(v) ? "\"nan\"" : (v > 0 ? "\"inf\"" : "\"-inf\"");
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  maybe_comma();
+  on_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  maybe_comma();
+  on_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  maybe_comma();
+  on_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  maybe_comma();
+  on_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ompfuzz

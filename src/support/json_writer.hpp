@@ -1,0 +1,51 @@
+// Minimal streaming JSON writer for machine-readable campaign reports.
+//
+// Only what the report writers need: objects, arrays, strings, numbers,
+// booleans and null, with correct escaping. Not a general JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ompfuzz {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits a key inside an object; must be followed by exactly one value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Final JSON text. Valid once all containers are closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (quotes not included).
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  void maybe_comma();
+  void on_value();
+
+  std::string out_;
+  // For each open container: true once it has at least one element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ompfuzz

@@ -1,0 +1,73 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace ompfuzz {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // boost::hash_combine generalized to 64-bit with the golden-ratio constant.
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  // One extra SplitMix-style finalization round for avalanche quality.
+  a = (a ^ (a >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return a ^ (a >> 31);
+}
+
+std::int64_t RandomEngine::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(rng_());  // full 64-bit range
+  // Lemire's multiply-shift rejection method: unbiased and fast.
+  std::uint64_t x = rng_();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = rng_();
+      m = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+std::size_t RandomEngine::uniform_index(std::size_t n) noexcept {
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double RandomEngine::uniform_real() noexcept {
+  return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+}
+
+double RandomEngine::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform_real();
+}
+
+bool RandomEngine::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_real() < p;
+}
+
+std::size_t RandomEngine::pick_weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return 0;
+  double target = uniform_real() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;  // numerical slack: last positive bucket
+}
+
+}  // namespace ompfuzz

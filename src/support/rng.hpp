@@ -1,0 +1,141 @@
+// Deterministic random number generation for reproducible test campaigns.
+//
+// Every random decision in the framework flows through RandomEngine so that a
+// campaign is fully determined by its seed: the same seed regenerates the same
+// programs, inputs, and fault-model draws on any platform. The core generator
+// is xoshiro256** (Blackman & Vigna), seeded via SplitMix64 as its authors
+// recommend; both are exact-width integer algorithms with no
+// platform-dependent behaviour, unlike std::mt19937 + std::distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ompfuzz {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state and to
+/// derive independent child seeds (streams) from a parent seed.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit hash of a byte string (FNV-1a). Used to derive deterministic
+/// per-(program, input, implementation) decisions in the fault models.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Mixes several 64-bit values into one (for composite hash keys).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** 1.0 — the framework-wide PRNG.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// High-level random engine with the sampling helpers the generator needs.
+/// All helpers use rejection/multiplicative methods with exact integer
+/// arithmetic so results are identical across platforms and compilers.
+class RandomEngine {
+ public:
+  explicit RandomEngine(std::uint64_t seed) noexcept : rng_(seed), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Creates an independent engine for a sub-task (e.g. one generated
+  /// program) so local decisions do not perturb the parent stream.
+  [[nodiscard]] RandomEngine fork(std::uint64_t stream_id) noexcept {
+    return RandomEngine(hash_combine(seed_, stream_id));
+  }
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept { return rng_(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform size_t in [0, n-1]. Requires n > 0.
+  std::size_t uniform_index(std::size_t n) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform_real() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[uniform_index(items.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[uniform_index(items.size())];
+  }
+
+  /// Picks index i with probability weights[i] / sum(weights).
+  /// Requires at least one strictly positive weight.
+  std::size_t pick_weighted(std::span<const double> weights) noexcept;
+
+  /// Fisher-Yates shuffle (deterministic given the engine state).
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    if (items.empty()) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      std::size_t j = uniform_index(i + 1);
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+ private:
+  Xoshiro256StarStar rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ompfuzz

@@ -1,0 +1,32 @@
+// Descriptive statistics used by the outlier analyzer and the report writers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ompfuzz {
+
+/// Summary of a sample; all fields are 0 for an empty sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double population_stddev(std::span<const double> xs) noexcept;
+[[nodiscard]] double median(std::vector<double> xs) noexcept;  // by value: sorts
+
+/// Percentile in [0,100] via linear interpolation; requires non-empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p) noexcept;
+
+[[nodiscard]] Summary summarize(std::span<const double> xs) noexcept;
+
+/// Geometric mean of strictly positive samples (0 if any sample <= 0).
+[[nodiscard]] double geomean(std::span<const double> xs) noexcept;
+
+}  // namespace ompfuzz

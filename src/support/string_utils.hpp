@@ -1,0 +1,41 @@
+// Small string helpers shared by the code emitter, config parser and reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ompfuzz {
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on a delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Lower-cases ASCII.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Replaces every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+
+/// Formats a double the way the generated tests print results: maximum
+/// round-trip precision, C locale.
+[[nodiscard]] std::string format_double(double v);
+
+/// Formats with fixed decimals (report tables).
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+/// Formats an integer with thousands separators ("1,234,567") as the paper's
+/// performance-counter tables do.
+[[nodiscard]] std::string format_thousands(std::uint64_t v);
+
+}  // namespace ompfuzz

@@ -1,0 +1,69 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/string_utils.hpp"
+
+namespace ompfuzz {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), alignment_(headers_.size(), Align::Left) {
+  OMPFUZZ_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  OMPFUZZ_CHECK(alignment.size() == headers_.size(),
+                "alignment size must match column count");
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  OMPFUZZ_CHECK(cells.size() == headers_.size(),
+                "row size must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& cell, std::size_t c) {
+    const std::size_t fill = widths[c] - cell.size();
+    return alignment_[c] == Align::Right ? std::string(fill, ' ') + cell
+                                         : cell + std::string(fill, ' ');
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += " | ";
+    out += pad(headers_[c], c);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "-+-";
+    out += std::string(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += " | ";
+      out += pad(row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  std::string out = join(headers_, ",") + "\n";
+  for (const auto& row : rows_) out += join(row, ",") + "\n";
+  return out;
+}
+
+}  // namespace ompfuzz

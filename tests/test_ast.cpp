@@ -1,0 +1,337 @@
+// Unit tests for the AST: construction invariants, clone/equality/hash,
+// program validation, and structural feature analysis.
+#include <gtest/gtest.h>
+
+#include "ast/program.hpp"
+#include "support/error.hpp"
+
+namespace ompfuzz::ast {
+namespace {
+
+// Builds a minimal valid program skeleton: comp + one of each param kind.
+struct Fixture {
+  Program prog;
+  VarId comp, n, x, arr;
+
+  Fixture() {
+    comp = prog.add_var({"comp", VarKind::FpScalar, VarRole::Comp, FpWidth::F64, 0});
+    prog.set_comp(comp);
+    n = prog.add_var({"var_1", VarKind::IntScalar, VarRole::Param, FpWidth::F64, 0});
+    x = prog.add_var({"var_2", VarKind::FpScalar, VarRole::Param, FpWidth::F32, 0});
+    arr = prog.add_var({"var_3", VarKind::FpArray, VarRole::Param, FpWidth::F64, 10});
+    prog.add_param(n);
+    prog.add_param(x);
+    prog.add_param(arr);
+  }
+};
+
+// ------------------------------------------------------------- expressions -
+
+TEST(Expr, FactoriesSetKinds) {
+  EXPECT_EQ(Expr::fp_const(1.5)->kind(), Expr::Kind::FpConst);
+  EXPECT_EQ(Expr::int_const(3)->kind(), Expr::Kind::IntConst);
+  EXPECT_EQ(Expr::var(0)->kind(), Expr::Kind::VarRef);
+  EXPECT_EQ(Expr::thread_id()->kind(), Expr::Kind::ThreadId);
+}
+
+TEST(Expr, AccessorsCheckKind) {
+  const auto c = Expr::fp_const(2.0);
+  EXPECT_DOUBLE_EQ(c->fp_value(), 2.0);
+  EXPECT_THROW((void)c->int_value(), Error);
+  EXPECT_THROW((void)c->var_id(), Error);
+  EXPECT_THROW((void)c->lhs(), Error);
+}
+
+TEST(Expr, FactoriesRejectNulls) {
+  EXPECT_THROW((void)Expr::array(0, nullptr), Error);
+  EXPECT_THROW((void)Expr::binary(BinOp::Add, nullptr, Expr::fp_const(1)), Error);
+  EXPECT_THROW((void)Expr::call(MathFunc::Sin, nullptr), Error);
+  EXPECT_THROW((void)Expr::var(kInvalidVar), Error);
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  auto e = Expr::binary(
+      BinOp::Mul,
+      Expr::call(MathFunc::Sin, Expr::var(1)),
+      Expr::array(2, Expr::binary(BinOp::Mod, Expr::var(3), Expr::int_const(10))),
+      /*parenthesized=*/true);
+  const auto copy = e->clone();
+  EXPECT_TRUE(e->equals(*copy));
+  EXPECT_EQ(e->hash(), copy->hash());
+  EXPECT_NE(e.get(), copy.get());
+}
+
+TEST(Expr, EqualityDistinguishesStructure) {
+  const auto a = Expr::binary(BinOp::Add, Expr::var(1), Expr::var(2));
+  const auto b = Expr::binary(BinOp::Add, Expr::var(2), Expr::var(1));
+  const auto c = Expr::binary(BinOp::Sub, Expr::var(1), Expr::var(2));
+  EXPECT_FALSE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+  EXPECT_NE(a->hash(), c->hash());
+}
+
+TEST(Expr, EqualityIsBitwiseOnConstants) {
+  const auto pos = Expr::fp_const(0.0);
+  const auto neg = Expr::fp_const(-0.0);
+  EXPECT_FALSE(pos->equals(*neg));  // +0.0 and -0.0 are distinct literals
+}
+
+TEST(Expr, WalkVisitsAllNodes) {
+  const auto e = Expr::binary(BinOp::Add, Expr::var(1),
+                              Expr::call(MathFunc::Exp, Expr::fp_const(1.0)));
+  EXPECT_EQ(e->size(), 4u);
+  int count = 0;
+  e->walk([&count](const Expr&) { ++count; });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(BoolExprTest, CloneAndHash) {
+  BoolExpr b;
+  b.lhs = 3;
+  b.op = BoolOp::Ge;
+  b.rhs = Expr::fp_const(1.25);
+  const BoolExpr copy = b.clone();
+  EXPECT_EQ(copy.lhs, b.lhs);
+  EXPECT_EQ(copy.op, b.op);
+  EXPECT_EQ(copy.hash(), b.hash());
+}
+
+// ------------------------------------------------------------- statements --
+
+TEST(StmtTest, FactoriesEnforceInvariants) {
+  EXPECT_THROW((void)Stmt::assign(LValue{kInvalidVar, nullptr}, AssignOp::Assign,
+                                  Expr::fp_const(1)),
+               Error);
+  EXPECT_THROW((void)Stmt::decl(1, nullptr), Error);
+  EXPECT_THROW((void)Stmt::for_loop(kInvalidVar, Expr::int_const(1), {}, false),
+               Error);
+  OmpClauses bad;
+  bad.num_threads = 0;
+  EXPECT_THROW((void)Stmt::omp_parallel(std::move(bad), {}), Error);
+}
+
+TEST(StmtTest, CloneDeepCopiesNestedBlocks) {
+  Block body;
+  body.stmts.push_back(Stmt::assign(LValue{0, nullptr}, AssignOp::AddAssign,
+                                    Expr::fp_const(1.0)));
+  auto loop = Stmt::for_loop(1, Expr::int_const(5), std::move(body), true);
+  const auto copy = loop->clone();
+  EXPECT_EQ(copy->kind, Stmt::Kind::For);
+  EXPECT_TRUE(copy->omp_for);
+  ASSERT_EQ(copy->body.size(), 1u);
+  EXPECT_NE(copy->body.stmts[0].get(), loop->body.stmts[0].get());
+}
+
+TEST(StmtTest, WalkStmtsReachesNestedStatements) {
+  Block inner;
+  inner.stmts.push_back(Stmt::assign(LValue{0, nullptr}, AssignOp::Assign,
+                                     Expr::fp_const(0.0)));
+  Block outer;
+  BoolExpr cond;
+  cond.lhs = 0;
+  cond.rhs = Expr::fp_const(1.0);
+  outer.stmts.push_back(Stmt::if_block(std::move(cond), std::move(inner)));
+  int statements = 0;
+  walk_stmts(outer, [&](const Stmt&) { ++statements; });
+  EXPECT_EQ(statements, 2);  // the if and its nested assignment
+}
+
+TEST(StmtTest, WalkExprsCoversGuardsBoundsAndSubscripts) {
+  Fixture f;
+  Block block;
+  block.stmts.push_back(Stmt::assign(
+      LValue{f.arr, Expr::int_const(3)}, AssignOp::Assign, Expr::var(f.x)));
+  BoolExpr cond;
+  cond.lhs = f.x;
+  cond.rhs = Expr::fp_const(2.0);
+  Block then;
+  then.stmts.push_back(Stmt::assign(LValue{f.comp, nullptr}, AssignOp::AddAssign,
+                                    Expr::var(f.x)));
+  block.stmts.push_back(Stmt::if_block(std::move(cond), std::move(then)));
+  int exprs = 0;
+  walk_exprs(block, [&](const Expr&) { ++exprs; });
+  // arr subscript const + rhs var + guard rhs + comp rhs = 4 nodes.
+  EXPECT_EQ(exprs, 4);
+}
+
+// ------------------------------------------------------------- program -----
+
+TEST(ProgramTest, DuplicateNamesRejected) {
+  Program p;
+  p.add_var({"x", VarKind::FpScalar, VarRole::Temp, FpWidth::F64, 0});
+  EXPECT_THROW(p.add_var({"x", VarKind::FpScalar, VarRole::Temp, FpWidth::F64, 0}),
+               Error);
+}
+
+TEST(ProgramTest, SignatureMapsKindsAndWidths) {
+  Fixture f;
+  const auto sig = f.prog.signature();
+  ASSERT_EQ(sig.size(), 3u);
+  EXPECT_EQ(sig[0].kind, fp::ParamKind::Int);
+  EXPECT_EQ(sig[1].kind, fp::ParamKind::Scalar);
+  EXPECT_EQ(sig[1].width, fp::FpWidth::F32);
+  EXPECT_EQ(sig[2].kind, fp::ParamKind::Array);
+  EXPECT_EQ(sig[2].array_size, 10);
+}
+
+TEST(ProgramTest, ValidateAcceptsWellFormedBody) {
+  Fixture f;
+  f.prog.body().stmts.push_back(Stmt::assign(
+      LValue{f.comp, nullptr}, AssignOp::AddAssign, Expr::var(f.x)));
+  EXPECT_NO_THROW(f.prog.validate());
+}
+
+TEST(ProgramTest, ValidateRejectsArrayUsedAsScalar) {
+  Fixture f;
+  f.prog.body().stmts.push_back(Stmt::assign(
+      LValue{f.comp, nullptr}, AssignOp::AddAssign, Expr::var(f.arr)));
+  EXPECT_THROW(f.prog.validate(), Error);
+}
+
+TEST(ProgramTest, ValidateRejectsScalarSubscript) {
+  Fixture f;
+  f.prog.body().stmts.push_back(Stmt::assign(
+      LValue{f.comp, nullptr}, AssignOp::AddAssign,
+      Expr::array(f.x, Expr::int_const(0))));
+  EXPECT_THROW(f.prog.validate(), Error);
+}
+
+TEST(ProgramTest, ValidateRejectsAssignmentToLoopIndex) {
+  Fixture f;
+  const VarId i = f.prog.add_var(
+      {"i_1", VarKind::IntScalar, VarRole::LoopIndex, FpWidth::F64, 0});
+  Block body;
+  body.stmts.push_back(
+      Stmt::assign(LValue{i, nullptr}, AssignOp::Assign, Expr::int_const(0)));
+  f.prog.body().stmts.push_back(
+      Stmt::for_loop(i, Expr::int_const(3), std::move(body), false));
+  EXPECT_THROW(f.prog.validate(), Error);
+}
+
+TEST(ProgramTest, ValidateRejectsCompInClauses) {
+  Fixture f;
+  OmpClauses clauses;
+  clauses.privates.push_back(f.comp);
+  Block body;
+  body.stmts.push_back(Stmt::assign(LValue{f.x, nullptr}, AssignOp::Assign,
+                                    Expr::fp_const(0.0)));
+  f.prog.body().stmts.push_back(
+      Stmt::omp_parallel(std::move(clauses), std::move(body)));
+  EXPECT_THROW(f.prog.validate(), Error);
+}
+
+TEST(ProgramTest, ValidateRejectsNonIntLoopBound) {
+  Fixture f;
+  const VarId i = f.prog.add_var(
+      {"i_1", VarKind::IntScalar, VarRole::LoopIndex, FpWidth::F64, 0});
+  Block body;
+  body.stmts.push_back(Stmt::assign(LValue{f.comp, nullptr}, AssignOp::AddAssign,
+                                    Expr::fp_const(1.0)));
+  f.prog.body().stmts.push_back(
+      Stmt::for_loop(i, Expr::var(f.x), std::move(body), false));
+  EXPECT_THROW(f.prog.validate(), Error);
+}
+
+TEST(ProgramTest, CloneAndFingerprintStability) {
+  Fixture f;
+  f.prog.body().stmts.push_back(Stmt::assign(
+      LValue{f.comp, nullptr}, AssignOp::AddAssign, Expr::var(f.x)));
+  const Program copy = f.prog.clone();
+  EXPECT_EQ(copy.fingerprint(), f.prog.fingerprint());
+  EXPECT_EQ(copy.var_count(), f.prog.var_count());
+}
+
+TEST(ProgramTest, FingerprintSensitiveToBody) {
+  Fixture f;
+  const auto before = f.prog.fingerprint();
+  f.prog.body().stmts.push_back(Stmt::assign(
+      LValue{f.comp, nullptr}, AssignOp::AddAssign, Expr::var(f.x)));
+  EXPECT_NE(f.prog.fingerprint(), before);
+}
+
+// ------------------------------------------------------------- analysis ----
+
+TEST(Analysis, CountsConstructs) {
+  Fixture f;
+  // for { parallel { x=0; omp for { critical { comp += 1 } } } }
+  Block crit_body;
+  crit_body.stmts.push_back(Stmt::assign(LValue{f.comp, nullptr},
+                                         AssignOp::AddAssign, Expr::fp_const(1.0)));
+  Block for_body;
+  for_body.stmts.push_back(Stmt::omp_critical(std::move(crit_body)));
+  const VarId i2 = f.prog.add_var(
+      {"i_2", VarKind::IntScalar, VarRole::LoopIndex, FpWidth::F64, 0});
+  Block region_body;
+  region_body.stmts.push_back(Stmt::assign(LValue{f.x, nullptr}, AssignOp::Assign,
+                                           Expr::fp_const(0.0)));
+  region_body.stmts.push_back(
+      Stmt::for_loop(i2, Expr::int_const(8), std::move(for_body), /*omp_for=*/true));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.x);
+  clauses.reduction = ReductionOp::Sum;
+  Block outer_body;
+  outer_body.stmts.push_back(
+      Stmt::omp_parallel(std::move(clauses), std::move(region_body)));
+  const VarId i1 = f.prog.add_var(
+      {"i_1", VarKind::IntScalar, VarRole::LoopIndex, FpWidth::F64, 0});
+  f.prog.body().stmts.push_back(
+      Stmt::for_loop(i1, Expr::int_const(4), std::move(outer_body), false));
+
+  const ProgramFeatures feat = analyze(f.prog);
+  EXPECT_EQ(feat.num_parallel_regions, 1);
+  EXPECT_EQ(feat.num_omp_for_loops, 1);
+  EXPECT_EQ(feat.num_critical_sections, 1);
+  EXPECT_EQ(feat.num_reductions, 1);
+  EXPECT_EQ(feat.num_serial_loops, 1);
+  EXPECT_TRUE(feat.has_parallel_inside_serial_loop);
+  EXPECT_TRUE(feat.has_critical_in_parallel_loop);
+  EXPECT_EQ(feat.static_loop_iterations, 12);  // 4 + 8
+  EXPECT_EQ(feat.num_arrays, 1);
+}
+
+TEST(Analysis, RegionResetsSerialLoopContext) {
+  Fixture f;
+  // parallel { x = 0; serial-for { assign } }: the serial loop inside the
+  // region must NOT flag has_parallel_inside_serial_loop.
+  Block for_body;
+  for_body.stmts.push_back(Stmt::assign(LValue{f.x, nullptr}, AssignOp::Assign,
+                                        Expr::fp_const(1.0)));
+  const VarId i = f.prog.add_var(
+      {"i_1", VarKind::IntScalar, VarRole::LoopIndex, FpWidth::F64, 0});
+  Block region;
+  region.stmts.push_back(Stmt::assign(LValue{f.x, nullptr}, AssignOp::Assign,
+                                      Expr::fp_const(0.0)));
+  region.stmts.push_back(
+      Stmt::for_loop(i, Expr::int_const(3), std::move(for_body), false));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.x);
+  f.prog.body().stmts.push_back(
+      Stmt::omp_parallel(std::move(clauses), std::move(region)));
+
+  const ProgramFeatures feat = analyze(f.prog);
+  EXPECT_FALSE(feat.has_parallel_inside_serial_loop);
+  EXPECT_FALSE(feat.has_critical_in_parallel_loop);
+  EXPECT_EQ(feat.num_serial_loops, 1);
+}
+
+TEST(Analysis, CountsMathCallsAndWidths) {
+  Fixture f;
+  f.prog.body().stmts.push_back(Stmt::assign(
+      LValue{f.comp, nullptr}, AssignOp::AddAssign,
+      Expr::call(MathFunc::Sqrt, Expr::call(MathFunc::Fabs, Expr::var(f.x)))));
+  const ProgramFeatures feat = analyze(f.prog);
+  EXPECT_EQ(feat.num_math_calls, 2);
+  EXPECT_EQ(feat.num_float_vars, 1);   // var_2
+  EXPECT_EQ(feat.num_double_vars, 1);  // comp
+}
+
+TEST(Types, ToStringCoverage) {
+  EXPECT_STREQ(to_string(BinOp::Mod), "%");
+  EXPECT_STREQ(to_string(BoolOp::Ne), "!=");
+  EXPECT_STREQ(to_string(AssignOp::DivAssign), "/=");
+  EXPECT_STREQ(to_string(ReductionOp::Prod), "*");
+  EXPECT_STREQ(to_string(MathFunc::Atan), "atan");
+}
+
+}  // namespace
+}  // namespace ompfuzz::ast

@@ -1,0 +1,273 @@
+// Tests for the random program generator (Sections III-C..III-G).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/generator.hpp"
+#include "core/race_checker.hpp"
+#include "emit/codegen.hpp"
+
+namespace ompfuzz::core {
+namespace {
+
+using ast::Expr;
+using ast::Program;
+using ast::Stmt;
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.num_threads = 4;
+  cfg.max_loop_trip_count = 20;
+  return cfg;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const ProgramGenerator gen(small_config());
+  const auto a = gen.generate("t", 123);
+  const auto b = gen.generate("t", 123);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(emit::emit_translation_unit(a), emit::emit_translation_unit(b));
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentPrograms) {
+  const ProgramGenerator gen(small_config());
+  std::set<std::uint64_t> fingerprints;
+  for (int s = 0; s < 30; ++s) {
+    fingerprints.insert(gen.generate("t", 9000 + s).fingerprint());
+  }
+  EXPECT_GE(fingerprints.size(), 29u);  // collisions should be near-impossible
+}
+
+TEST(Generator, GenerationIsIndependentOfCallOrder) {
+  const ProgramGenerator gen(small_config());
+  const auto direct = gen.generate("t", 77);
+  (void)gen.generate("other", 5);
+  const auto after = gen.generate("t", 77);
+  EXPECT_EQ(direct.fingerprint(), after.fingerprint());
+}
+
+TEST(Generator, ProgramsValidate) {
+  const ProgramGenerator gen(small_config());
+  for (int s = 0; s < 100; ++s) {
+    EXPECT_NO_THROW(gen.generate("t", 100 + s).validate());
+  }
+}
+
+TEST(Generator, EveryProgramWritesComp) {
+  const ProgramGenerator gen(small_config());
+  for (int s = 0; s < 60; ++s) {
+    const auto prog = gen.generate("t", 400 + s);
+    bool writes_comp = false;
+    ast::walk_stmts(prog.body(), [&](const Stmt& st) {
+      if (st.kind == Stmt::Kind::Assign && st.target.var == prog.comp() &&
+          !st.target.is_array_element()) {
+        writes_comp = true;
+      }
+    });
+    EXPECT_TRUE(writes_comp) << "seed " << 400 + s;
+  }
+}
+
+TEST(Generator, RespectsNumThreadsInClauses) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_threads = 7;
+  const ProgramGenerator gen(cfg);
+  for (int s = 0; s < 40; ++s) {
+    const auto prog = gen.generate("t", 500 + s);
+    ast::walk_stmts(prog.body(), [&](const Stmt& st) {
+      if (st.kind == Stmt::Kind::OmpParallel) {
+        EXPECT_EQ(st.clauses.num_threads, 7);
+      }
+    });
+  }
+}
+
+TEST(Generator, LoopBoundsWithinConfiguredRange) {
+  GeneratorConfig cfg = small_config();
+  cfg.max_loop_trip_count = 50;
+  const ProgramGenerator gen(cfg);
+  for (int s = 0; s < 40; ++s) {
+    const auto prog = gen.generate("t", 600 + s);
+    ast::walk_stmts(prog.body(), [&](const Stmt& st) {
+      if (st.kind == Stmt::Kind::For &&
+          st.loop_bound->kind() == Expr::Kind::IntConst) {
+        EXPECT_GE(st.loop_bound->int_value(), 1);
+        EXPECT_LE(st.loop_bound->int_value(), 50);
+      }
+    });
+  }
+}
+
+TEST(Generator, ArraySubscriptConstantsInBounds) {
+  GeneratorConfig cfg = small_config();
+  cfg.array_size = 16;
+  const ProgramGenerator gen(cfg);
+  for (int s = 0; s < 40; ++s) {
+    const auto prog = gen.generate("t", 700 + s);
+    ast::walk_exprs(prog.body(), [&](const Expr& e) {
+      if (e.kind() == Expr::Kind::ArrayRef &&
+          e.index().kind() == Expr::Kind::IntConst) {
+        EXPECT_GE(e.index().int_value(), 0);
+        EXPECT_LT(e.index().int_value(), 16);
+      }
+      if (e.kind() == Expr::Kind::Binary && e.bin_op() == ast::BinOp::Mod) {
+        EXPECT_EQ(e.rhs().kind(), Expr::Kind::IntConst);
+        EXPECT_GT(e.rhs().int_value(), 0);  // never modulo by zero
+      }
+    });
+  }
+}
+
+TEST(Generator, NoMathCallsWhenDisallowed) {
+  GeneratorConfig cfg = small_config();
+  cfg.math_func_allowed = false;
+  const ProgramGenerator gen(cfg);
+  for (int s = 0; s < 40; ++s) {
+    const auto prog = gen.generate("t", 800 + s);
+    EXPECT_EQ(ast::analyze(prog).num_math_calls, 0);
+  }
+}
+
+TEST(Generator, MathProbabilityOneProducesCalls) {
+  GeneratorConfig cfg = small_config();
+  cfg.math_func_probability = 1.0;
+  const ProgramGenerator gen(cfg);
+  int with_math = 0;
+  for (int s = 0; s < 20; ++s) {
+    with_math += (ast::analyze(gen.generate("t", 900 + s)).num_math_calls > 0);
+  }
+  EXPECT_EQ(with_math, 20);
+}
+
+TEST(Generator, PrivatesAreInitializedInPreamble) {
+  const ProgramGenerator gen(small_config());
+  for (int s = 0; s < 60; ++s) {
+    const auto prog = gen.generate("t", 1000 + s);
+    ast::walk_stmts(prog.body(), [&](const Stmt& st) {
+      if (st.kind != Stmt::Kind::OmpParallel) return;
+      std::set<ast::VarId> assigned;
+      for (const auto& inner : st.body.stmts) {
+        if (inner->kind == Stmt::Kind::Assign &&
+            !inner->target.is_array_element()) {
+          assigned.insert(inner->target.var);
+        }
+        if (inner->kind == Stmt::Kind::For) break;
+      }
+      for (ast::VarId v : st.clauses.privates) {
+        EXPECT_TRUE(assigned.contains(v))
+            << "private " << prog.var(v).name << " not initialized, seed "
+            << 1000 + s;
+      }
+    });
+  }
+}
+
+TEST(Generator, ClausesNeverContainComp) {
+  const ProgramGenerator gen(small_config());
+  for (int s = 0; s < 60; ++s) {
+    const auto prog = gen.generate("t", 1100 + s);
+    ast::walk_stmts(prog.body(), [&](const Stmt& st) {
+      if (st.kind != Stmt::Kind::OmpParallel) return;
+      for (ast::VarId v : st.clauses.privates) EXPECT_NE(v, prog.comp());
+      for (ast::VarId v : st.clauses.firstprivates) EXPECT_NE(v, prog.comp());
+    });
+  }
+}
+
+TEST(Generator, PrivateAndFirstprivateAreDisjoint) {
+  const ProgramGenerator gen(small_config());
+  for (int s = 0; s < 60; ++s) {
+    const auto prog = gen.generate("t", 1200 + s);
+    ast::walk_stmts(prog.body(), [&](const Stmt& st) {
+      if (st.kind != Stmt::Kind::OmpParallel) return;
+      std::set<ast::VarId> privates(st.clauses.privates.begin(),
+                                    st.clauses.privates.end());
+      for (ast::VarId v : st.clauses.firstprivates) {
+        EXPECT_FALSE(privates.contains(v));
+      }
+    });
+  }
+}
+
+TEST(Generator, ReductionUpdatesUseMatchingOperator) {
+  GeneratorConfig cfg = small_config();
+  cfg.p_reduction = 1.0;
+  const ProgramGenerator gen(cfg);
+  for (int s = 0; s < 60; ++s) {
+    const auto prog = gen.generate("t", 1300 + s);
+    ast::walk_stmts(prog.body(), [&](const Stmt& region) {
+      if (region.kind != Stmt::Kind::OmpParallel) return;
+      ASSERT_TRUE(region.clauses.reduction.has_value());
+      const auto op = *region.clauses.reduction;
+      ast::walk_stmts(region.body, [&](const Stmt& st) {
+        if (st.kind == Stmt::Kind::Assign && st.target.var == prog.comp()) {
+          if (op == ast::ReductionOp::Sum) {
+            EXPECT_TRUE(st.assign_op == ast::AssignOp::AddAssign ||
+                        st.assign_op == ast::AssignOp::SubAssign);
+          } else {
+            EXPECT_EQ(st.assign_op, ast::AssignOp::MulAssign);
+          }
+        }
+      });
+    });
+  }
+}
+
+TEST(Generator, DepthScaledTripCountsLimitTotalIterations) {
+  GeneratorConfig cfg = small_config();
+  cfg.max_loop_trip_count = 100;
+  const ProgramGenerator gen(cfg);
+  for (int s = 0; s < 30; ++s) {
+    const auto prog = gen.generate("t", 1400 + s);
+    // Walk loops tracking depth: a loop nested under d others must have a
+    // static bound <= max / 3^d.
+    std::function<void(const ast::Block&, int)> visit = [&](const ast::Block& b,
+                                                            int loop_depth) {
+      for (const auto& st : b.stmts) {
+        switch (st->kind) {
+          case Stmt::Kind::For: {
+            if (st->loop_bound->kind() == Expr::Kind::IntConst) {
+              std::int64_t cap = 100;
+              for (int d = 0; d < loop_depth; ++d) cap /= 3;
+              cap = std::max<std::int64_t>(cap, 2);
+              EXPECT_LE(st->loop_bound->int_value(), cap)
+                  << "depth " << loop_depth << " seed " << 1400 + s;
+            }
+            visit(st->body, loop_depth + 1);
+            break;
+          }
+          case Stmt::Kind::If:
+          case Stmt::Kind::OmpParallel:
+          case Stmt::Kind::OmpCritical:
+            visit(st->body, loop_depth);
+            break;
+          default:
+            break;
+        }
+      }
+    };
+    visit(prog.body(), 0);
+  }
+}
+
+// Property sweep: race freedom and validity across many seeds and configs.
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, RaceFreeAndValid) {
+  GeneratorConfig cfg = small_config();
+  const ProgramGenerator gen(cfg);
+  for (int s = 0; s < 50; ++s) {
+    const auto prog = gen.generate("t", GetParam() * 10000 + s);
+    const auto report = check_races(prog);
+    EXPECT_TRUE(report.race_free())
+        << "seed " << GetParam() * 10000 + s << ": "
+        << to_string(report.findings[0].kind) << " on "
+        << report.findings[0].variable;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, GeneratorProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ompfuzz::core

@@ -1,0 +1,240 @@
+// Tests for the outlier detection algebra of Section IV.
+#include <gtest/gtest.h>
+
+#include "core/outlier.hpp"
+#include "support/error.hpp"
+
+namespace ompfuzz::core {
+namespace {
+
+RunResult ok(const std::string& impl, double time_us, double output = 1.0) {
+  RunResult r;
+  r.impl = impl;
+  r.status = RunStatus::Ok;
+  r.time_us = time_us;
+  r.output = output;
+  return r;
+}
+
+RunResult failed(const std::string& impl, RunStatus status) {
+  RunResult r;
+  r.impl = impl;
+  r.status = status;
+  return r;
+}
+
+OutlierDetector detector(double alpha = 0.2, double beta = 1.5,
+                         double min_time = 1000.0) {
+  return OutlierDetector({alpha, beta, min_time});
+}
+
+// ------------------------------------------------------------ Eq. 1 --------
+
+TEST(ComparableTimes, WithinAlphaIsComparable) {
+  EXPECT_TRUE(comparable_times(100.0, 110.0, 0.2));
+  EXPECT_TRUE(comparable_times(110.0, 100.0, 0.2));  // symmetric
+  EXPECT_TRUE(comparable_times(100.0, 120.0, 0.2));  // boundary inclusive
+}
+
+TEST(ComparableTimes, BeyondAlphaIsNot) {
+  EXPECT_FALSE(comparable_times(100.0, 121.0, 0.2));
+  EXPECT_FALSE(comparable_times(50.0, 100.0, 0.2));
+}
+
+TEST(ComparableTimes, ZeroHandling) {
+  EXPECT_TRUE(comparable_times(0.0, 0.0, 0.2));   // equal zeros
+  EXPECT_FALSE(comparable_times(0.0, 10.0, 0.2)); // Eq. 1 needs min != 0
+}
+
+// ------------------------------------------------------------ Eq. 2 --------
+
+TEST(Outlier, SlowOutlierDetected) {
+  // The paper's example: two comparable runs, the third 1.8x slower.
+  const auto det = detector();
+  const std::vector<RunResult> runs = {ok("a", 5000), ok("b", 5200), ok("c", 9200)};
+  const auto v = det.analyze(runs);
+  ASSERT_TRUE(v.analyzable);
+  EXPECT_EQ(v.per_run[0], OutlierKind::None);
+  EXPECT_EQ(v.per_run[1], OutlierKind::None);
+  EXPECT_EQ(v.per_run[2], OutlierKind::Slow);
+  EXPECT_NEAR(v.midpoint_us, 5100.0, 1e-9);
+}
+
+TEST(Outlier, FastOutlierDetected) {
+  const auto det = detector();
+  const std::vector<RunResult> runs = {ok("a", 9000), ok("b", 9800), ok("c", 3000)};
+  const auto v = det.analyze(runs);
+  ASSERT_TRUE(v.analyzable);
+  EXPECT_EQ(v.per_run[2], OutlierKind::Fast);
+}
+
+TEST(Outlier, BetaBoundaryInclusive) {
+  const auto det = detector(0.2, 1.5);
+  // midpoint = 2000; 3000 / 2000 = exactly 1.5 -> slow (Eq. 2 uses >=).
+  const auto v = det.analyze(
+      std::vector<RunResult>{ok("a", 2000), ok("b", 2000), ok("c", 3000)});
+  EXPECT_EQ(v.per_run[2], OutlierKind::Slow);
+}
+
+TEST(Outlier, JustUnderBetaIsNotAnOutlier) {
+  const auto det = detector(0.2, 1.5);
+  const auto v = det.analyze(
+      std::vector<RunResult>{ok("a", 2000), ok("b", 2000), ok("c", 2980)});
+  EXPECT_EQ(v.per_run[2], OutlierKind::None);
+}
+
+TEST(Outlier, AllComparableNoOutliers) {
+  const auto det = detector();
+  const auto v = det.analyze(
+      std::vector<RunResult>{ok("a", 5000), ok("b", 5300), ok("c", 5600)});
+  ASSERT_TRUE(v.analyzable);
+  EXPECT_FALSE(v.has_outlier());
+  EXPECT_EQ(v.comparable_group.size(), 3u);
+}
+
+TEST(Outlier, MinTimeFilterBlocksFastTests) {
+  const auto det = detector(0.2, 1.5, 1000.0);
+  const auto v = det.analyze(
+      std::vector<RunResult>{ok("a", 500), ok("b", 520), ok("c", 2000)});
+  EXPECT_FALSE(v.analyzable);
+  EXPECT_EQ(v.filter_reason, "midpoint below minimum-time filter");
+  EXPECT_FALSE(v.has_outlier());
+}
+
+TEST(Outlier, NoComparableBaseline) {
+  const auto det = detector();
+  // Pairwise ratios all exceed alpha: no clique of size >= 2.
+  const auto v = det.analyze(
+      std::vector<RunResult>{ok("a", 1000), ok("b", 2000), ok("c", 4000)});
+  EXPECT_FALSE(v.analyzable);
+  EXPECT_EQ(v.filter_reason, "no comparable baseline group");
+}
+
+TEST(Outlier, LargestCliqueWins) {
+  const auto det = detector();
+  // Three comparable around 5000 plus one pair around 2000: the size-3
+  // clique is the baseline, the 2000s become fast outliers.
+  const auto v = det.analyze(std::vector<RunResult>{
+      ok("a", 5000), ok("b", 5100), ok("c", 5200), ok("d", 2000), ok("e", 2050)});
+  ASSERT_TRUE(v.analyzable);
+  EXPECT_EQ(v.comparable_group.size(), 3u);
+  EXPECT_EQ(v.per_run[3], OutlierKind::Fast);
+  EXPECT_EQ(v.per_run[4], OutlierKind::Fast);
+}
+
+TEST(Outlier, TwoImplementationsWork) {
+  const auto det = detector();
+  const auto v = det.analyze(std::vector<RunResult>{ok("a", 5000), ok("b", 5100)});
+  ASSERT_TRUE(v.analyzable);
+  EXPECT_FALSE(v.has_outlier());
+}
+
+TEST(Outlier, SingleRunIsNotAnalyzable) {
+  const auto det = detector();
+  const auto v = det.analyze(std::vector<RunResult>{ok("a", 5000)});
+  EXPECT_FALSE(v.analyzable);
+  EXPECT_EQ(v.filter_reason, "fewer than two OK runs");
+}
+
+// ------------------------------------------------- correctness outliers ----
+
+TEST(Outlier, CrashAmongOkRunsIsOutlier) {
+  const auto det = detector();
+  const auto v = det.analyze(std::vector<RunResult>{
+      ok("a", 5000), failed("b", RunStatus::Crash), ok("c", 5100)});
+  EXPECT_EQ(v.per_run[1], OutlierKind::Crash);
+  // Performance analysis still runs on the remaining OK pair.
+  ASSERT_TRUE(v.analyzable);
+  EXPECT_EQ(v.per_run[0], OutlierKind::None);
+}
+
+TEST(Outlier, HangAmongOkRunsIsOutlier) {
+  const auto det = detector();
+  const auto v = det.analyze(std::vector<RunResult>{
+      ok("a", 5000), ok("b", 5100), failed("c", RunStatus::Hang)});
+  EXPECT_EQ(v.per_run[2], OutlierKind::Hang);
+}
+
+TEST(Outlier, AllCrashedIsNotAnOutlier) {
+  // If every implementation fails, no implementation is the odd one out.
+  const auto det = detector();
+  const auto v = det.analyze(std::vector<RunResult>{
+      failed("a", RunStatus::Crash), failed("b", RunStatus::Crash),
+      failed("c", RunStatus::Crash)});
+  EXPECT_FALSE(v.has_outlier());
+}
+
+TEST(Outlier, TwoFailuresOneOkFlagsBoth) {
+  const auto det = detector();
+  const auto v = det.analyze(std::vector<RunResult>{
+      ok("a", 5000), failed("b", RunStatus::Crash), failed("c", RunStatus::Hang)});
+  EXPECT_EQ(v.per_run[1], OutlierKind::Crash);
+  EXPECT_EQ(v.per_run[2], OutlierKind::Hang);
+  EXPECT_FALSE(v.analyzable);  // only one OK run left
+}
+
+TEST(Outlier, SkippedRunsAreExcluded) {
+  const auto det = detector();
+  const auto v = det.analyze(std::vector<RunResult>{
+      ok("a", 5000), failed("b", RunStatus::Skipped), ok("c", 5100)});
+  EXPECT_EQ(v.per_run[1], OutlierKind::None);  // skipped is not a failure
+  ASSERT_TRUE(v.analyzable);
+}
+
+// ------------------------------------------------------------ parameters ---
+
+TEST(Outlier, AlphaControlsComparability) {
+  // With alpha=0.5, 5000 and 7000 become comparable (ratio 0.4).
+  const auto loose = detector(0.5, 1.5);
+  const auto v = loose.analyze(
+      std::vector<RunResult>{ok("a", 5000), ok("b", 7000), ok("c", 20000)});
+  ASSERT_TRUE(v.analyzable);
+  EXPECT_EQ(v.comparable_group.size(), 2u);
+  EXPECT_EQ(v.per_run[2], OutlierKind::Slow);
+}
+
+TEST(Outlier, BetaControlsSensitivity) {
+  const auto strict = detector(0.2, 3.0);
+  const auto v = strict.analyze(
+      std::vector<RunResult>{ok("a", 5000), ok("b", 5100), ok("c", 12000)});
+  ASSERT_TRUE(v.analyzable);
+  EXPECT_EQ(v.per_run[2], OutlierKind::None);  // 2.4x < beta 3.0
+}
+
+TEST(Outlier, InvalidParamsThrow) {
+  EXPECT_THROW(OutlierDetector({0.0, 1.5, 0.0}), Error);
+  EXPECT_THROW(OutlierDetector({0.2, 1.0, 0.0}), Error);
+}
+
+TEST(Outlier, StatusToStringCoverage) {
+  EXPECT_STREQ(to_string(RunStatus::Ok), "OK");
+  EXPECT_STREQ(to_string(RunStatus::Crash), "CRASH");
+  EXPECT_STREQ(to_string(RunStatus::Hang), "HANG");
+  EXPECT_STREQ(to_string(OutlierKind::Fast), "fast");
+}
+
+// Property sweep: for a comparable pair at base time T plus one run at r*T,
+// classification follows the sign and magnitude of r exactly.
+class RatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSweep, ClassificationMatchesRatio) {
+  const double ratio = GetParam();
+  const auto det = detector(0.2, 1.5, 100.0);
+  const auto v = det.analyze(std::vector<RunResult>{
+      ok("a", 10000), ok("b", 10000), ok("c", 10000 * ratio)});
+  ASSERT_TRUE(v.analyzable);
+  if (ratio >= 1.5) {
+    EXPECT_EQ(v.per_run[2], OutlierKind::Slow) << "ratio " << ratio;
+  } else if (ratio <= 1.0 / 1.5) {
+    EXPECT_EQ(v.per_run[2], OutlierKind::Fast) << "ratio " << ratio;
+  } else {
+    EXPECT_EQ(v.per_run[2], OutlierKind::None) << "ratio " << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.666, 0.7, 0.9, 1.0,
+                                           1.1, 1.3, 1.49, 1.5, 2.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace ompfuzz::core

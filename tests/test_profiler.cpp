@@ -1,0 +1,183 @@
+// Tests for the synthetic profiler: call-stack attribution (Figs 6/7) and
+// hang thread-state reconstruction (Figs 8/9).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "profiler/callstack.hpp"
+#include "profiler/thread_state.hpp"
+#include "support/error.hpp"
+
+namespace ompfuzz::prof {
+namespace {
+
+rt::TimeBreakdown sample_time(double compute, double launch, double barrier,
+                              double critical) {
+  rt::TimeBreakdown t;
+  t.compute_ns = compute;
+  t.launch_ns = launch;
+  t.barrier_ns = barrier;
+  t.critical_ns = critical;
+  return t;
+}
+
+// ------------------------------------------------------------ stacks -------
+
+TEST(Callstack, VendorSymbolVocabulary) {
+  const auto time = sample_time(1e6, 5e5, 3e6, 0.0);
+  const auto gcc = build_stack_profile(time, rt::gcc_profile(), "_test_2");
+  const auto intel = build_stack_profile(time, rt::intel_profile(), "_test_2");
+  const auto clang = build_stack_profile(time, rt::clang_profile(), "_test_10");
+
+  const auto has_symbol = [](const StackProfile& p, const std::string& sym) {
+    for (const auto& e : p.entries) {
+      if (e.symbol.find(sym) != std::string::npos) return true;
+    }
+    return false;
+  };
+  // The frames the paper's listings show for each runtime.
+  EXPECT_TRUE(has_symbol(gcc, "do_wait"));
+  EXPECT_TRUE(has_symbol(gcc, "do_spin"));
+  EXPECT_TRUE(has_symbol(intel, "__kmp_wait"));
+  EXPECT_TRUE(has_symbol(intel, "__kmp_launch_worker"));
+  EXPECT_TRUE(has_symbol(clang, "__kmp_invoke_microtask"));
+  EXPECT_TRUE(has_symbol(clang, ".omp_outlined."));
+}
+
+TEST(Callstack, OverheadSharesTrackTimeBreakdown) {
+  // Barrier-dominated run: the wait symbol must dominate.
+  const auto time = sample_time(1e5, 1e4, 9e6, 0.0);
+  const auto p = build_stack_profile(time, rt::gcc_profile(), "t");
+  ASSERT_FALSE(p.entries.empty());
+  double do_wait_pct = 0.0;
+  double top_self = 0.0;
+  for (const auto& e : p.entries) {
+    top_self = std::max(top_self, e.overhead_pct);
+    if (e.symbol == "do_wait") do_wait_pct = e.overhead_pct;
+  }
+  EXPECT_GT(do_wait_pct, 50.0);
+  EXPECT_DOUBLE_EQ(do_wait_pct, top_self);  // dominant self-overhead row
+}
+
+TEST(Callstack, CriticalSymbolAppearsOnlyWithCriticalTime) {
+  const auto without = build_stack_profile(sample_time(1e6, 1e5, 1e5, 0.0),
+                                           rt::intel_profile(), "t");
+  const auto with = build_stack_profile(sample_time(1e6, 1e5, 1e5, 5e6),
+                                        rt::intel_profile(), "t");
+  const auto has_lock = [](const StackProfile& p) {
+    for (const auto& e : p.entries) {
+      if (e.symbol.find("queuing_lock") != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_lock(without));
+  EXPECT_TRUE(has_lock(with));
+}
+
+TEST(Callstack, SelfOverheadsDoNotExceed100) {
+  const auto time = sample_time(2e6, 1e6, 3e6, 4e6);
+  const auto p = build_stack_profile(time, rt::clang_profile(), "t");
+  double self_total = 0.0;
+  for (const auto& e : p.entries) {
+    EXPECT_GE(e.overhead_pct, 0.0);
+    self_total += e.overhead_pct;
+  }
+  EXPECT_LE(self_total, 101.0);  // rounding slack
+}
+
+TEST(Callstack, ChildrenModeExceeds100ByDesign) {
+  // perf --children accumulates subtrees, so the column sums past 100%
+  // (the paper notes this in Section V-D).
+  const auto time = sample_time(2e6, 1e6, 3e6, 1e6);
+  const auto p = build_stack_profile(time, rt::intel_profile(), "t");
+  double children_total = 0.0;
+  for (const auto& e : p.entries) children_total += e.children_pct;
+  EXPECT_GT(children_total, 110.0);
+}
+
+TEST(Callstack, RenderModes) {
+  const auto time = sample_time(1e6, 1e6, 1e6, 1e6);
+  const auto p = build_stack_profile(time, rt::gcc_profile(), "_test_2");
+  const std::string self_mode = p.render(false);
+  EXPECT_NE(self_mode.find("Overhead"), std::string::npos);
+  EXPECT_NE(self_mode.find("Shared Object"), std::string::npos);
+  EXPECT_NE(self_mode.find("libgomp"), std::string::npos);
+  EXPECT_NE(self_mode.find("%"), std::string::npos);
+  const std::string children_mode = p.render(true);
+  EXPECT_NE(children_mode.find("Children"), std::string::npos);
+  EXPECT_NE(children_mode.find("Self"), std::string::npos);
+}
+
+TEST(Callstack, ClangMallocTrafficVisible) {
+  // Clang's per-launch allocation shows libc malloc frames (Fig. 7).
+  const auto time = sample_time(1e6, 8e6, 1e6, 0.0);
+  const auto p = build_stack_profile(time, rt::clang_profile(), "t");
+  bool saw_malloc = false;
+  for (const auto& e : p.entries) {
+    if (e.symbol.find("alloc") != std::string::npos) saw_malloc = true;
+  }
+  EXPECT_TRUE(saw_malloc);
+}
+
+// ------------------------------------------------------------ hang ---------
+
+TEST(HangAnalysis, ThirtyTwoThreadsInThreeGroups) {
+  const auto report = analyze_hang(rt::intel_profile(), 32, 0x1247,
+                                   "quartz1247_tests_group_3_test_3.cpp");
+  EXPECT_EQ(report.threads.size(), 32u);
+  const auto sizes = report.group_sizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 32);
+  // All three states populated for a full-width team (Fig. 9).
+  for (int g = 0; g < 3; ++g) EXPECT_GT(sizes[g], 0) << "group " << g;
+}
+
+TEST(HangAnalysis, DeterministicPerSeed) {
+  const auto a = analyze_hang(rt::intel_profile(), 32, 99, "t.cpp");
+  const auto b = analyze_hang(rt::intel_profile(), 32, 99, "t.cpp");
+  for (std::size_t i = 0; i < a.threads.size(); ++i) {
+    EXPECT_EQ(a.threads[i].state, b.threads[i].state);
+  }
+  const auto c = analyze_hang(rt::intel_profile(), 32, 100, "t.cpp");
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.threads.size(); ++i) {
+    any_different |= (a.threads[i].state != c.threads[i].state);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(HangAnalysis, BacktraceShowsQueuingLockChain) {
+  const auto report = analyze_hang(rt::intel_profile(), 8, 5, "case3.cpp");
+  const std::string bt = report.render_backtrace(0);
+  // The Fig. 8 frames, innermost to outermost.
+  EXPECT_NE(bt.find("__kmp_acquire_queuing_lock"), std::string::npos);
+  EXPECT_NE(bt.find("__kmpc_critical_with_hint"), std::string::npos);
+  EXPECT_NE(bt.find(".omp_outlined."), std::string::npos);
+  EXPECT_NE(bt.find("case3.cpp"), std::string::npos);
+  EXPECT_NE(bt.find("SIGINT"), std::string::npos);
+}
+
+TEST(HangAnalysis, GroupRenderListsAllThreads) {
+  const auto report = analyze_hang(rt::intel_profile(), 4, 6, "t.cpp");
+  const std::string groups = report.render_groups();
+  EXPECT_NE(groups.find("Group 1"), std::string::npos);
+  EXPECT_NE(groups.find("Group 3"), std::string::npos);
+  EXPECT_NE(groups.find("__kmp_wait_4"), std::string::npos);
+  EXPECT_NE(groups.find("sched_yield"), std::string::npos);
+}
+
+TEST(HangAnalysis, BacktraceIndexChecked) {
+  const auto report = analyze_hang(rt::intel_profile(), 4, 6, "t.cpp");
+  EXPECT_THROW((void)report.render_backtrace(4), Error);
+  EXPECT_THROW((void)report.render_backtrace(-1), Error);
+}
+
+TEST(HangAnalysis, StateNames) {
+  EXPECT_STREQ(to_string(ThreadWaitState::WaitSpin), "__kmp_wait_4");
+  EXPECT_STREQ(to_string(ThreadWaitState::TestLock), "__kmp_eq_4");
+  EXPECT_STREQ(to_string(ThreadWaitState::Yielding), "sched_yield");
+}
+
+}  // namespace
+}  // namespace ompfuzz::prof

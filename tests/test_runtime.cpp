@@ -1,0 +1,290 @@
+// Tests for the simulated runtime: profiles, cost model, fault model, and
+// perf-counter synthesis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/cost_model.hpp"
+#include "runtime/fault_model.hpp"
+#include "runtime/impl_profile.hpp"
+#include "runtime/perf_counters.hpp"
+#include "support/error.hpp"
+
+namespace ompfuzz::rt {
+namespace {
+
+interp::EventCounts basic_events() {
+  interp::EventCounts ev;
+  ev.fp_add_sub = 100000;
+  ev.fp_mul = 50000;
+  ev.fp_div = 1000;
+  ev.scalar_loads = 200000;
+  ev.scalar_stores = 80000;
+  ev.branches = 60000;
+  return ev;
+}
+
+ast::ProgramFeatures plain_features() {
+  ast::ProgramFeatures f;
+  f.num_double_vars = 3;
+  return f;
+}
+
+// ------------------------------------------------------------ profiles -----
+
+TEST(Profiles, LookupByAliases) {
+  EXPECT_EQ(profile_by_name("gcc").name, "gcc");
+  EXPECT_EQ(profile_by_name("G++").name, "gcc");
+  EXPECT_EQ(profile_by_name("libgomp").name, "gcc");
+  EXPECT_EQ(profile_by_name("LLVM").name, "clang");
+  EXPECT_EQ(profile_by_name("libomp").name, "clang");
+  EXPECT_EQ(profile_by_name("oneapi").name, "intel");
+  EXPECT_EQ(profile_by_name("libiomp5").name, "intel");
+  EXPECT_THROW((void)profile_by_name("msvc"), Error);
+}
+
+TEST(Profiles, VendorCharacteristics) {
+  const auto gcc = gcc_profile();
+  const auto clang = clang_profile();
+  const auto intel = intel_profile();
+  // The documented mechanisms behind the paper's case studies:
+  EXPECT_TRUE(gcc.fp.flush_subnormals);        // numeric divergence source
+  EXPECT_FALSE(clang.fp.flush_subnormals);
+  EXPECT_GT(clang.cost.relaunch_multiplier, 5.0);  // Case Study 2
+  EXPECT_EQ(intel.critical_lock, LockAlgorithm::Queuing);  // Case Study 3
+  EXPECT_EQ(gcc.critical_lock, LockAlgorithm::FutexMutex);
+  EXPECT_GT(gcc.wait.active_fraction, intel.wait.active_fraction);  // spin vs sleep
+  EXPECT_GT(clang.wait.pages_per_region, 10.0);  // per-launch allocation
+  EXPECT_GT(intel.fault.hang_probability, 0.0);
+  EXPECT_GT(gcc.fault.crash_probability, 0.0);
+  EXPECT_EQ(clang.fault.hang_probability, 0.0);
+}
+
+// ------------------------------------------------------------ cost model ---
+
+TEST(CostModel, ComputeScalesWithEvents) {
+  const auto prof = intel_profile();
+  auto ev = basic_events();
+  const auto t1 = simulate_time(ev, plain_features(), 32, prof, 1);
+  ev.fp_add_sub *= 10;
+  ev.scalar_loads *= 10;
+  const auto t2 = simulate_time(ev, plain_features(), 32, prof, 1);
+  EXPECT_GT(t2.compute_ns, t1.compute_ns * 3.0);
+}
+
+TEST(CostModel, RelaunchPenaltyKicksInAboveThreshold) {
+  const auto prof = clang_profile();
+  interp::EventCounts few = basic_events();
+  few.parallel_regions = 4;
+  interp::EventCounts many = basic_events();
+  many.parallel_regions = 400;
+  const auto t_few = simulate_time(few, plain_features(), 32, prof, 1);
+  const auto t_many = simulate_time(many, plain_features(), 32, prof, 1);
+  // Beyond the threshold each launch costs ~relaunch_multiplier x base, so
+  // 100x the regions must cost far more than 100x the launch time.
+  EXPECT_GT(t_many.launch_ns, t_few.launch_ns * 300.0);
+}
+
+TEST(CostModel, ClangRelaunchDwarfsOthers) {
+  interp::EventCounts ev = basic_events();
+  ev.parallel_regions = 200;
+  ev.thread_starts = 200 * 32;
+  const auto gcc_t = simulate_time(ev, plain_features(), 32, gcc_profile(), 1);
+  const auto clang_t = simulate_time(ev, plain_features(), 32, clang_profile(), 1);
+  const auto intel_t = simulate_time(ev, plain_features(), 32, intel_profile(), 1);
+  EXPECT_GT(clang_t.launch_ns, 3.0 * gcc_t.launch_ns);
+  EXPECT_GT(clang_t.launch_ns, 3.0 * intel_t.launch_ns);
+}
+
+TEST(CostModel, CriticalContentionMakesGccFastest) {
+  interp::EventCounts ev = basic_events();
+  ev.critical_entries = 2000;
+  ev.critical_stmts = 4000;
+  const double gcc_ns =
+      simulate_time(ev, plain_features(), 32, gcc_profile(), 1).critical_ns;
+  const double clang_ns =
+      simulate_time(ev, plain_features(), 32, clang_profile(), 1).critical_ns;
+  const double intel_ns =
+      simulate_time(ev, plain_features(), 32, intel_profile(), 1).critical_ns;
+  // GCC's futex mutex is the cheap one; Intel and Clang are comparable
+  // (within the alpha=0.2 band) so they form the baseline pair.
+  EXPECT_LT(gcc_ns * 2.0, intel_ns);
+  EXPECT_LT(std::fabs(intel_ns - clang_ns) / std::min(intel_ns, clang_ns), 0.2);
+}
+
+TEST(CostModel, SubnormalAssistsCharged) {
+  const auto prof = clang_profile();
+  auto ev = basic_events();
+  const auto base = simulate_time(ev, plain_features(), 32, prof, 1);
+  ev.subnormal_fp_ops = 100000;
+  const auto assisted = simulate_time(ev, plain_features(), 32, prof, 1);
+  EXPECT_GT(assisted.compute_ns, base.compute_ns + 1e6);
+}
+
+TEST(CostModel, MixedWidthPenaltyOnlyForMixedPrograms) {
+  const auto prof = gcc_profile();
+  auto features = plain_features();
+  const auto pure = simulate_time(basic_events(), features, 32, prof, 1);
+  features.num_float_vars = 2;  // now mixed float + double
+  const auto mixed = simulate_time(basic_events(), features, 32, prof, 1);
+  EXPECT_GT(mixed.compute_ns, pure.compute_ns);
+}
+
+TEST(CostModel, NoiseIsDeterministicAndBounded) {
+  const auto prof = gcc_profile();
+  const auto ev = basic_events();
+  const auto a = simulate_time(ev, plain_features(), 32, prof, 42);
+  const auto b = simulate_time(ev, plain_features(), 32, prof, 42);
+  EXPECT_DOUBLE_EQ(a.total_us(), b.total_us());
+  const auto c = simulate_time(ev, plain_features(), 32, prof, 43);
+  EXPECT_NE(a.total_us(), c.total_us());
+  EXPECT_GE(a.noise_factor, 1.0 - prof.cost.noise_fraction);
+  EXPECT_LE(a.noise_factor, 1.0 + prof.cost.noise_fraction);
+}
+
+TEST(CostModel, TimeScaleAppliesToTotalOnly) {
+  auto prof = intel_profile();
+  const auto ev = basic_events();
+  const auto t1 = simulate_time(ev, plain_features(), 32, prof, 1);
+  prof.cost.time_scale *= 2.0;
+  const auto t2 = simulate_time(ev, plain_features(), 32, prof, 1);
+  EXPECT_DOUBLE_EQ(t2.compute_ns, t1.compute_ns);          // raw parts unscaled
+  EXPECT_NEAR(t2.total_ns(), 2.0 * t1.total_ns(), 1e-6);   // total doubles
+}
+
+TEST(CostModel, HashUniformInUnitInterval) {
+  for (std::uint64_t h = 0; h < 1000; ++h) {
+    const double u = hash_uniform(h);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+// ------------------------------------------------------------ fault model --
+
+TEST(FaultModel, HangRequiresTriggerPattern) {
+  const auto intel = intel_profile();
+  ast::ProgramFeatures no_trigger;
+  for (std::uint64_t h = 0; h < 3000; ++h) {
+    EXPECT_EQ(decide_fault(no_trigger, 32, intel, h).kind, FaultKind::None);
+  }
+}
+
+TEST(FaultModel, HangFiresAtDocumentedRate) {
+  const auto intel = intel_profile();
+  ast::ProgramFeatures trigger;
+  trigger.has_critical_in_parallel_loop = true;
+  int hangs = 0;
+  constexpr int n = 200000;
+  for (std::uint64_t h = 0; h < n; ++h) {
+    hangs += (decide_fault(trigger, 32, intel, h).kind == FaultKind::Hang);
+  }
+  EXPECT_NEAR(static_cast<double>(hangs) / n, intel.fault.hang_probability,
+              intel.fault.hang_probability * 0.2);
+}
+
+TEST(FaultModel, HangNeedsWideTeam) {
+  const auto intel = intel_profile();
+  ast::ProgramFeatures trigger;
+  trigger.has_critical_in_parallel_loop = true;
+  for (std::uint64_t h = 0; h < 3000; ++h) {
+    EXPECT_EQ(decide_fault(trigger, 2, intel, h).kind, FaultKind::None);
+  }
+}
+
+TEST(FaultModel, CrashNeedsDepthAndMath) {
+  const auto gcc = gcc_profile();
+  ast::ProgramFeatures shallow;
+  shallow.max_nesting_depth = 2;
+  shallow.num_math_calls = 5;
+  ast::ProgramFeatures no_math;
+  no_math.max_nesting_depth = 4;
+  for (std::uint64_t h = 0; h < 2000; ++h) {
+    EXPECT_EQ(decide_fault(shallow, 32, gcc, h).kind, FaultKind::None);
+    EXPECT_EQ(decide_fault(no_math, 32, gcc, h).kind, FaultKind::None);
+  }
+}
+
+TEST(FaultModel, DecisionsAreDeterministic) {
+  const auto gcc = gcc_profile();
+  ast::ProgramFeatures trigger;
+  trigger.max_nesting_depth = 3;
+  trigger.num_math_calls = 1;
+  for (std::uint64_t h = 0; h < 100; ++h) {
+    EXPECT_EQ(decide_fault(trigger, 32, gcc, h).kind,
+              decide_fault(trigger, 32, gcc, h).kind);
+  }
+}
+
+TEST(FaultModel, CleanProfilesNeverFault) {
+  const auto clang = clang_profile();
+  ast::ProgramFeatures trigger;
+  trigger.has_critical_in_parallel_loop = true;
+  trigger.max_nesting_depth = 5;
+  trigger.num_math_calls = 10;
+  for (std::uint64_t h = 0; h < 3000; ++h) {
+    EXPECT_EQ(decide_fault(trigger, 32, clang, h).kind, FaultKind::None);
+  }
+}
+
+// ------------------------------------------------------------ counters -----
+
+TEST(Counters, ClangRegionStormInflatesSwitchesAndFaults) {
+  // The Table III relationships: Clang >> Intel in context switches and page
+  // faults for a region-relaunch test.
+  interp::EventCounts ev = basic_events();
+  ev.parallel_regions = 1000;
+  ev.thread_starts = 1000 * 32;
+  const auto clang_t = simulate_time(ev, plain_features(), 32, clang_profile(), 7);
+  const auto intel_t = simulate_time(ev, plain_features(), 32, intel_profile(), 7);
+  const auto clang_pc = synthesize_counters(ev, clang_t, 32, clang_profile(), 7);
+  const auto intel_pc = synthesize_counters(ev, intel_t, 32, intel_profile(), 7);
+  EXPECT_GT(clang_pc.context_switches, 20 * intel_pc.context_switches);
+  EXPECT_GT(clang_pc.page_faults, 20 * intel_pc.page_faults);
+  EXPECT_GT(clang_pc.instructions, 2 * intel_pc.instructions);
+  EXPECT_GT(clang_pc.cycles, 2 * intel_pc.cycles);
+}
+
+TEST(Counters, SpinningRuntimeBurnsCyclesWhileSleepingOneSwitches) {
+  // The Table II inversion: GCC (spin) accumulates more cycles than Intel
+  // (sleep) on a contended-critical test even while being faster overall.
+  interp::EventCounts ev = basic_events();
+  ev.critical_entries = 5000;
+  ev.critical_stmts = 10000;
+  ev.parallel_regions = 1;
+  ev.thread_starts = 32;
+  const auto gcc_t = simulate_time(ev, plain_features(), 32, gcc_profile(), 9);
+  const auto intel_t = simulate_time(ev, plain_features(), 32, intel_profile(), 9);
+  const auto gcc_pc = synthesize_counters(ev, gcc_t, 32, gcc_profile(), 9);
+  const auto intel_pc = synthesize_counters(ev, intel_t, 32, intel_profile(), 9);
+  EXPECT_LT(gcc_t.total_us(), intel_t.total_us());            // gcc faster
+  EXPECT_GT(intel_pc.context_switches, gcc_pc.context_switches);  // intel sleeps
+  EXPECT_GT(intel_pc.cpu_migrations, gcc_pc.cpu_migrations);
+}
+
+TEST(Counters, DeterministicPerSeed) {
+  const auto prof = gcc_profile();
+  const auto ev = basic_events();
+  const auto t = simulate_time(ev, plain_features(), 32, prof, 5);
+  const auto a = synthesize_counters(ev, t, 32, prof, 5);
+  const auto b = synthesize_counters(ev, t, 32, prof, 5);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.page_faults, b.page_faults);
+}
+
+TEST(Counters, InstructionsTrackUserWork) {
+  const auto prof = intel_profile();
+  auto ev = basic_events();
+  const auto t = simulate_time(ev, plain_features(), 32, prof, 3);
+  const auto small = synthesize_counters(ev, t, 32, prof, 3);
+  ev.fp_add_sub *= 20;
+  ev.scalar_loads *= 20;
+  const auto t2 = simulate_time(ev, plain_features(), 32, prof, 3);
+  const auto big = synthesize_counters(ev, t2, 32, prof, 3);
+  EXPECT_GT(big.instructions, small.instructions * 5);
+  EXPECT_GT(big.branches, small.branches / 2);  // branches unchanged-ish
+}
+
+}  // namespace
+}  // namespace ompfuzz::rt

@@ -1,0 +1,344 @@
+// Unit tests for the support substrate: RNG, config, stats, tables, JSON.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "support/config.hpp"
+#include "support/error.hpp"
+#include "support/json_writer.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+namespace ompfuzz {
+namespace {
+
+// ---------------------------------------------------------------- RNG -----
+
+TEST(Rng, SplitMix64KnownSequence) {
+  // Reference values from the SplitMix64 reference implementation, seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  RandomEngine a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  RandomEngine a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  RandomEngine parent1(7), parent2(7);
+  (void)parent2.next_u64();  // consuming the parent stream...
+  RandomEngine child1 = parent1.fork(3);
+  RandomEngine child2 = parent2.fork(3);
+  // ...must not change what a forked child produces.
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, UniformIntBounds) {
+  RandomEngine rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  RandomEngine rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  RandomEngine rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  RandomEngine rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanIsCentered) {
+  RandomEngine rng(19);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform_real();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  RandomEngine rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  RandomEngine rng(29);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PickWeightedRespectsZeroWeights) {
+  RandomEngine rng(31);
+  const std::array<double, 3> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.pick_weighted(weights), 1u);
+  }
+}
+
+TEST(Rng, PickWeightedProportions) {
+  RandomEngine rng(37);
+  const std::array<double, 2> weights = {1.0, 3.0};
+  int count1 = 0;
+  constexpr int n = 40000;
+  for (int i = 0; i < n; ++i) count1 += (rng.pick_weighted(weights) == 1);
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  RandomEngine rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of "a" is 0xaf63dc4c8601ec8c.
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(Rng, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+// ---------------------------------------------------------------- config ---
+
+TEST(Config, ParsesSectionsAndTypes) {
+  const auto cfg = ConfigFile::parse(
+      "[generator]\n"
+      "max_expression_size = 7  ; comment\n"
+      "math_func_allowed = true\n"
+      "[campaign]\n"
+      "alpha = 0.25\n"
+      "name = hello\n");
+  EXPECT_EQ(cfg.get_int("generator.max_expression_size", 0), 7);
+  EXPECT_TRUE(cfg.get_bool("generator.math_func_allowed", false));
+  EXPECT_DOUBLE_EQ(cfg.get_double("campaign.alpha", 0.0), 0.25);
+  EXPECT_EQ(cfg.get_or("campaign.name", ""), "hello");
+}
+
+TEST(Config, MissingKeysFallBack) {
+  const auto cfg = ConfigFile::parse("");
+  EXPECT_EQ(cfg.get_int("nope", 5), 5);
+  EXPECT_FALSE(cfg.get("nope").has_value());
+}
+
+TEST(Config, MalformedLinesThrow) {
+  EXPECT_THROW(ConfigFile::parse("key without equals\n"), ConfigError);
+  EXPECT_THROW(ConfigFile::parse("[unclosed\n"), ConfigError);
+  EXPECT_THROW(ConfigFile::parse("= value\n"), ConfigError);
+}
+
+TEST(Config, BadTypedValuesThrow) {
+  const auto cfg = ConfigFile::parse("x = notanumber\nb = maybe\n");
+  EXPECT_THROW((void)cfg.get_int("x", 0), ConfigError);
+  EXPECT_THROW((void)cfg.get_double("x", 0.0), ConfigError);
+  EXPECT_THROW((void)cfg.get_bool("b", false), ConfigError);
+}
+
+TEST(Config, GeneratorConfigFromFileAndValidation) {
+  const auto file = ConfigFile::parse(
+      "[generator]\nmax_expression_size = 9\narray_size = 64\n");
+  const auto gen = GeneratorConfig::from_config(file);
+  EXPECT_EQ(gen.max_expression_size, 9);
+  EXPECT_EQ(gen.array_size, 64);
+  EXPECT_EQ(gen.max_nesting_levels, 3);  // default preserved
+}
+
+TEST(Config, GeneratorConfigRejectsBadValues) {
+  GeneratorConfig bad;
+  bad.max_expression_size = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = GeneratorConfig{};
+  bad.math_func_probability = 1.5;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+TEST(Config, CampaignConfigParsesImplementations) {
+  const auto file = ConfigFile::parse(
+      "[campaign]\nnum_programs = 10\nalpha = 0.3\n"
+      "[implementations]\n"
+      "gcc = profile: libgomp\n"
+      "real = g++ -fopenmp -O3 {src} -o {bin}\n");
+  const auto c = CampaignConfig::from_config(file);
+  EXPECT_EQ(c.num_programs, 10);
+  EXPECT_DOUBLE_EQ(c.alpha, 0.3);
+  ASSERT_EQ(c.implementations.size(), 2u);
+  // std::map ordering: "gcc" < "real".
+  EXPECT_EQ(c.implementations[0].name, "gcc");
+  EXPECT_EQ(c.implementations[0].profile, "libgomp");
+  EXPECT_EQ(c.implementations[1].name, "real");
+  EXPECT_TRUE(c.implementations[1].profile.empty());
+}
+
+TEST(Config, CampaignValidationRejectsBadThresholds) {
+  CampaignConfig c;
+  c.alpha = 0.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = CampaignConfig{};
+  c.beta = 1.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+// ---------------------------------------------------------------- strings --
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a{x}b{x}", "{x}", "1"), "a1b1");
+  EXPECT_EQ(replace_all("abc", "", "z"), "abc");
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+  for (double v : {1.0, -0.0, 3.14159e300, 5e-324, 1976157359951.6069}) {
+    // strtod, not std::stod: stod throws out_of_range on subnormal results.
+    EXPECT_EQ(std::strtod(format_double(v).c_str(), nullptr), v);
+  }
+}
+
+TEST(Strings, FormatThousands) {
+  EXPECT_EQ(format_thousands(0), "0");
+  EXPECT_EQ(format_thousands(999), "999");
+  EXPECT_EQ(format_thousands(1000), "1,000");
+  EXPECT_EQ(format_thousands(85366729), "85,366,729");
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(population_stddev(xs), 2.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> xs = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 20.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Stats, GeomeanAndNonPositiveGuard) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean(std::vector<double>{1.0, 0.0}), 0.0);
+}
+
+// ---------------------------------------------------------------- table ----
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"Name", "N"});
+  t.set_alignment({Align::Left, Align::Right});
+  t.add_row({"gcc", "10"});
+  t.add_row({"clang", "7"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Name  | "), std::string::npos);
+  EXPECT_NE(out.find("gcc   | 10"), std::string::npos);
+  EXPECT_NE(out.find("clang |  7"), std::string::npos);
+}
+
+TEST(Table, RowSizeMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+// ---------------------------------------------------------------- json -----
+
+TEST(Json, ObjectsArraysAndEscaping) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("name").value("line\n\"quoted\"");
+  j.key("xs").begin_array().value(std::int64_t{1}).value(2.5).value(true).null().end_array();
+  j.end_object();
+  EXPECT_EQ(j.str(),
+            "{\"name\":\"line\\n\\\"quoted\\\"\",\"xs\":[1,2.5,true,null]}");
+}
+
+TEST(Json, NonFiniteNumbersEncodeAsStrings) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(std::nan(""));
+  j.value(HUGE_VAL);
+  j.end_array();
+  EXPECT_EQ(j.str(), "[\"nan\",\"inf\"]");
+}
+
+TEST(Json, NestedObjects) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("a").begin_object().key("b").value(std::int64_t{1}).end_object();
+  j.key("c").value(std::int64_t{2});
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"a\":{\"b\":1},\"c\":2}");
+}
+
+}  // namespace
+}  // namespace ompfuzz
