@@ -111,6 +111,38 @@ void BM_OutlierAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_OutlierAnalysis);
 
+void BM_CampaignEngine(benchmark::State& state) {
+  // Whole campaign phase (generate -> validate -> run x3 impls -> classify)
+  // under the sharded engine; the argument sweeps the worker-thread count,
+  // so the serial-vs-N-threads rows report the engine's scaling directly.
+  // Wall-clock (real time) is the relevant axis for a multithreaded phase.
+  CampaignConfig cfg;
+  cfg.generator = bench_config();
+  cfg.num_programs = 24;
+  cfg.inputs_per_program = 2;
+  cfg.threads = static_cast<int>(state.range(0));
+  harness::SimExecutorOptions opt;
+  opt.num_threads = 32;
+  harness::SimExecutor exec(opt);
+  int total_runs = 0;
+  for (auto _ : state) {
+    harness::Campaign campaign(cfg, exec);
+    const auto result = campaign.run();
+    total_runs += result.total_runs;
+    benchmark::DoNotOptimize(result.total_runs);
+  }
+  state.SetItemsProcessed(total_runs);
+  state.counters["threads"] = static_cast<double>(cfg.threads);
+}
+BENCHMARK(BM_CampaignEngine)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
 void BM_FullTestAcrossThreeImpls(benchmark::State& state) {
   // One complete differential test: 3 interpretations + pricing + verdict.
   CampaignConfig cfg;

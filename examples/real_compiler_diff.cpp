@@ -4,7 +4,7 @@
 // pipeline; see DESIGN.md substitutions). With icpx/clang++ installed, edit
 // the commands below and this example runs the paper's exact experiment.
 //
-//   $ ./real_compiler_diff [num_programs]
+//   $ ./real_compiler_diff [num_programs] [threads]
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace ompfuzz;
   const int programs = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 1;
 
   if (std::system("g++ --version > /dev/null 2>&1") != 0) {
     std::printf("no g++ on PATH; this example needs a real compiler\n");
@@ -34,6 +35,9 @@ int main(int argc, char** argv) {
   harness::SubprocessOptions opt;
   opt.work_dir = "_real_tests";
   opt.run_timeout_ms = 30'000;
+  // Trade timing fidelity for throughput when parallelism was requested —
+  // this example's alpha = 0.5 already tolerates wall-clock noise.
+  opt.concurrent_runs = threads != 1;  // 0 means "all hardware threads"
   harness::SubprocessExecutor executor(std::move(impls), opt);
 
   CampaignConfig cfg;
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
   cfg.min_time_us = 0;  // real runs here are fast; analyze everything
   cfg.alpha = 0.5;      // wall-clock noise on a shared machine needs slack
   cfg.beta = 2.0;
+  cfg.threads = threads;  // campaign shards (see concurrent_runs above)
 
   harness::Campaign campaign(cfg, executor);
   std::printf("\ncompiling and running %d programs x 2 inputs x 3 binaries "

@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <string>
 
-#include "fp/input_gen.hpp"
+#include "fp/fp_class.hpp"
 
 namespace ompfuzz::ast {
 

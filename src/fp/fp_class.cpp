@@ -5,9 +5,14 @@
 #include <cstdlib>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "support/string_utils.hpp"
 
 namespace ompfuzz::fp {
+
+const char* to_keyword(FpWidth w) noexcept {
+  return w == FpWidth::F32 ? "float" : "double";
+}
 
 const char* to_string(FpClass c) noexcept {
   switch (c) {

@@ -14,9 +14,18 @@
 #include <cstdint>
 #include <string>
 
-#include "support/rng.hpp"
+namespace ompfuzz {
+class RandomEngine;  // support/rng.hpp; by reference only, keeps this header light
+}
 
 namespace ompfuzz::fp {
+
+/// Floating-point width of a generated variable. Lives here (not in
+/// input_gen.hpp) so AST headers can name widths without pulling in the
+/// input-generation machinery.
+enum class FpWidth : std::uint8_t { F32, F64 };
+
+[[nodiscard]] const char* to_keyword(FpWidth w) noexcept;  // "float" / "double"
 
 enum class FpClass : std::uint8_t {
   Normal,

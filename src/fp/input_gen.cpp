@@ -7,10 +7,6 @@
 
 namespace ompfuzz::fp {
 
-const char* to_keyword(FpWidth w) noexcept {
-  return w == FpWidth::F32 ? "float" : "double";
-}
-
 std::string InputValue::to_argv_string() const {
   if (kind == ParamKind::Int) return std::to_string(int_value);
   return to_exact_string(fp_value);

@@ -22,11 +22,6 @@
 
 namespace ompfuzz::fp {
 
-/// Floating-point width of a generated variable.
-enum class FpWidth : std::uint8_t { F32, F64 };
-
-[[nodiscard]] const char* to_keyword(FpWidth w) noexcept;  // "float" / "double"
-
 /// Kind of a compute() parameter.
 enum class ParamKind : std::uint8_t { Int, Scalar, Array };
 

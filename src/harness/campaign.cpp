@@ -1,10 +1,12 @@
 #include "harness/campaign.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "core/race_checker.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ompfuzz::harness {
 
@@ -66,6 +68,75 @@ TestCase Campaign::make_test_case(int program_index) const {
   return test;
 }
 
+namespace {
+
+/// Everything one program shard produces; aggregated in program order so a
+/// parallel campaign is bit-identical to a serial one.
+struct ProgramShard {
+  std::vector<TestOutcome> outcomes;
+  int regeneration_attempts = 0;
+};
+
+/// Generates program `p`, runs every (input, implementation) pair, and
+/// classifies each test. Pure function of the campaign config and the
+/// executor; `exec_mutex` serializes executor calls when the backend is not
+/// thread-safe.
+ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
+                               std::mutex* exec_mutex,
+                               const core::OutlierDetector& detector,
+                               const std::vector<std::string>& impl_names,
+                               int p) {
+  ProgramShard shard;
+  const TestCase test = campaign.make_test_case(p);
+  shard.regeneration_attempts = test.regeneration_attempts;
+
+  const int inputs_per_program = campaign.config().inputs_per_program;
+  shard.outcomes.reserve(static_cast<std::size_t>(inputs_per_program));
+  for (int i = 0; i < inputs_per_program; ++i) {
+    TestOutcome outcome;
+    outcome.program_index = p;
+    outcome.input_index = i;
+    outcome.program_name = test.program.name();
+    outcome.input_text = test.inputs[static_cast<std::size_t>(i)].to_string();
+
+    for (const auto& impl : impl_names) {
+      std::unique_lock<std::mutex> lock;
+      if (exec_mutex != nullptr) lock = std::unique_lock<std::mutex>(*exec_mutex);
+      outcome.runs.push_back(executor.run(test, static_cast<std::size_t>(i), impl));
+    }
+
+    outcome.verdict = detector.analyze(outcome.runs);
+
+    // Output divergence across the OK runs (NaN-aware majority vote);
+    // non-OK runs are marked non-divergent placeholders.
+    std::vector<double> ok_outputs;
+    std::vector<std::size_t> ok_ids;
+    for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+      if (outcome.runs[r].status == core::RunStatus::Ok) {
+        ok_outputs.push_back(outcome.runs[r].output);
+        ok_ids.push_back(r);
+      }
+    }
+    // The paper's driver compares the printed outputs, and %.17g
+    // round-trips doubles exactly — so divergence is bitwise (NaN-aware).
+    core::DiffTolerance exact;
+    exact.max_ulps = 0;
+    exact.max_rel_error = 0.0;
+    const auto ok_divergence = core::analyze_outputs(ok_outputs, exact);
+    outcome.divergence.all_equivalent = ok_divergence.all_equivalent;
+    outcome.divergence.majority_size = ok_divergence.majority_size;
+    outcome.divergence.diverges.assign(outcome.runs.size(), false);
+    for (std::size_t k = 0; k < ok_ids.size(); ++k) {
+      outcome.divergence.diverges[ok_ids[k]] = ok_divergence.diverges[k];
+    }
+
+    shard.outcomes.push_back(std::move(outcome));
+  }
+  return shard;
+}
+
+}  // namespace
+
 CampaignResult Campaign::run(const ProgressFn& progress) {
   CampaignResult result;
   result.impl_names = executor_.implementations();
@@ -77,55 +148,49 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   params.min_time_us = static_cast<double>(config_.min_time_us);
   const core::OutlierDetector detector(params);
 
-  for (int p = 0; p < config_.num_programs; ++p) {
-    const TestCase test = make_test_case(p);
-    result.regenerated_programs += test.regeneration_attempts > 0 ? 1 : 0;
+  std::mutex exec_serialize;
+  std::mutex* exec_mutex = executor_.thread_safe() ? nullptr : &exec_serialize;
 
-    for (int i = 0; i < config_.inputs_per_program; ++i) {
-      TestOutcome outcome;
-      outcome.program_index = p;
-      outcome.input_index = i;
-      outcome.program_name = test.program.name();
-      outcome.input_text = test.inputs[static_cast<std::size_t>(i)].to_string();
+  // Phase 1: run shards — one per program, deterministic in isolation thanks
+  // to the per-program RandomEngine::fork streams in make_test_case.
+  const std::size_t workers = std::min(
+      resolve_thread_count(config_.threads),
+      static_cast<std::size_t>(config_.num_programs));
+  std::vector<ProgramShard> shards(static_cast<std::size_t>(config_.num_programs));
+  if (workers <= 1) {
+    for (int p = 0; p < config_.num_programs; ++p) {
+      shards[static_cast<std::size_t>(p)] = run_program_shard(
+          *this, executor_, nullptr, detector, result.impl_names, p);
+      if (progress) progress(p + 1, config_.num_programs);
+    }
+  } else {
+    ThreadPool pool(workers);
+    std::mutex progress_mutex;
+    int completed = 0;
+    parallel_for(pool, config_.num_programs, [&](int p) {
+      ProgramShard shard = run_program_shard(*this, executor_, exec_mutex,
+                                             detector, result.impl_names, p);
+      shards[static_cast<std::size_t>(p)] = std::move(shard);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress(++completed, config_.num_programs);
+      }
+    });
+  }
 
-      for (const auto& impl : result.impl_names) {
-        outcome.runs.push_back(
-            executor_.run(test, static_cast<std::size_t>(i), impl));
+  // Phase 2: ordered aggregation. Every count is derived from the shard
+  // outcomes in program order, so the result does not depend on the thread
+  // count or on shard completion order.
+  for (auto& shard : shards) {
+    result.regenerated_programs += shard.regeneration_attempts > 0 ? 1 : 0;
+    for (auto& outcome : shard.outcomes) {
+      ++result.total_tests;
+      if (outcome.verdict.analyzable) ++result.analyzable_tests;
+      for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
         ++result.total_runs;
-        if (outcome.runs.back().status == core::RunStatus::Skipped) {
+        if (outcome.runs[r].status == core::RunStatus::Skipped) {
           ++result.skipped_runs;
         }
-      }
-      ++result.total_tests;
-
-      outcome.verdict = detector.analyze(outcome.runs);
-      if (outcome.verdict.analyzable) ++result.analyzable_tests;
-
-      // Output divergence across the OK runs (NaN-aware majority vote);
-      // non-OK runs are marked non-divergent placeholders.
-      std::vector<double> ok_outputs;
-      std::vector<std::size_t> ok_ids;
-      for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
-        if (outcome.runs[r].status == core::RunStatus::Ok) {
-          ok_outputs.push_back(outcome.runs[r].output);
-          ok_ids.push_back(r);
-        }
-      }
-      // The paper's driver compares the printed outputs, and %.17g
-      // round-trips doubles exactly — so divergence is bitwise (NaN-aware).
-      core::DiffTolerance exact;
-      exact.max_ulps = 0;
-      exact.max_rel_error = 0.0;
-      const auto ok_divergence = core::analyze_outputs(ok_outputs, exact);
-      outcome.divergence.all_equivalent = ok_divergence.all_equivalent;
-      outcome.divergence.majority_size = ok_divergence.majority_size;
-      outcome.divergence.diverges.assign(outcome.runs.size(), false);
-      for (std::size_t k = 0; k < ok_ids.size(); ++k) {
-        outcome.divergence.diverges[ok_ids[k]] = ok_divergence.diverges[k];
-      }
-
-      // Aggregate per-implementation counts.
-      for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
         auto& counts = result.per_impl[outcome.runs[r].impl];
         switch (outcome.verdict.per_run[r]) {
           case core::OutlierKind::Slow: ++counts.slow; break;
@@ -140,7 +205,6 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
       }
       result.outcomes.push_back(std::move(outcome));
     }
-    if (progress) progress(p + 1, config_.num_programs);
   }
   return result;
 }

@@ -61,7 +61,9 @@ struct CampaignResult {
   [[nodiscard]] double outlier_rate() const;  ///< outlier runs / total runs
 };
 
-/// Progress callback: (programs done, total programs).
+/// Progress callback: (programs done, total programs). With `config.threads`
+/// > 1 the callback fires in completion order (counts stay monotonic) and
+/// must tolerate being called from worker threads.
 using ProgressFn = std::function<void(int, int)>;
 
 class Campaign {
@@ -69,7 +71,9 @@ class Campaign {
   Campaign(CampaignConfig config, Executor& executor);
 
   /// Runs the whole campaign. Deterministic given the config seed and the
-  /// executor (SimExecutor is fully deterministic).
+  /// executor (SimExecutor is fully deterministic): programs are sharded
+  /// across `config.threads` workers and aggregated in program order, so the
+  /// result is identical for every thread count.
   [[nodiscard]] CampaignResult run(const ProgressFn& progress = nullptr);
 
   /// Generates the i-th test case of this campaign (exposed so benches can

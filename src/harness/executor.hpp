@@ -41,6 +41,17 @@ class Executor {
 
   /// Names of the implementations this executor can drive.
   [[nodiscard]] virtual std::vector<std::string> implementations() const = 0;
+
+  /// True if run() may be called concurrently from multiple threads. The
+  /// campaign engine serializes run() calls behind a mutex otherwise, so a
+  /// non-thread-safe executor is race-free (just unaccelerated). Note that
+  /// with threads > 1 the serialized calls still *arrive* in shard
+  /// completion order, not program order — so the campaign's
+  /// identical-for-every-thread-count guarantee additionally requires run()
+  /// to be a pure function of its arguments (both in-tree executors are).
+  /// An executor whose results depend on call order must be driven with
+  /// threads = 1.
+  [[nodiscard]] virtual bool thread_safe() const noexcept { return false; }
 };
 
 }  // namespace ompfuzz::harness

@@ -43,6 +43,10 @@ class SimExecutor final : public Executor {
                                     const std::string& impl_name) override;
   [[nodiscard]] std::vector<std::string> implementations() const override;
 
+  /// Stateless run path: interpretation, pricing, and fault decisions touch
+  /// only immutable members and locals.
+  [[nodiscard]] bool thread_safe() const noexcept override { return true; }
+
   /// Full observability for the perf-analysis benches (Tables II/III).
   [[nodiscard]] DetailedRun run_detailed(const TestCase& test,
                                          std::size_t input_index,

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -30,6 +31,25 @@ std::vector<std::string> tokenize(const std::string& command) {
   return out;
 }
 
+/// Resolves a command name against PATH before fork(): the child can then
+/// use execv, which is async-signal-safe, where execvp's PATH search may
+/// allocate — undefined between fork and exec in a multithreaded process.
+std::string resolve_executable(const std::string& name) {
+  if (name.find('/') != std::string::npos) return name;
+  const char* path_env = std::getenv("PATH");
+  if (path_env == nullptr) return name;
+  for (const auto& dir : split(path_env, ':')) {
+    const std::string candidate =
+        (dir.empty() ? std::string(".") : std::string(dir)) + "/" + name;
+    // Regular-file check: access(X_OK) alone also matches directories,
+    // which would shadow the real binary later in PATH.
+    struct stat st {};
+    if (::stat(candidate.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  return name;  // let execv report ENOENT from the child (exit 127)
+}
+
 }  // namespace
 
 ProcessResult run_process(const std::vector<std::string>& argv,
@@ -37,8 +57,30 @@ ProcessResult run_process(const std::vector<std::string>& argv,
   OMPFUZZ_CHECK(!argv.empty(), "run_process needs a command");
   ProcessResult result;
 
+  // run_process may be called concurrently (SubprocessExecutor is
+  // thread-safe): O_CLOEXEC keeps a child forked by another thread from
+  // inheriting this pipe's write end (which would block the drain read
+  // below until that unrelated child exits), and the argv array is built
+  // before fork() so the child only calls async-signal-safe functions.
   int pipe_fd[2];
-  if (pipe(pipe_fd) != 0) throw Error("pipe() failed");
+  if (pipe2(pipe_fd, O_CLOEXEC) != 0) throw Error("pipe2() failed");
+
+  const std::string exe = resolve_executable(argv[0]);
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  // Pre-built ENOEXEC fallback (shebang-less script): execvp ran those via
+  // the shell, and execv must keep that behavior without allocating
+  // post-fork.
+  std::vector<char*> shargv;
+  shargv.reserve(argv.size() + 2);
+  shargv.push_back(const_cast<char*>("/bin/sh"));
+  shargv.push_back(const_cast<char*>(exe.c_str()));
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    shargv.push_back(const_cast<char*>(argv[i].c_str()));
+  }
+  shargv.push_back(nullptr);
 
   const pid_t pid = fork();
   if (pid < 0) {
@@ -47,17 +89,19 @@ ProcessResult run_process(const std::vector<std::string>& argv,
     throw Error("fork() failed");
   }
   if (pid == 0) {
-    // Child: stdout -> pipe, stderr silenced, exec.
-    dup2(pipe_fd[1], STDOUT_FILENO);
+    // Child: stdout -> pipe, stderr silenced, exec. dup2 clears CLOEXEC on
+    // the duplicated descriptor, so stdout survives the exec — except when
+    // the write end already IS fd 1 (parent launched with stdout closed):
+    // dup2(1, 1) is a no-op that leaves CLOEXEC set, so clear it directly.
+    if (pipe_fd[1] == STDOUT_FILENO) {
+      fcntl(STDOUT_FILENO, F_SETFD, 0);
+    } else {
+      dup2(pipe_fd[1], STDOUT_FILENO);
+    }
     const int devnull = open("/dev/null", O_WRONLY);
     if (devnull >= 0) dup2(devnull, STDERR_FILENO);
-    close(pipe_fd[0]);
-    close(pipe_fd[1]);
-    std::vector<char*> cargv;
-    cargv.reserve(argv.size() + 1);
-    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
-    cargv.push_back(nullptr);
-    execvp(cargv[0], cargv.data());
+    execv(exe.c_str(), cargv.data());
+    if (errno == ENOEXEC) execv("/bin/sh", shargv.data());
     _exit(127);
   }
 
@@ -140,6 +184,11 @@ std::vector<std::string> SubprocessExecutor::implementations() const {
 
 std::string SubprocessExecutor::ensure_binary(const TestCase& test,
                                               const ImplementationSpec& impl) {
+  // Held across emission + compilation: two threads racing the same
+  // (program, impl) would clobber each other's source and binary files.
+  // Distinct programs compile serially too, which is fine — the subprocess
+  // backend's parallelism lives in the run phase.
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto key = std::make_pair(test.program.fingerprint(), impl.name);
   if (const auto it = binary_cache_.find(key); it != binary_cache_.end()) {
     return it->second;
@@ -157,6 +206,14 @@ std::string SubprocessExecutor::ensure_binary(const TestCase& test,
 
   std::string command = replace_all(impl.compile_command, "{src}", src);
   command = replace_all(command, "{bin}", bin);
+  // Compile children count as machine load too: without concurrent_runs they
+  // share the quiet lock with timed runs, so a g++ on another worker can't
+  // inflate a timed child's self-reported time. Lock order is cache -> run;
+  // the timed-run path takes run_mutex_ only, so no cycle.
+  std::unique_lock<std::mutex> quiet_lock;
+  if (!options_.concurrent_runs) {
+    quiet_lock = std::unique_lock<std::mutex>(run_mutex_);
+  }
   const ProcessResult compile =
       run_process(tokenize(command), options_.compile_timeout_ms);
   const bool ok = !compile.timed_out && !compile.signaled && compile.exit_code == 0;
@@ -187,6 +244,10 @@ core::RunResult SubprocessExecutor::run(const TestCase& test,
 
   std::vector<std::string> argv = {bin};
   for (auto& arg : test.inputs[input_index].to_argv()) argv.push_back(std::move(arg));
+  std::unique_lock<std::mutex> run_lock;
+  if (!options_.concurrent_runs) {
+    run_lock = std::unique_lock<std::mutex>(run_mutex_);
+  }
   const ProcessResult proc = run_process(argv, options_.run_timeout_ms);
 
   if (proc.timed_out) {

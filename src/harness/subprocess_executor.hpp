@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "harness/executor.hpp"
@@ -26,6 +27,13 @@ struct SubprocessOptions {
   std::string work_dir = "_tests";       ///< sources and binaries land here
   std::int64_t run_timeout_ms = 10'000;  ///< HANG threshold
   std::int64_t compile_timeout_ms = 60'000;
+  /// Allow child processes (timed test runs AND compiles) to execute
+  /// concurrently under a multithreaded campaign. Off by default:
+  /// simultaneous children contend for cores and skew the self-reported
+  /// times the outlier analysis compares, producing spurious Slow/Hang
+  /// verdicts. Leave off for timing fidelity; turn on for raw throughput
+  /// when only crash/output divergence matters.
+  bool concurrent_runs = false;
 };
 
 /// Raw outcome of one child process.
@@ -52,6 +60,10 @@ class SubprocessExecutor final : public Executor {
                                     const std::string& impl_name) override;
   [[nodiscard]] std::vector<std::string> implementations() const override;
 
+  /// Emission + compilation share the binary cache behind a mutex; child
+  /// processes are independent, so concurrent run() calls are safe.
+  [[nodiscard]] bool thread_safe() const noexcept override { return true; }
+
  private:
   /// Emits (once) and compiles (once per impl) the test; returns the binary
   /// path, or empty if compilation failed.
@@ -60,6 +72,10 @@ class SubprocessExecutor final : public Executor {
 
   std::vector<ImplementationSpec> impls_;
   SubprocessOptions options_;
+  /// Guards binary_cache_ and the emit-compile critical section.
+  std::mutex cache_mutex_;
+  /// Serializes child processes unless options_.concurrent_runs is set.
+  std::mutex run_mutex_;
   /// (program fingerprint, impl) -> compiled binary path ("" = failed).
   std::map<std::pair<std::uint64_t, std::string>, std::string> binary_cache_;
 };

@@ -171,6 +171,7 @@ CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {
   c.min_time_us = file.get_int("campaign.min_time_us", c.min_time_us);
   c.hang_timeout_us = file.get_int("campaign.hang_timeout_us", c.hang_timeout_us);
   c.output_dir = file.get_or("campaign.output_dir", c.output_dir);
+  c.threads = static_cast<int>(file.get_int("campaign.threads", c.threads));
 
   // Implementations are listed as "implementations.NAME = profile_or_command".
   // A value starting with "profile:" selects a simulated runtime profile;
@@ -199,6 +200,7 @@ void CampaignConfig::validate() const {
   if (beta <= 1.0) throw ConfigError("beta must be > 1");
   if (min_time_us < 0) throw ConfigError("min_time_us must be >= 0");
   if (hang_timeout_us <= 0) throw ConfigError("hang_timeout_us must be > 0");
+  if (threads < 0) throw ConfigError("threads must be >= 0 (0 = hardware concurrency)");
 }
 
 }  // namespace ompfuzz

@@ -98,6 +98,10 @@ struct CampaignConfig {
   std::int64_t min_time_us = 1000;   ///< analysis filter: ignore tests faster than this
   std::int64_t hang_timeout_us = 180'000'000;  ///< 3 minutes, as in Case Study 3
   std::string output_dir = "_tests";
+  /// Worker threads for the campaign engine: one generated program per shard.
+  /// 1 = serial (default), 0 = hardware concurrency, N = exactly N workers.
+  /// Results are identical for every value (deterministic sharding).
+  int threads = 1;
 
   static CampaignConfig from_config(const ConfigFile& file);
   void validate() const;

@@ -58,16 +58,27 @@ bool RandomEngine::bernoulli(double p) noexcept {
 }
 
 std::size_t RandomEngine::pick_weighted(std::span<const double> weights) noexcept {
+  return pick_weighted_at(uniform_real(), weights);
+}
+
+std::size_t RandomEngine::pick_weighted_at(
+    double unit, std::span<const double> weights) noexcept {
   double total = 0.0;
   for (double w : weights) total += (w > 0.0 ? w : 0.0);
   if (total <= 0.0) return 0;
-  double target = uniform_real() * total;
+  double target = unit * total;
+  // The cumulative subtraction can overshoot past the last positive bucket
+  // (accumulated rounding, reachable when `unit` is the top uniform_real
+  // value), so remember the last positive-weight index: falling back to
+  // `weights.size() - 1` could select a zero-weight bucket.
+  std::size_t last_positive = 0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
-    if (target < w) return i;
-    target -= w;
+    if (weights[i] <= 0.0) continue;
+    if (target < weights[i]) return i;
+    target -= weights[i];
+    last_positive = i;
   }
-  return weights.size() - 1;  // numerical slack: last positive bucket
+  return last_positive;
 }
 
 }  // namespace ompfuzz

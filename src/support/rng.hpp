@@ -119,8 +119,15 @@ class RandomEngine {
   }
 
   /// Picks index i with probability weights[i] / sum(weights).
-  /// Requires at least one strictly positive weight.
+  /// Requires at least one strictly positive weight. Never returns an index
+  /// whose weight is zero or negative.
   std::size_t pick_weighted(std::span<const double> weights) noexcept;
+
+  /// Deterministic core of pick_weighted: selects the bucket that `unit`
+  /// (in [0, 1)) lands in on the cumulative weight line. Exposed so the
+  /// rounding-overshoot fallback is directly testable.
+  [[nodiscard]] static std::size_t pick_weighted_at(
+      double unit, std::span<const double> weights) noexcept;
 
   /// Fisher-Yates shuffle (deterministic given the engine state).
   template <typename T>

@@ -1,0 +1,84 @@
+#include "support/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace ompfuzz {
+
+std::size_t resolve_thread_count(int requested) noexcept {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain the queue even when shutting down so submitted work always runs.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void parallel_for(ThreadPool& pool, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    int remaining = 0;
+    std::exception_ptr error;
+  } state;
+  state.remaining = n;
+
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&state, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.error) state.error = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.remaining == 0) state.done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace ompfuzz

@@ -42,8 +42,8 @@ TEST(FpClass, IndexRoundTrip) {
   for (int i = 0; i < kNumFpClasses; ++i) {
     EXPECT_EQ(static_cast<int>(fp_class_from_index(i)), i);
   }
-  EXPECT_THROW(fp_class_from_index(kNumFpClasses), Error);
-  EXPECT_THROW(fp_class_from_index(-1), Error);
+  EXPECT_THROW((void)fp_class_from_index(kNumFpClasses), Error);
+  EXPECT_THROW((void)fp_class_from_index(-1), Error);
 }
 
 // Property: every generated value classifies back into the class it was

@@ -1,7 +1,10 @@
 // Unit tests for the support substrate: RNG, config, stats, tables, JSON.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <set>
 
@@ -107,6 +110,39 @@ TEST(Rng, PickWeightedRespectsZeroWeights) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(rng.pick_weighted(weights), 1u);
   }
+}
+
+TEST(Rng, PickWeightedOvershootFallsBackToLastPositiveBucket) {
+  // Regression: with this weight vector, the cumulative subtraction in
+  // pick_weighted overshoots past every positive bucket when the unit draw
+  // is the largest value uniform_real() can produce ((2^53-1) * 2^-53).
+  // The old fallback returned `weights.size() - 1` — the zero-weight
+  // bucket; the fix must return the last positive-weight index instead.
+  constexpr std::array<std::uint64_t, 10> bits = {
+      0x3f7a1066f8e31700ULL, 0x3feca3df6e5718aeULL, 0x3fe09fb2cc0fe21cULL,
+      0x3fe29b4c98ea5749ULL, 0x3fa7f0baaaef3dafULL, 0x3f3729a4a4189000ULL,
+      0x3fd054995b889fe1ULL, 0x3fbf69ed6abed77eULL, 0x3ff25ea8d3b512d0ULL,
+      0x0000000000000000ULL};
+  std::array<double, 10> weights{};
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    weights[i] = std::bit_cast<double>(bits[i]);
+  }
+  const double unit = std::bit_cast<double>(0x3fefffffffffffffULL);
+  ASSERT_LT(unit, 1.0);
+  EXPECT_EQ(RandomEngine::pick_weighted_at(unit, weights), 8u);
+}
+
+TEST(Rng, PickWeightedAtNeverSelectsZeroWeightBucket) {
+  const std::array<double, 5> weights = {0.0, 0.25, 0.0, 0.75, 0.0};
+  RandomEngine rng(43);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t picked =
+        RandomEngine::pick_weighted_at(rng.uniform_real(), weights);
+    EXPECT_TRUE(picked == 1 || picked == 3) << picked;
+  }
+  // Degenerate inputs keep the documented fallbacks.
+  const std::array<double, 3> all_zero = {0.0, 0.0, 0.0};
+  EXPECT_EQ(RandomEngine::pick_weighted_at(0.5, all_zero), 0u);
 }
 
 TEST(Rng, PickWeightedProportions) {
