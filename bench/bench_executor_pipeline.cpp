@@ -1,0 +1,204 @@
+// Throughput curve of the async subprocess pipeline.
+//
+// Drives a stub "compiler" and stub test binaries (shell scripts with
+// controlled sleeps, no real toolchain needed) through a full campaign at
+// max_inflight in {1, 4, 16}, and verifies two properties the tentpole
+// promises:
+//   * campaign throughput scales with the number of children in flight
+//     (the serialized baseline is max_inflight = 1 with quiet timing, i.e.
+//     the pre-pipeline behavior: one child at a time, pool-wide);
+//   * the CampaignResult is bit-identical across inflight settings — the
+//     pipeline only reorders child processes, never results.
+//
+// Results land in BENCH_executor.json so later PRs can track the curve.
+//
+//   $ ./bench_executor_pipeline [num_programs] [sleep_ms]
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hpp"
+#include "harness/subprocess_executor.hpp"
+#include "support/json_writer.hpp"
+
+namespace {
+
+using namespace ompfuzz;
+
+void write_script(const std::string& path, const std::string& content) {
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << content;
+  }
+  ::chmod(path.c_str(), 0755);
+}
+
+bool identical_results(const harness::CampaignResult& a,
+                       const harness::CampaignResult& b) {
+  if (a.impl_names != b.impl_names || a.total_runs != b.total_runs ||
+      a.total_tests != b.total_tests ||
+      a.analyzable_tests != b.analyzable_tests ||
+      a.outcomes.size() != b.outcomes.size()) {
+    return false;
+  }
+  for (std::size_t t = 0; t < a.outcomes.size(); ++t) {
+    const auto& oa = a.outcomes[t];
+    const auto& ob = b.outcomes[t];
+    if (oa.program_index != ob.program_index ||
+        oa.input_index != ob.input_index || oa.runs.size() != ob.runs.size()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < oa.runs.size(); ++r) {
+      if (oa.runs[r].impl != ob.runs[r].impl ||
+          oa.runs[r].status != ob.runs[r].status ||
+          std::bit_cast<std::uint64_t>(oa.runs[r].output) !=
+              std::bit_cast<std::uint64_t>(ob.runs[r].output) ||
+          std::bit_cast<std::uint64_t>(oa.runs[r].time_us) !=
+              std::bit_cast<std::uint64_t>(ob.runs[r].time_us)) {
+        return false;
+      }
+    }
+    if (oa.verdict.per_run != ob.verdict.per_run) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_programs = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int sleep_ms = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  const std::string dir = "_bench_pipeline";
+  ::mkdir(dir.c_str(), 0755);
+  const double sleep_s = static_cast<double>(sleep_ms) / 1000.0;
+  char sleep_buf[32];
+  std::snprintf(sleep_buf, sizeof(sleep_buf), "%.3f", sleep_s);
+
+  // Stub binary: the controlled "test run" cost plus the paper's output
+  // protocol. Stub compiler: the controlled "compile" cost, then installs
+  // the binary.
+  const std::string payload = dir + "/payload.sh";
+  write_script(payload, std::string("#!/bin/sh\nsleep ") + sleep_buf +
+                            "\necho 42\necho \"time_us: 2000\"\n");
+  const std::string cc = dir + "/stubcc.sh";
+  write_script(cc, std::string("#!/bin/sh\nsleep ") + sleep_buf + "\ncp " +
+                       payload + " \"$2\"\nchmod +x \"$2\"\n");
+
+  std::printf("async subprocess pipeline throughput\n");
+  std::printf("  stub workload: %d programs x 2 inputs x 2 impls, "
+              "%d ms per child (compile and run)\n\n",
+              num_programs, sleep_ms);
+  const int children_per_campaign = num_programs * (2 + 2 * 2);
+  std::printf("  %-12s %-16s %10s %14s %9s\n", "max_inflight",
+              "concurrent_runs", "wall_ms", "children/s", "speedup");
+
+  struct Row {
+    int max_inflight;
+    bool concurrent_runs;
+    double wall_ms;
+    double children_per_s;
+    double speedup;
+  };
+  std::vector<Row> rows;
+  std::vector<harness::CampaignResult> results;
+
+  for (const int inflight : {1, 4, 16}) {
+    const std::vector<ImplementationSpec> impls = {
+        {"alpha", cc + " {src} {bin}", ""},
+        {"beta", cc + " {src} {bin}", ""},
+    };
+    harness::SubprocessOptions opt;
+    opt.work_dir = dir + "/work_" + std::to_string(inflight);
+    // inflight = 1 with quiet timing is the serialized pre-pipeline
+    // baseline: every child runs alone. Larger pools trade the quiet-timing
+    // guarantee for throughput, exactly like the executor.concurrent_runs
+    // knob documents.
+    opt.concurrent_runs = inflight > 1;
+    opt.max_inflight = inflight;
+    harness::SubprocessExecutor executor(impls, opt);
+
+    CampaignConfig cfg;
+    cfg.num_programs = num_programs;
+    cfg.inputs_per_program = 2;
+    cfg.generator.num_threads = 4;
+    cfg.generator.max_loop_trip_count = 20;
+    cfg.min_time_us = 0;
+    cfg.seed = 0xBEEF;
+    cfg.threads = 4;
+    harness::Campaign campaign(cfg, executor);
+
+    const auto start = std::chrono::steady_clock::now();
+    results.push_back(campaign.run());
+    const double wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    Row row;
+    row.max_inflight = inflight;
+    row.concurrent_runs = opt.concurrent_runs;
+    row.wall_ms = wall_ms;
+    row.children_per_s = 1000.0 * children_per_campaign / wall_ms;
+    row.speedup = rows.empty() ? 1.0 : rows.front().wall_ms / wall_ms;
+    rows.push_back(row);
+    std::printf("  %-12d %-16s %10.1f %14.1f %8.2fx\n", row.max_inflight,
+                row.concurrent_runs ? "true" : "false", row.wall_ms,
+                row.children_per_s, row.speedup);
+  }
+
+  bool identical = true;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    identical = identical && identical_results(results.front(), results[i]);
+  }
+  std::printf("\n  CampaignResult bit-identical across inflight settings: %s\n",
+              identical ? "yes" : "NO — pipeline changed results!");
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("workload").begin_object();
+  json.key("num_programs").value(num_programs);
+  json.key("inputs_per_program").value(2);
+  json.key("implementations").value(2);
+  json.key("child_sleep_ms").value(sleep_ms);
+  json.key("children_per_campaign").value(children_per_campaign);
+  json.key("campaign_threads").value(4);
+  json.end_object();
+  json.key("results_identical").value(identical);
+  json.key("curve").begin_array();
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.key("max_inflight").value(row.max_inflight);
+    json.key("concurrent_runs").value(row.concurrent_runs);
+    json.key("wall_ms").value(row.wall_ms);
+    json.key("children_per_s").value(row.children_per_s);
+    json.key("speedup_vs_serialized").value(row.speedup);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  {
+    std::ofstream out("BENCH_executor.json");
+    out << json.str() << "\n";
+  }
+  std::printf("  wrote BENCH_executor.json\n");
+
+  const bool fast_enough = rows.back().speedup >= 4.0;
+  if (!fast_enough) {
+    std::printf("\n  WARNING: max_inflight=16 speedup %.2fx below the 4x "
+                "target\n", rows.back().speedup);
+  }
+  return identical && fast_enough ? 0 : 1;
+}

@@ -3,15 +3,23 @@
 //
 //   $ ./campaign_demo [config.ini]
 //
-// Without an argument it uses a built-in 40-program configuration. The
-// report prints the Table I counts for the campaign plus the most extreme
-// outliers, and writes a machine-readable JSON report next to the binary.
+// Without an argument it uses a built-in 40-program configuration over the
+// simulated backend. Implementations whose value is a compile command
+// (instead of "profile: NAME") select the real-compiler subprocess backend,
+// tuned by the [executor] section (max_inflight, concurrent_runs, ...).
+// The report prints the Table I counts for the campaign plus the most
+// extreme outliers, and writes a machine-readable JSON report next to the
+// binary.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "harness/campaign.hpp"
 #include "harness/report.hpp"
 #include "harness/sim_executor.hpp"
+#include "harness/subprocess_executor.hpp"
+#include "support/error.hpp"
 
 namespace {
 
@@ -55,19 +63,46 @@ int main(int argc, char** argv) {
               cfg.num_programs, cfg.inputs_per_program, cfg.alpha, cfg.beta,
               cfg.implementations.size());
 
-  harness::SimExecutorOptions opt;
-  opt.num_threads = cfg.generator.num_threads;
-  // Map the configured implementations onto simulated profiles.
-  std::vector<rt::OmpImplProfile> profiles;
-  for (const auto& impl : cfg.implementations) {
-    auto profile = rt::profile_by_name(
-        impl.profile.empty() ? impl.name : impl.profile);
-    profile.name = impl.name;
-    profiles.push_back(std::move(profile));
+  std::unique_ptr<harness::Executor> executor;
+  const auto has_command = [](const ImplementationSpec& impl) {
+    return !impl.compile_command.empty();
+  };
+  const bool subprocess_mode =
+      !cfg.implementations.empty() &&
+      std::all_of(cfg.implementations.begin(), cfg.implementations.end(),
+                  has_command);
+  if (!subprocess_mode &&
+      std::any_of(cfg.implementations.begin(), cfg.implementations.end(),
+                  has_command)) {
+    // Refuse mixed configs loudly: falling back to simulation would quietly
+    // simulate an implementation the user gave a real compile command for.
+    throw ConfigError(
+        "implementations mix compile commands and 'profile:' entries; "
+        "use one backend per campaign");
   }
-  harness::SimExecutor executor(std::move(profiles), opt);
+  if (subprocess_mode) {
+    const ExecutorConfig ecfg = ExecutorConfig::from_config(file);
+    executor = std::make_unique<harness::SubprocessExecutor>(
+        cfg.implementations, harness::to_subprocess_options(ecfg));
+    std::printf("subprocess backend: work_dir=%s max_inflight=%d "
+                "concurrent_runs=%s\n\n",
+                ecfg.work_dir.c_str(), ecfg.max_inflight,
+                ecfg.concurrent_runs ? "true" : "false");
+  } else {
+    harness::SimExecutorOptions opt;
+    opt.num_threads = cfg.generator.num_threads;
+    // Map the configured implementations onto simulated profiles.
+    std::vector<rt::OmpImplProfile> profiles;
+    for (const auto& impl : cfg.implementations) {
+      auto profile = rt::profile_by_name(
+          impl.profile.empty() ? impl.name : impl.profile);
+      profile.name = impl.name;
+      profiles.push_back(std::move(profile));
+    }
+    executor = std::make_unique<harness::SimExecutor>(std::move(profiles), opt);
+  }
 
-  harness::Campaign campaign(cfg, executor);
+  harness::Campaign campaign(cfg, *executor);
   const auto result = campaign.run([](int done, int total) {
     if (done % 10 == 0 || done == total) {
       std::fprintf(stderr, "  %d/%d programs\n", done, total);

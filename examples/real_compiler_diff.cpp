@@ -4,7 +4,7 @@
 // pipeline; see DESIGN.md substitutions). With icpx/clang++ installed, edit
 // the commands below and this example runs the paper's exact experiment.
 //
-//   $ ./real_compiler_diff [num_programs] [threads]
+//   $ ./real_compiler_diff [num_programs] [threads] [max_inflight]
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace ompfuzz;
   const int programs = argc > 1 ? std::atoi(argv[1]) : 5;
   const int threads = argc > 2 ? std::atoi(argv[2]) : 1;
+  const int max_inflight = argc > 3 ? std::atoi(argv[3]) : 0;
 
   if (std::system("g++ --version > /dev/null 2>&1") != 0) {
     std::printf("no g++ on PATH; this example needs a real compiler\n");
@@ -32,13 +33,17 @@ int main(int argc, char** argv) {
     std::printf("  %-7s %s\n", impl.name.c_str(), impl.compile_command.c_str());
   }
 
-  harness::SubprocessOptions opt;
-  opt.work_dir = "_real_tests";
-  opt.run_timeout_ms = 30'000;
+  // The [executor] config section drives the same struct; build it directly
+  // here so the example stays file-free.
+  ExecutorConfig ecfg;
+  ecfg.work_dir = "_real_tests";
+  ecfg.run_timeout_ms = 30'000;
   // Trade timing fidelity for throughput when parallelism was requested —
   // this example's alpha = 0.5 already tolerates wall-clock noise.
-  opt.concurrent_runs = threads != 1;  // 0 means "all hardware threads"
-  harness::SubprocessExecutor executor(std::move(impls), opt);
+  ecfg.concurrent_runs = threads != 1;  // 0 means "all hardware threads"
+  ecfg.max_inflight = max_inflight;     // 0 = 2x hardware concurrency
+  harness::SubprocessExecutor executor(std::move(impls),
+                                       harness::to_subprocess_options(ecfg));
 
   CampaignConfig cfg;
   cfg.num_programs = programs;

@@ -92,6 +92,23 @@ ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
 
   const int inputs_per_program = campaign.config().inputs_per_program;
   shard.outcomes.reserve(static_cast<std::size_t>(inputs_per_program));
+
+  // One batched executor call per shard: a pipelined backend (the subprocess
+  // pool) sees every (input, impl) pair of this program at once and overlaps
+  // the children; the default run_batch degrades to the per-run loop. The
+  // input-major result order below is part of the run_batch contract.
+  std::vector<std::size_t> input_indices(
+      static_cast<std::size_t>(inputs_per_program));
+  for (std::size_t i = 0; i < input_indices.size(); ++i) input_indices[i] = i;
+  std::vector<core::RunResult> runs;
+  {
+    std::unique_lock<std::mutex> lock;
+    if (exec_mutex != nullptr) lock = std::unique_lock<std::mutex>(*exec_mutex);
+    runs = executor.run_batch(test, input_indices, impl_names);
+  }
+  OMPFUZZ_CHECK(runs.size() == input_indices.size() * impl_names.size(),
+                "executor returned a short batch");
+
   for (int i = 0; i < inputs_per_program; ++i) {
     TestOutcome outcome;
     outcome.program_index = p;
@@ -99,11 +116,12 @@ ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
     outcome.program_name = test.program.name();
     outcome.input_text = test.inputs[static_cast<std::size_t>(i)].to_string();
 
-    for (const auto& impl : impl_names) {
-      std::unique_lock<std::mutex> lock;
-      if (exec_mutex != nullptr) lock = std::unique_lock<std::mutex>(*exec_mutex);
-      outcome.runs.push_back(executor.run(test, static_cast<std::size_t>(i), impl));
-    }
+    const auto row = runs.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         static_cast<std::size_t>(i) * impl_names.size());
+    outcome.runs.assign(std::make_move_iterator(row),
+                        std::make_move_iterator(
+                            row + static_cast<std::ptrdiff_t>(impl_names.size())));
 
     outcome.verdict = detector.analyze(outcome.runs);
 

@@ -39,6 +39,27 @@ class Executor {
                                             std::size_t input_index,
                                             const std::string& impl_name) = 0;
 
+  /// Runs every (input, implementation) pair of one test in a single call:
+  /// the result vector holds, for each index in `input_indices` in order, one
+  /// RunResult per name in `impls` in order (input-major). Semantically
+  /// equivalent to looping run() — which is exactly the default
+  /// implementation — but a backend that can overlap work (the subprocess
+  /// pipeline keeps dozens of compiler/test children in flight) overrides it
+  /// to see the whole batch at once. The campaign engine calls this once per
+  /// program shard.
+  [[nodiscard]] virtual std::vector<core::RunResult> run_batch(
+      const TestCase& test, const std::vector<std::size_t>& input_indices,
+      const std::vector<std::string>& impls) {
+    std::vector<core::RunResult> results;
+    results.reserve(input_indices.size() * impls.size());
+    for (const std::size_t input_index : input_indices) {
+      for (const auto& impl : impls) {
+        results.push_back(run(test, input_index, impl));
+      }
+    }
+    return results;
+  }
+
   /// Names of the implementations this executor can drive.
   [[nodiscard]] virtual std::vector<std::string> implementations() const = 0;
 

@@ -1,18 +1,13 @@
 #include "harness/subprocess_executor.hpp"
 
-#include <fcntl.h>
-#include <poll.h>
-#include <signal.h>
 #include <sys/stat.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
 
-#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "emit/codegen.hpp"
 #include "support/error.hpp"
@@ -31,146 +26,41 @@ std::vector<std::string> tokenize(const std::string& command) {
   return out;
 }
 
-/// Resolves a command name against PATH before fork(): the child can then
-/// use execv, which is async-signal-safe, where execvp's PATH search may
-/// allocate — undefined between fork and exec in a multithreaded process.
-std::string resolve_executable(const std::string& name) {
-  if (name.find('/') != std::string::npos) return name;
-  const char* path_env = std::getenv("PATH");
-  if (path_env == nullptr) return name;
-  for (const auto& dir : split(path_env, ':')) {
-    const std::string candidate =
-        (dir.empty() ? std::string(".") : std::string(dir)) + "/" + name;
-    // Regular-file check: access(X_OK) alone also matches directories,
-    // which would shadow the real binary later in PATH.
-    struct stat st {};
-    if (::stat(candidate.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
-    if (access(candidate.c_str(), X_OK) == 0) return candidate;
-  }
-  return name;  // let execv report ENOENT from the child (exit 127)
+/// Parses a full line as a double: the emitted programs print "<comp>\n"
+/// first, so anything with trailing junk (or an empty line) is a
+/// miscompilation symptom, not a value.
+bool parse_comp_line(const std::string& line, double& out) {
+  const char* begin = line.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  if (end == begin) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  return *end == '\0';
 }
 
 }  // namespace
 
-ProcessResult run_process(const std::vector<std::string>& argv,
-                          std::int64_t timeout_ms) {
-  OMPFUZZ_CHECK(!argv.empty(), "run_process needs a command");
-  ProcessResult result;
-
-  // run_process may be called concurrently (SubprocessExecutor is
-  // thread-safe): O_CLOEXEC keeps a child forked by another thread from
-  // inheriting this pipe's write end (which would block the drain read
-  // below until that unrelated child exits), and the argv array is built
-  // before fork() so the child only calls async-signal-safe functions.
-  int pipe_fd[2];
-  if (pipe2(pipe_fd, O_CLOEXEC) != 0) throw Error("pipe2() failed");
-
-  const std::string exe = resolve_executable(argv[0]);
-  std::vector<char*> cargv;
-  cargv.reserve(argv.size() + 1);
-  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
-  cargv.push_back(nullptr);
-  // Pre-built ENOEXEC fallback (shebang-less script): execvp ran those via
-  // the shell, and execv must keep that behavior without allocating
-  // post-fork.
-  std::vector<char*> shargv;
-  shargv.reserve(argv.size() + 2);
-  shargv.push_back(const_cast<char*>("/bin/sh"));
-  shargv.push_back(const_cast<char*>(exe.c_str()));
-  for (std::size_t i = 1; i < argv.size(); ++i) {
-    shargv.push_back(const_cast<char*>(argv[i].c_str()));
-  }
-  shargv.push_back(nullptr);
-
-  const pid_t pid = fork();
-  if (pid < 0) {
-    close(pipe_fd[0]);
-    close(pipe_fd[1]);
-    throw Error("fork() failed");
-  }
-  if (pid == 0) {
-    // Child: stdout -> pipe, stderr silenced, exec. dup2 clears CLOEXEC on
-    // the duplicated descriptor, so stdout survives the exec — except when
-    // the write end already IS fd 1 (parent launched with stdout closed):
-    // dup2(1, 1) is a no-op that leaves CLOEXEC set, so clear it directly.
-    if (pipe_fd[1] == STDOUT_FILENO) {
-      fcntl(STDOUT_FILENO, F_SETFD, 0);
-    } else {
-      dup2(pipe_fd[1], STDOUT_FILENO);
-    }
-    const int devnull = open("/dev/null", O_WRONLY);
-    if (devnull >= 0) dup2(devnull, STDERR_FILENO);
-    execv(exe.c_str(), cargv.data());
-    if (errno == ENOEXEC) execv("/bin/sh", shargv.data());
-    _exit(127);
-  }
-
-  close(pipe_fd[1]);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
-  char buffer[4096];
-  bool child_done = false;
-  int status = 0;
-  while (true) {
-    const auto now = std::chrono::steady_clock::now();
-    const auto left =
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
-            .count();
-    if (left <= 0) {
-      // The paper stops hung tests with a signal; escalate to SIGKILL so the
-      // harness never blocks.
-      result.timed_out = true;
-      kill(pid, SIGINT);
-      usleep(50'000);
-      kill(pid, SIGKILL);
-      waitpid(pid, &status, 0);
-      child_done = true;
-      break;
-    }
-    pollfd pfd{pipe_fd[0], POLLIN, 0};
-    const int rc = poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(left, 200)));
-    if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP))) {
-      const ssize_t n = read(pipe_fd[0], buffer, sizeof(buffer));
-      if (n > 0) {
-        result.output.append(buffer, static_cast<std::size_t>(n));
-        continue;
-      }
-      if (n == 0) break;  // EOF: child closed stdout
-      if (errno != EINTR && errno != EAGAIN) break;
-    }
-    // Reap early exits even if the pipe stays open (grandchildren).
-    const pid_t done = waitpid(pid, &status, WNOHANG);
-    if (done == pid) {
-      child_done = true;
-      // Drain whatever remains.
-      ssize_t n;
-      while ((n = read(pipe_fd[0], buffer, sizeof(buffer))) > 0) {
-        result.output.append(buffer, static_cast<std::size_t>(n));
-      }
-      break;
-    }
-  }
-  close(pipe_fd[0]);
-  if (!child_done) waitpid(pid, &status, 0);
-
-  if (!result.timed_out) {
-    if (WIFEXITED(status)) {
-      result.exit_code = WEXITSTATUS(status);
-    } else if (WIFSIGNALED(status)) {
-      result.signaled = true;
-      result.term_signal = WTERMSIG(status);
-    }
-  }
-  return result;
+SubprocessOptions to_subprocess_options(const ExecutorConfig& cfg) {
+  SubprocessOptions opt;
+  opt.work_dir = cfg.work_dir;
+  opt.run_timeout_ms = cfg.run_timeout_ms;
+  opt.compile_timeout_ms = cfg.compile_timeout_ms;
+  opt.concurrent_runs = cfg.concurrent_runs;
+  opt.max_inflight = cfg.max_inflight;
+  return opt;
 }
 
 SubprocessExecutor::SubprocessExecutor(std::vector<ImplementationSpec> impls,
                                        SubprocessOptions options)
-    : impls_(std::move(impls)), options_(std::move(options)) {
+    : impls_(std::move(impls)), options_(std::move(options)),
+      pool_(static_cast<std::size_t>(
+          options_.max_inflight < 0 ? 0 : options_.max_inflight)) {
   OMPFUZZ_CHECK(!impls_.empty(), "SubprocessExecutor needs implementations");
-  for (const auto& impl : impls_) {
-    OMPFUZZ_CHECK(!impl.compile_command.empty(),
-                  "implementation '" + impl.name + "' has no compile command");
+  for (std::size_t i = 0; i < impls_.size(); ++i) {
+    OMPFUZZ_CHECK(!impls_[i].compile_command.empty(),
+                  "implementation '" + impls_[i].name + "' has no compile command");
+    const bool inserted = impl_index_.emplace(impls_[i].name, i).second;
+    OMPFUZZ_CHECK(inserted, "duplicate implementation: " + impls_[i].name);
   }
   ::mkdir(options_.work_dir.c_str(), 0755);
 }
@@ -182,74 +72,69 @@ std::vector<std::string> SubprocessExecutor::implementations() const {
   return names;
 }
 
-std::string SubprocessExecutor::ensure_binary(const TestCase& test,
-                                              const ImplementationSpec& impl) {
-  // Held across emission + compilation: two threads racing the same
-  // (program, impl) would clobber each other's source and binary files.
-  // Distinct programs compile serially too, which is fine — the subprocess
-  // backend's parallelism lives in the run phase.
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  const auto key = std::make_pair(test.program.fingerprint(), impl.name);
-  if (const auto it = binary_cache_.find(key); it != binary_cache_.end()) {
-    return it->second;
-  }
-
-  const std::string stem =
-      options_.work_dir + "/" + test.program.name() + "_" + impl.name;
-  const std::string src = stem + ".cpp";
-  const std::string bin = stem + ".bin";
-  {
-    std::ofstream out(src);
-    if (!out) throw Error("cannot write " + src);
-    out << emit::emit_translation_unit(test.program);
-  }
-
-  std::string command = replace_all(impl.compile_command, "{src}", src);
-  command = replace_all(command, "{bin}", bin);
-  // Compile children count as machine load too: without concurrent_runs they
-  // share the quiet lock with timed runs, so a g++ on another worker can't
-  // inflate a timed child's self-reported time. Lock order is cache -> run;
-  // the timed-run path takes run_mutex_ only, so no cycle.
-  std::unique_lock<std::mutex> quiet_lock;
-  if (!options_.concurrent_runs) {
-    quiet_lock = std::unique_lock<std::mutex>(run_mutex_);
-  }
-  const ProcessResult compile =
-      run_process(tokenize(command), options_.compile_timeout_ms);
-  const bool ok = !compile.timed_out && !compile.signaled && compile.exit_code == 0;
-  binary_cache_[key] = ok ? bin : std::string{};
-  return binary_cache_[key];
+const ImplementationSpec& SubprocessExecutor::spec_for(
+    const std::string& impl_name) const {
+  const auto it = impl_index_.find(impl_name);
+  OMPFUZZ_CHECK(it != impl_index_.end(), "unknown implementation: " + impl_name);
+  return impls_[it->second];
 }
 
-core::RunResult SubprocessExecutor::run(const TestCase& test,
-                                        std::size_t input_index,
-                                        const std::string& impl_name) {
-  OMPFUZZ_CHECK(input_index < test.inputs.size(), "input index out of range");
-  const ImplementationSpec* spec = nullptr;
-  for (const auto& impl : impls_) {
-    if (impl.name == impl_name) spec = &impl;
+std::shared_future<std::string> SubprocessExecutor::ensure_binary(
+    const TestCase& test, const ImplementationSpec& impl) {
+  const auto key = std::make_pair(test.program.fingerprint(), impl.name);
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::shared_future<std::string> future = promise->get_future().share();
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (const auto it = binary_cache_.find(key); it != binary_cache_.end()) {
+      return it->second;
+    }
+    // Insert the future before compiling: a second thread asking for the
+    // same (program, impl) waits on it instead of clobbering the same
+    // source/binary files — and distinct keys compile concurrently, where
+    // the old design serialized every emit+compile behind one mutex.
+    binary_cache_.emplace(key, future);
   }
-  OMPFUZZ_CHECK(spec != nullptr, "unknown implementation: " + impl_name);
 
+  // The fingerprint is part of the file stem, not just the cache key: with
+  // compiles now concurrent, two same-named programs with different bodies
+  // would otherwise race on the same source/binary paths.
+  char fp_hex[17];
+  std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                static_cast<unsigned long long>(test.program.fingerprint()));
+  const std::string stem = options_.work_dir + "/" + test.program.name() +
+                           "_" + fp_hex + "_" + impl.name;
+  const std::string src = stem + ".cpp";
+  const std::string bin = stem + ".bin";
+  // Any failure from here on must poison the cached promise, or every later
+  // requester of this key would block forever on a future nobody fulfills.
+  try {
+    {
+      std::ofstream out(src);
+      if (!out) throw Error("cannot write " + src);
+      out << emit::emit_translation_unit(test.program);
+    }
+    std::string command = replace_all(impl.compile_command, "{src}", src);
+    command = replace_all(command, "{bin}", bin);
+    ProcessJob job;
+    job.argv = tokenize(command);
+    job.timeout_ms = options_.compile_timeout_ms;
+    pool_.submit(std::move(job), [promise, bin](ProcessResult compile) {
+      const bool ok = !compile.timed_out && !compile.signaled &&
+                      compile.exit_code == 0;
+      promise->set_value(ok ? bin : std::string{});
+    });
+  } catch (...) {
+    promise->set_exception(std::current_exception());
+    throw;
+  }
+  return future;
+}
+
+core::RunResult SubprocessExecutor::classify(const ProcessResult& proc,
+                                             const std::string& impl_name) {
   core::RunResult result;
   result.impl = impl_name;
-
-  const std::string bin = ensure_binary(test, *spec);
-  if (bin.empty()) {
-    // A compiler that rejects a valid program is itself a correctness bug;
-    // surfaced like an abnormal termination.
-    result.status = core::RunStatus::Crash;
-    return result;
-  }
-
-  std::vector<std::string> argv = {bin};
-  for (auto& arg : test.inputs[input_index].to_argv()) argv.push_back(std::move(arg));
-  std::unique_lock<std::mutex> run_lock;
-  if (!options_.concurrent_runs) {
-    run_lock = std::unique_lock<std::mutex>(run_mutex_);
-  }
-  const ProcessResult proc = run_process(argv, options_.run_timeout_ms);
-
   if (proc.timed_out) {
     result.status = core::RunStatus::Hang;
     return result;
@@ -259,20 +144,104 @@ core::RunResult SubprocessExecutor::run(const TestCase& test,
     return result;
   }
 
-  // Expected output: "<comp>\n" then "time_us: <n>\n".
+  // Expected output: "<comp>\n" then "time_us: <n>\n". A binary that exits 0
+  // without a parseable comp value miscompiled its own output path — that is
+  // an abnormal termination for the differ, not a silent 0.0.
   const auto lines = split(proc.output, '\n');
-  if (lines.empty()) {
+  if (lines.empty() || !parse_comp_line(lines[0], result.output)) {
     result.status = core::RunStatus::Crash;
     return result;
   }
   result.status = core::RunStatus::Ok;
-  result.output = std::strtod(lines[0].c_str(), nullptr);
   for (const auto& line : lines) {
     if (starts_with(line, "time_us: ")) {
       result.time_us = std::strtod(line.c_str() + 9, nullptr);
     }
   }
   return result;
+}
+
+std::vector<core::RunResult> SubprocessExecutor::run_batch(
+    const TestCase& test, const std::vector<std::size_t>& input_indices,
+    const std::vector<std::string>& impls) {
+  for (const std::size_t input_index : input_indices) {
+    OMPFUZZ_CHECK(input_index < test.inputs.size(), "input index out of range");
+  }
+
+  // Stage 1 — compile queue: one in-flight compile per distinct
+  // implementation of this program (cross-program concurrency comes from the
+  // shared pool: other campaign workers' batches overlap these).
+  std::vector<std::shared_future<std::string>> binaries;
+  binaries.reserve(impls.size());
+  for (const auto& impl : impls) {
+    binaries.push_back(ensure_binary(test, spec_for(impl)));
+  }
+
+  // Stage 2 — run queue: each implementation's runs enter the pool as soon
+  // as ITS compile finishes (readiness order, not impl order — a slow
+  // gcc compile must not gate the runs of an already-built clang binary);
+  // quiet-timing mode marks them exclusive so the pool runs them one at a
+  // time with nothing else in flight.
+  const std::size_t n = input_indices.size() * impls.size();
+  std::vector<core::RunResult> results(n);
+  std::vector<std::future<ProcessResult>> children(n);
+  const auto submit_runs = [&](std::size_t j) {
+    const std::string bin = binaries[j].get();
+    for (std::size_t i = 0; i < input_indices.size(); ++i) {
+      const std::size_t k = i * impls.size() + j;
+      if (bin.empty()) {
+        // A compiler that rejects a valid program is itself a correctness
+        // bug; surfaced like an abnormal termination.
+        results[k].impl = impls[j];
+        results[k].status = core::RunStatus::Crash;
+        continue;
+      }
+      ProcessJob job;
+      job.argv.push_back(bin);
+      for (auto& arg : test.inputs[input_indices[i]].to_argv()) {
+        job.argv.push_back(std::move(arg));
+      }
+      job.timeout_ms = options_.run_timeout_ms;
+      job.exclusive = !options_.concurrent_runs;
+      children[k] = pool_.submit(std::move(job));
+    }
+  };
+  std::vector<bool> submitted(impls.size(), false);
+  std::size_t outstanding = impls.size();
+  while (outstanding > 0) {
+    bool progressed = false;
+    for (std::size_t j = 0; j < impls.size(); ++j) {
+      if (submitted[j] || binaries[j].wait_for(std::chrono::seconds(0)) !=
+                              std::future_status::ready) {
+        continue;
+      }
+      submit_runs(j);
+      submitted[j] = true;
+      --outstanding;
+      progressed = true;
+    }
+    if (outstanding == 0 || progressed) continue;
+    // Nothing newly ready: nap on one outstanding compile. The 10 ms
+    // granularity is noise against compile times, and only this worker
+    // thread naps — the pool keeps every child running.
+    for (std::size_t j = 0; j < impls.size(); ++j) {
+      if (!submitted[j]) {
+        (void)binaries[j].wait_for(std::chrono::milliseconds(10));
+        break;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!children[k].valid()) continue;  // compile failure, already Crash
+    results[k] = classify(children[k].get(), impls[k % impls.size()]);
+  }
+  return results;
+}
+
+core::RunResult SubprocessExecutor::run(const TestCase& test,
+                                        std::size_t input_index,
+                                        const std::string& impl_name) {
+  return run_batch(test, {input_index}, {impl_name}).front();
 }
 
 }  // namespace ompfuzz::harness

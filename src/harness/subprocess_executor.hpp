@@ -7,17 +7,30 @@
 // as the paper does:
 //   * normal exit with parseable output  -> OK (+ comp value + time_us),
 //   * timeout -> HANG (the driver stops the process, Section IV-C),
-//   * signal or nonzero exit -> CRASH.
+//   * signal, nonzero exit, or unparseable output -> CRASH.
+//
+// Execution is pipelined through an AsyncProcessPool (async_process.hpp):
+// run_batch() feeds a compile stage where distinct (program, implementation)
+// pairs compile concurrently — the binary cache holds a future per key, so
+// only the first requester compiles and nobody serializes behind a global
+// lock — into a run stage that keeps up to `max_inflight` test children in
+// flight. With concurrent_runs = false (quiet-timing mode) timed test runs
+// are submitted as exclusive jobs: the pool drains and runs them alone, so
+// compiles on other workers can't inflate the self-reported times the
+// outlier analysis compares.
 //
 // On a machine with several OpenMP toolchains installed this class runs the
 // paper's experiment verbatim; with a single compiler, optimization levels
 // serve as implementation proxies (see DESIGN.md, substitutions).
 #pragma once
 
+#include <cstddef>
+#include <future>
 #include <map>
 #include <mutex>
 #include <string>
 
+#include "harness/async_process.hpp"
 #include "harness/executor.hpp"
 #include "support/config.hpp"
 
@@ -27,29 +40,20 @@ struct SubprocessOptions {
   std::string work_dir = "_tests";       ///< sources and binaries land here
   std::int64_t run_timeout_ms = 10'000;  ///< HANG threshold
   std::int64_t compile_timeout_ms = 60'000;
-  /// Allow child processes (timed test runs AND compiles) to execute
-  /// concurrently under a multithreaded campaign. Off by default:
-  /// simultaneous children contend for cores and skew the self-reported
-  /// times the outlier analysis compares, producing spurious Slow/Hang
-  /// verdicts. Leave off for timing fidelity; turn on for raw throughput
-  /// when only crash/output divergence matters.
+  /// Allow timed test runs to execute concurrently with other children. Off
+  /// by default: simultaneous children contend for cores and skew the
+  /// self-reported times the outlier analysis compares, producing spurious
+  /// Slow/Hang verdicts — so timed runs go through the process pool as
+  /// exclusive jobs (compiles still overlap each other between them). Turn
+  /// on for raw throughput when only crash/output divergence matters.
   bool concurrent_runs = false;
+  /// Children the process pool keeps in flight at once (compiles, plus test
+  /// runs when concurrent_runs is set). 0 = 2x hardware concurrency.
+  int max_inflight = 0;
 };
 
-/// Raw outcome of one child process.
-struct ProcessResult {
-  int exit_code = -1;
-  bool signaled = false;
-  int term_signal = 0;
-  bool timed_out = false;
-  std::string output;  ///< captured stdout
-};
-
-/// Runs argv[0] with the given arguments, capturing stdout, killing the
-/// child after timeout_ms. Building block for the executor; exposed for
-/// tests.
-[[nodiscard]] ProcessResult run_process(const std::vector<std::string>& argv,
-                                        std::int64_t timeout_ms);
+/// View of the [executor] config-file section as SubprocessOptions.
+[[nodiscard]] SubprocessOptions to_subprocess_options(const ExecutorConfig& cfg);
 
 class SubprocessExecutor final : public Executor {
  public:
@@ -58,26 +62,45 @@ class SubprocessExecutor final : public Executor {
 
   [[nodiscard]] core::RunResult run(const TestCase& test, std::size_t input_index,
                                     const std::string& impl_name) override;
+
+  /// The pipelined path: compiles every implementation of `test`
+  /// concurrently, then overlaps the runs (exclusive jobs when quiet-timing
+  /// mode is on). run() forwards here with a single-element batch.
+  [[nodiscard]] std::vector<core::RunResult> run_batch(
+      const TestCase& test, const std::vector<std::size_t>& input_indices,
+      const std::vector<std::string>& impls) override;
+
   [[nodiscard]] std::vector<std::string> implementations() const override;
 
-  /// Emission + compilation share the binary cache behind a mutex; child
-  /// processes are independent, so concurrent run() calls are safe.
+  /// The binary cache hands out per-key futures behind a short-lived mutex;
+  /// child processes are independent, so concurrent calls are safe.
   [[nodiscard]] bool thread_safe() const noexcept override { return true; }
 
  private:
-  /// Emits (once) and compiles (once per impl) the test; returns the binary
-  /// path, or empty if compilation failed.
-  [[nodiscard]] std::string ensure_binary(const TestCase& test,
-                                          const ImplementationSpec& impl);
+  /// Returns the future binary path for (test, impl), submitting emission +
+  /// compilation to the pool on first request. The future resolves to "" if
+  /// compilation failed.
+  [[nodiscard]] std::shared_future<std::string> ensure_binary(
+      const TestCase& test, const ImplementationSpec& impl);
+
+  [[nodiscard]] const ImplementationSpec& spec_for(
+      const std::string& impl_name) const;
+
+  /// Paper classification of a finished test child (Section IV-C).
+  [[nodiscard]] static core::RunResult classify(const ProcessResult& proc,
+                                                const std::string& impl_name);
 
   std::vector<ImplementationSpec> impls_;
+  /// name -> index into impls_, built once so run() doesn't linear-scan.
+  std::map<std::string, std::size_t> impl_index_;
   SubprocessOptions options_;
-  /// Guards binary_cache_ and the emit-compile critical section.
+  /// Guards binary_cache_ only — insertion of the future, not the compile.
   std::mutex cache_mutex_;
-  /// Serializes child processes unless options_.concurrent_runs is set.
-  std::mutex run_mutex_;
-  /// (program fingerprint, impl) -> compiled binary path ("" = failed).
-  std::map<std::pair<std::uint64_t, std::string>, std::string> binary_cache_;
+  /// (program fingerprint, impl) -> future binary path ("" = failed).
+  std::map<std::pair<std::uint64_t, std::string>,
+           std::shared_future<std::string>>
+      binary_cache_;
+  AsyncProcessPool pool_;
 };
 
 }  // namespace ompfuzz::harness

@@ -158,6 +158,32 @@ void GeneratorConfig::validate() const {
   }
 }
 
+ExecutorConfig ExecutorConfig::from_config(const ConfigFile& file) {
+  ExecutorConfig e;
+  e.work_dir = file.get_or("executor.work_dir", e.work_dir);
+  e.run_timeout_ms = file.get_int("executor.run_timeout_ms", e.run_timeout_ms);
+  e.compile_timeout_ms =
+      file.get_int("executor.compile_timeout_ms", e.compile_timeout_ms);
+  e.concurrent_runs =
+      file.get_bool("executor.concurrent_runs", e.concurrent_runs);
+  e.max_inflight =
+      static_cast<int>(file.get_int("executor.max_inflight", e.max_inflight));
+  e.validate();
+  return e;
+}
+
+void ExecutorConfig::validate() const {
+  if (work_dir.empty()) throw ConfigError("executor.work_dir must not be empty");
+  if (run_timeout_ms <= 0) throw ConfigError("executor.run_timeout_ms must be > 0");
+  if (compile_timeout_ms <= 0) {
+    throw ConfigError("executor.compile_timeout_ms must be > 0");
+  }
+  if (max_inflight < 0) {
+    throw ConfigError(
+        "executor.max_inflight must be >= 0 (0 = 2x hardware concurrency)");
+  }
+}
+
 CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {
   CampaignConfig c;
   c.generator = GeneratorConfig::from_config(file);

@@ -86,6 +86,26 @@ struct ImplementationSpec {
   std::string profile;         ///< simulation mode: profile id, e.g. "libgomp"
 };
 
+/// Knobs for the real-compiler execution backend (the [executor] section).
+/// Mirrors harness::SubprocessOptions — this struct lives in support/ so the
+/// config layer stays below the harness; to_subprocess_options() in
+/// subprocess_executor.hpp converts.
+struct ExecutorConfig {
+  std::string work_dir = "_tests";
+  std::int64_t run_timeout_ms = 10'000;
+  std::int64_t compile_timeout_ms = 60'000;
+  /// Let timed test runs overlap other children (see SubprocessOptions).
+  bool concurrent_runs = false;
+  /// Children the async process pipeline keeps in flight at once.
+  /// 0 = 2x hardware concurrency.
+  int max_inflight = 0;
+
+  /// Reads the [executor] section; unspecified keys keep their defaults.
+  static ExecutorConfig from_config(const ConfigFile& file);
+  /// Validates ranges; throws ConfigError otherwise.
+  void validate() const;
+};
+
 /// Campaign-level configuration (Fig. 1 steps (a)-(d); Section V-A).
 struct CampaignConfig {
   GeneratorConfig generator;
