@@ -1,0 +1,218 @@
+// Warm-cache speedup of the persistent result store.
+//
+// Runs the same campaign twice over a stub toolchain (shell scripts with
+// controlled sleeps, no real compilers needed): the cold run populates the
+// content-addressed run cache, the warm run must be served from it entirely.
+// Verifies the three properties the tentpole promises:
+//   * the warm run spawns ZERO compiler/test children (counted by the stub
+//     scripts themselves);
+//   * the warm CampaignResult is bit-identical to the cold one;
+//   * the warm run is at least 5x faster in wall-clock.
+//
+// Results land in BENCH_store.json so later PRs can track the ratio.
+//
+//   $ ./bench_result_store [num_programs] [sleep_ms]
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hpp"
+#include "harness/subprocess_executor.hpp"
+#include "support/json_writer.hpp"
+#include "support/result_store.hpp"
+
+namespace {
+
+using namespace ompfuzz;
+
+void write_script(const std::string& path, const std::string& content) {
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << content;
+  }
+  ::chmod(path.c_str(), 0755);
+}
+
+int count_children(const std::string& dir) {
+  std::ifstream in(dir + "/children.log");
+  int n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+bool identical_results(const harness::CampaignResult& a,
+                       const harness::CampaignResult& b) {
+  if (a.impl_names != b.impl_names || a.total_runs != b.total_runs ||
+      a.total_tests != b.total_tests ||
+      a.analyzable_tests != b.analyzable_tests ||
+      a.outcomes.size() != b.outcomes.size()) {
+    return false;
+  }
+  for (std::size_t t = 0; t < a.outcomes.size(); ++t) {
+    const auto& oa = a.outcomes[t];
+    const auto& ob = b.outcomes[t];
+    if (oa.program_index != ob.program_index ||
+        oa.input_index != ob.input_index || oa.runs.size() != ob.runs.size()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < oa.runs.size(); ++r) {
+      if (oa.runs[r].impl != ob.runs[r].impl ||
+          oa.runs[r].status != ob.runs[r].status ||
+          std::bit_cast<std::uint64_t>(oa.runs[r].output) !=
+              std::bit_cast<std::uint64_t>(ob.runs[r].output) ||
+          std::bit_cast<std::uint64_t>(oa.runs[r].time_us) !=
+              std::bit_cast<std::uint64_t>(ob.runs[r].time_us)) {
+        return false;
+      }
+    }
+    if (oa.verdict.per_run != ob.verdict.per_run) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_programs = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int sleep_ms = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  const std::string dir = "_bench_store";
+  ::mkdir(dir.c_str(), 0755);
+  const double sleep_s = static_cast<double>(sleep_ms) / 1000.0;
+  char sleep_buf[32];
+  std::snprintf(sleep_buf, sizeof(sleep_buf), "%.3f", sleep_s);
+
+  // Stub binary: controlled "test run" cost, comp value derived from the
+  // first input argument (so cached results must be input-exact), plus the
+  // paper's output protocol. Stub compiler: controlled "compile" cost.
+  // Both stages log their pid so the warm run's child count is measurable.
+  const std::string log = dir + "/children.log";
+  const std::string payload = dir + "/payload.sh";
+  write_script(payload, std::string("#!/bin/sh\necho run_$$ >> ") + log +
+                            "\nsleep " + sleep_buf +
+                            "\necho \"${1:-7}\"\necho \"time_us: 2000\"\n");
+  const std::string cc = dir + "/stubcc.sh";
+  write_script(cc, std::string("#!/bin/sh\necho compile_$$ >> ") + log +
+                       "\nsleep " + sleep_buf + "\ncp " + payload +
+                       " \"$2\"\nchmod +x \"$2\"\n");
+
+  const std::vector<ImplementationSpec> impls = {
+      {"alpha", cc + " {src} {bin}", ""},
+      {"beta", cc + " {src} {bin}", ""},
+  };
+  CampaignConfig cfg;
+  cfg.num_programs = num_programs;
+  cfg.inputs_per_program = 2;
+  cfg.generator.num_threads = 4;
+  cfg.generator.max_loop_trip_count = 20;
+  cfg.min_time_us = 0;
+  cfg.seed = 0xCAFE;
+  cfg.threads = 4;
+
+  StoreConfig store_cfg;
+  store_cfg.enabled = true;
+  store_cfg.dir = dir + "/store";
+
+  std::printf("persistent result store warm-cache speedup\n");
+  std::printf("  stub workload: %d programs x 2 inputs x 2 impls, "
+              "%d ms per child (compile and run)\n\n",
+              num_programs, sleep_ms);
+  std::printf("  %-6s %10s %10s %9s\n", "run", "wall_ms", "children", "speedup");
+
+  struct Row {
+    const char* label;
+    double wall_ms = 0.0;
+    int children = 0;
+  };
+  Row rows[2] = {{"cold"}, {"warm"}};
+  std::vector<harness::CampaignResult> results;
+
+  ResultStore store(store_cfg);
+  for (Row& row : rows) {
+    harness::SubprocessOptions opt;
+    opt.work_dir = dir + "/work_" + row.label;
+    opt.concurrent_runs = true;
+    opt.max_inflight = 16;
+    harness::SubprocessExecutor executor(impls, opt);
+    harness::Campaign campaign(cfg, executor);
+    campaign.set_result_store(&store);
+
+    const int children_before = count_children(dir);
+    const auto start = std::chrono::steady_clock::now();
+    results.push_back(campaign.run());
+    row.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    row.children = count_children(dir) - children_before;
+    std::printf("  %-6s %10.1f %10d %8.2fx\n", row.label, row.wall_ms,
+                row.children,
+                row.wall_ms > 0 ? rows[0].wall_ms / row.wall_ms : 0.0);
+  }
+
+  const bool identical = identical_results(results[0], results[1]);
+  const bool zero_children = rows[1].children == 0;
+  const double speedup =
+      rows[1].wall_ms > 0 ? rows[0].wall_ms / rows[1].wall_ms : 0.0;
+  const auto stats = store.stats();
+
+  std::printf("\n  warm run spawned zero children: %s\n",
+              zero_children ? "yes" : "NO — cache was bypassed!");
+  std::printf("  CampaignResult bit-identical cold vs warm: %s\n",
+              identical ? "yes" : "NO — cache changed results!");
+  std::printf("  store: %llu hits, %llu misses, %llu puts\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.puts));
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("workload").begin_object();
+  json.key("num_programs").value(num_programs);
+  json.key("inputs_per_program").value(2);
+  json.key("implementations").value(2);
+  json.key("child_sleep_ms").value(sleep_ms);
+  json.key("campaign_threads").value(4);
+  json.end_object();
+  json.key("cold").begin_object();
+  json.key("wall_ms").value(rows[0].wall_ms);
+  json.key("children").value(rows[0].children);
+  json.end_object();
+  json.key("warm").begin_object();
+  json.key("wall_ms").value(rows[1].wall_ms);
+  json.key("children").value(rows[1].children);
+  json.end_object();
+  json.key("speedup_warm_vs_cold").value(speedup);
+  json.key("results_identical").value(identical);
+  json.key("store_hits").value(static_cast<std::int64_t>(stats.hits));
+  json.key("store_misses").value(static_cast<std::int64_t>(stats.misses));
+  json.key("store_puts").value(static_cast<std::int64_t>(stats.puts));
+  json.end_object();
+  {
+    std::ofstream out("BENCH_store.json");
+    out << json.str() << "\n";
+  }
+  std::printf("  wrote BENCH_store.json\n");
+
+  const bool fast_enough = speedup >= 5.0;
+  if (!fast_enough) {
+    std::printf("\n  WARNING: warm-cache speedup %.2fx below the 5x target\n",
+                speedup);
+  }
+  return identical && zero_children && fast_enough ? 0 : 1;
+}

@@ -1,17 +1,27 @@
 // Campaign demo: the full Figure 1 workflow at configurable scale, driven by
 // an INI configuration file exactly like the paper's step (a).
 //
-//   $ ./campaign_demo [config.ini]
+//   $ ./campaign_demo [config.ini] [--resume]
 //
-// Without an argument it uses a built-in 40-program configuration over the
-// simulated backend. Implementations whose value is a compile command
+// Without a config argument it uses a built-in 40-program configuration over
+// the simulated backend. Implementations whose value is a compile command
 // (instead of "profile: NAME") select the real-compiler subprocess backend,
 // tuned by the [executor] section (max_inflight, concurrent_runs, ...).
+//
+// With `[store] enabled = true` the campaign persists every executed
+// (program, input, implementation) result in a content-addressed run cache
+// under `store.dir` and streams completed shards to a crash-safe checkpoint
+// journal: a re-run skips every triple whose cache key is unchanged, and
+// `--resume` additionally restores whole shards recorded by a previous
+// (possibly killed) invocation. Either way the final CampaignResult is
+// bit-identical to a cold run.
+//
 // The report prints the Table I counts for the campaign plus the most
 // extreme outliers, and writes a machine-readable JSON report next to the
 // binary.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 
@@ -20,6 +30,7 @@
 #include "harness/sim_executor.hpp"
 #include "harness/subprocess_executor.hpp"
 #include "support/error.hpp"
+#include "support/result_store.hpp"
 
 namespace {
 
@@ -55,8 +66,17 @@ intel = profile: libiomp5
 int main(int argc, char** argv) {
   using namespace ompfuzz;
 
-  const ConfigFile file = argc > 1 ? ConfigFile::load(argv[1])
-                                   : ConfigFile::parse(kDefaultConfig);
+  bool resume = false;
+  std::string config_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--resume") == 0) {
+      resume = true;
+    } else {
+      config_path = argv[a];
+    }
+  }
+  const ConfigFile file = !config_path.empty() ? ConfigFile::load(config_path)
+                                               : ConfigFile::parse(kDefaultConfig);
   const CampaignConfig cfg = CampaignConfig::from_config(file);
   std::printf("campaign: %d programs x %d inputs, alpha=%.2f beta=%.2f, "
               "%zu implementations\n\n",
@@ -103,11 +123,38 @@ int main(int argc, char** argv) {
   }
 
   harness::Campaign campaign(cfg, *executor);
+
+  const StoreConfig store_cfg = StoreConfig::from_config(file);
+  std::unique_ptr<ResultStore> store;
+  std::unique_ptr<CheckpointJournal> journal;
+  if (store_cfg.enabled) {
+    store = std::make_unique<ResultStore>(store_cfg);
+    journal = std::make_unique<CheckpointJournal>(store_cfg.dir +
+                                                  "/checkpoint.journal");
+    campaign.set_result_store(store.get());
+    campaign.set_checkpoint(journal.get(), resume);
+    std::printf("result store: dir=%s resume=%s\n\n", store_cfg.dir.c_str(),
+                resume ? "true" : "false");
+  } else if (resume) {
+    throw ConfigError("--resume needs '[store] enabled = true' in the config");
+  }
+
   const auto result = campaign.run([](int done, int total) {
     if (done % 10 == 0 || done == total) {
       std::fprintf(stderr, "  %d/%d programs\n", done, total);
     }
   });
+
+  if (store) {
+    const auto stats = store->stats();
+    std::printf("store: %llu hits, %llu misses, %llu puts; resumed %d/%d "
+                "programs from %s\n\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.puts),
+                campaign.resumed_programs(), cfg.num_programs,
+                journal->path().c_str());
+  }
 
   std::printf("%s\n", harness::render_table1(result).c_str());
   std::printf("%s\n", harness::render_summary(result).c_str());

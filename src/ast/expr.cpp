@@ -170,6 +170,10 @@ std::uint64_t Expr::hash() const noexcept {
       break;
     case Kind::Binary:
       h = hash_combine(h, static_cast<std::uint64_t>(bin_op_));
+      // paren_ is emitted (explicit grammar parentheses) — skipping it here
+      // would fingerprint two differently-emitted programs identically and
+      // silently share their cached results.
+      h = hash_combine(h, paren_ ? 1u : 0u);
       h = hash_combine(h, lhs_->hash());
       h = hash_combine(h, rhs_->hash());
       break;

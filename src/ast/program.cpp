@@ -121,6 +121,12 @@ std::uint64_t Program::fingerprint() const {
     h = hash_combine(h, static_cast<std::uint64_t>(d.width));
     h = hash_combine(h, static_cast<std::uint64_t>(d.array_size));
   }
+  // The parameter list (order included) shapes the emitted compute()
+  // signature and main()'s argv parsing, and comp selects the accumulator —
+  // both must invalidate cached results when they change.
+  h = hash_combine(h, params_.size());
+  for (VarId id : params_) h = hash_combine(h, id + 1);
+  h = hash_combine(h, comp_ == kInvalidVar ? 0 : comp_ + 1);
   return hash_combine(h, hash_block(body_));
 }
 

@@ -42,6 +42,14 @@ struct RunResult {
   RunStatus status = RunStatus::Ok;
   double time_us = 0.0;          ///< valid when status == Ok
   double output = 0.0;           ///< comp value; valid when status == Ok
+  /// True when the harness fabricated this result because its own
+  /// infrastructure failed (compile/spawn failure: fork or pipe exhaustion,
+  /// compile timeout on a loaded machine), rather than observing the
+  /// implementation. Such results are analyzed like any Crash within the
+  /// current campaign but are never persisted to the result store or the
+  /// checkpoint journal — a transient hiccup must not be replayed as
+  /// "this implementation crashes here" forever.
+  bool harness_failure = false;
 };
 
 /// Classification of one run within its test.

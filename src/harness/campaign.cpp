@@ -6,6 +6,7 @@
 #include "core/race_checker.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/string_utils.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ompfuzz::harness {
@@ -77,83 +78,197 @@ struct ProgramShard {
   int regeneration_attempts = 0;
 };
 
-/// Generates program `p`, runs every (input, implementation) pair, and
-/// classifies each test. Pure function of the campaign config and the
-/// executor; `exec_mutex` serializes executor calls when the backend is not
-/// thread-safe.
+/// Computes the verdict and output divergence of one outcome from its raw
+/// runs. Deterministic, so outcomes restored from the checkpoint journal or
+/// assembled from cached runs classify bit-identically to a cold run.
+void classify_outcome(TestOutcome& outcome, const core::OutlierDetector& detector) {
+  outcome.verdict = detector.analyze(outcome.runs);
+
+  // Output divergence across the OK runs (NaN-aware majority vote);
+  // non-OK runs are marked non-divergent placeholders.
+  std::vector<double> ok_outputs;
+  std::vector<std::size_t> ok_ids;
+  for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+    if (outcome.runs[r].status == core::RunStatus::Ok) {
+      ok_outputs.push_back(outcome.runs[r].output);
+      ok_ids.push_back(r);
+    }
+  }
+  // The paper's driver compares the printed outputs, and %.17g
+  // round-trips doubles exactly — so divergence is bitwise (NaN-aware).
+  core::DiffTolerance exact;
+  exact.max_ulps = 0;
+  exact.max_rel_error = 0.0;
+  const auto ok_divergence = core::analyze_outputs(ok_outputs, exact);
+  outcome.divergence.all_equivalent = ok_divergence.all_equivalent;
+  outcome.divergence.majority_size = ok_divergence.majority_size;
+  outcome.divergence.diverges.assign(outcome.runs.size(), false);
+  for (std::size_t k = 0; k < ok_ids.size(); ++k) {
+    outcome.divergence.diverges[ok_ids[k]] = ok_divergence.diverges[k];
+  }
+}
+
+/// Generates program `p`, runs every (input, implementation) pair not
+/// already in the result store, and classifies each test. Pure function of
+/// the campaign config, the executor, and the store contents (the store only
+/// ever holds what the executor would have produced); `exec_mutex`
+/// serializes executor calls when the backend is not thread-safe.
 ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
                                std::mutex* exec_mutex,
                                const core::OutlierDetector& detector,
                                const std::vector<std::string>& impl_names,
-                               int p) {
+                               const std::vector<std::string>& impl_identities,
+                               ResultStore* store, int p) {
   ProgramShard shard;
   const TestCase test = campaign.make_test_case(p);
   shard.regeneration_attempts = test.regeneration_attempts;
 
-  const int inputs_per_program = campaign.config().inputs_per_program;
-  shard.outcomes.reserve(static_cast<std::size_t>(inputs_per_program));
+  const std::size_t ni =
+      static_cast<std::size_t>(campaign.config().inputs_per_program);
+  const std::size_t nj = impl_names.size();
+  shard.outcomes.reserve(ni);
+  const std::uint64_t fingerprint = test.program.fingerprint();
 
-  // One batched executor call per shard: a pipelined backend (the subprocess
-  // pool) sees every (input, impl) pair of this program at once and overlaps
-  // the children; the default run_batch degrades to the per-run loop. The
-  // input-major result order below is part of the run_batch contract.
-  std::vector<std::size_t> input_indices(
-      static_cast<std::size_t>(inputs_per_program));
-  for (std::size_t i = 0; i < input_indices.size(); ++i) input_indices[i] = i;
-  std::vector<core::RunResult> runs;
-  {
-    std::unique_lock<std::mutex> lock;
-    if (exec_mutex != nullptr) lock = std::unique_lock<std::mutex>(*exec_mutex);
-    runs = executor.run_batch(test, input_indices, impl_names);
-  }
-  OMPFUZZ_CHECK(runs.size() == input_indices.size() * impl_names.size(),
-                "executor returned a short batch");
+  std::vector<std::string> input_texts(ni);
+  for (std::size_t i = 0; i < ni; ++i) input_texts[i] = test.inputs[i].to_string();
 
-  for (int i = 0; i < inputs_per_program; ++i) {
-    TestOutcome outcome;
-    outcome.program_index = p;
-    outcome.input_index = i;
-    outcome.program_name = test.program.name();
-    outcome.input_text = test.inputs[static_cast<std::size_t>(i)].to_string();
+  const auto key_for = [&](std::size_t i, std::size_t j) {
+    return RunKey{fingerprint, input_texts[i], impl_identities[j]};
+  };
 
-    const auto row = runs.begin() +
-                     static_cast<std::ptrdiff_t>(
-                         static_cast<std::size_t>(i) * impl_names.size());
-    outcome.runs.assign(std::make_move_iterator(row),
-                        std::make_move_iterator(
-                            row + static_cast<std::ptrdiff_t>(impl_names.size())));
-
-    outcome.verdict = detector.analyze(outcome.runs);
-
-    // Output divergence across the OK runs (NaN-aware majority vote);
-    // non-OK runs are marked non-divergent placeholders.
-    std::vector<double> ok_outputs;
-    std::vector<std::size_t> ok_ids;
-    for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
-      if (outcome.runs[r].status == core::RunStatus::Ok) {
-        ok_outputs.push_back(outcome.runs[r].output);
-        ok_ids.push_back(r);
+  // Consult the run cache triple-by-triple. An implementation with an empty
+  // identity is never cached (the executor cannot vouch for reuse).
+  std::vector<core::RunResult> runs(ni * nj);
+  std::vector<char> have(ni * nj, 0);
+  if (store != nullptr) {
+    for (std::size_t j = 0; j < nj; ++j) {
+      if (impl_identities[j].empty()) continue;
+      for (std::size_t i = 0; i < ni; ++i) {
+        if (auto hit = store->lookup(key_for(i, j))) {
+          runs[i * nj + j] = std::move(*hit);
+          have[i * nj + j] = 1;
+        }
       }
     }
-    // The paper's driver compares the printed outputs, and %.17g
-    // round-trips doubles exactly — so divergence is bitwise (NaN-aware).
-    core::DiffTolerance exact;
-    exact.max_ulps = 0;
-    exact.max_rel_error = 0.0;
-    const auto ok_divergence = core::analyze_outputs(ok_outputs, exact);
-    outcome.divergence.all_equivalent = ok_divergence.all_equivalent;
-    outcome.divergence.majority_size = ok_divergence.majority_size;
-    outcome.divergence.diverges.assign(outcome.runs.size(), false);
-    for (std::size_t k = 0; k < ok_ids.size(); ++k) {
-      outcome.divergence.diverges[ok_ids[k]] = ok_divergence.diverges[k];
-    }
+  }
 
+  // Batch the remaining triples: implementations sharing the same missing
+  // input set go to the executor in one run_batch call (the pipelined
+  // backend overlaps all of its children), in implementation order. A cold
+  // or store-less shard therefore degenerates to the previous behavior —
+  // one batched call covering every (input, impl) pair — and a fully warm
+  // shard dispatches nothing at all. The input-major result order is part
+  // of the run_batch contract.
+  struct BatchGroup {
+    std::vector<std::size_t> missing_inputs;
+    std::vector<std::size_t> impl_ids;
+  };
+  std::vector<BatchGroup> groups;
+  for (std::size_t j = 0; j < nj; ++j) {
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < ni; ++i) {
+      if (!have[i * nj + j]) missing.push_back(i);
+    }
+    if (missing.empty()) continue;
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const BatchGroup& g) {
+      return g.missing_inputs == missing;
+    });
+    if (it == groups.end()) {
+      groups.push_back({std::move(missing), {j}});
+    } else {
+      it->impl_ids.push_back(j);
+    }
+  }
+
+  for (const auto& group : groups) {
+    std::vector<std::string> group_impls;
+    group_impls.reserve(group.impl_ids.size());
+    for (const std::size_t j : group.impl_ids) group_impls.push_back(impl_names[j]);
+
+    std::vector<core::RunResult> batch;
+    {
+      std::unique_lock<std::mutex> lock;
+      if (exec_mutex != nullptr) lock = std::unique_lock<std::mutex>(*exec_mutex);
+      batch = executor.run_batch(test, group.missing_inputs, group_impls);
+    }
+    OMPFUZZ_CHECK(batch.size() == group.missing_inputs.size() * group_impls.size(),
+                  "executor returned a short batch");
+
+    for (std::size_t ii = 0; ii < group.missing_inputs.size(); ++ii) {
+      for (std::size_t jj = 0; jj < group.impl_ids.size(); ++jj) {
+        const std::size_t i = group.missing_inputs[ii];
+        const std::size_t j = group.impl_ids[jj];
+        core::RunResult& result = batch[ii * group.impl_ids.size() + jj];
+        if (store != nullptr && !impl_identities[j].empty() &&
+            !result.harness_failure) {
+          store->put(key_for(i, j), result);
+        }
+        runs[i * nj + j] = std::move(result);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < ni; ++i) {
+    TestOutcome outcome;
+    outcome.program_index = p;
+    outcome.input_index = static_cast<int>(i);
+    outcome.program_name = test.program.name();
+    outcome.input_text = std::move(input_texts[i]);
+
+    const auto row = runs.begin() + static_cast<std::ptrdiff_t>(i * nj);
+    outcome.runs.assign(std::make_move_iterator(row),
+                        std::make_move_iterator(row + static_cast<std::ptrdiff_t>(nj)));
+
+    classify_outcome(outcome, detector);
     shard.outcomes.push_back(std::move(outcome));
   }
   return shard;
 }
 
+/// Journal record of one completed shard (raw runs only; verdicts are
+/// recomputed on restore).
+StoredShard to_stored(const ProgramShard& shard, int p) {
+  StoredShard out;
+  out.program_index = p;
+  out.regeneration_attempts = shard.regeneration_attempts;
+  out.outcomes.reserve(shard.outcomes.size());
+  for (const auto& outcome : shard.outcomes) {
+    StoredOutcome stored;
+    stored.input_index = outcome.input_index;
+    stored.program_name = outcome.program_name;
+    stored.input_text = outcome.input_text;
+    stored.runs = outcome.runs;
+    out.outcomes.push_back(std::move(stored));
+  }
+  return out;
+}
+
 }  // namespace
+
+std::uint64_t Campaign::checkpoint_key() const {
+  const auto& g = config_.generator;
+  std::string material = "ompfuzz-campaign v1";
+  material += ";seed=" + std::to_string(config_.seed);
+  material += ";inputs_per_program=" + std::to_string(config_.inputs_per_program);
+  material += ";gen=" + std::to_string(g.max_expression_size) + "," +
+              std::to_string(g.max_nesting_levels) + "," +
+              std::to_string(g.max_lines_in_block) + "," +
+              std::to_string(g.array_size) + "," +
+              std::to_string(g.max_same_level_blocks) + "," +
+              (g.math_func_allowed ? "1" : "0") + "," +
+              format_double(g.math_func_probability) + "," +
+              std::to_string(g.input_samples_per_run) + "," +
+              std::to_string(g.num_threads) + "," +
+              std::to_string(g.max_loop_trip_count) + "," +
+              format_double(g.p_if_block) + "," + format_double(g.p_for_block) +
+              "," + format_double(g.p_openmp_block) + "," +
+              format_double(g.p_reduction) + "," + format_double(g.p_critical) +
+              "," + format_double(g.p_parallel_in_loop);
+  for (const auto& name : executor_.implementations()) {
+    material += ";impl=" + name + "=" + executor_.impl_identity(name);
+  }
+  return fnv1a64(material);
+}
 
 CampaignResult Campaign::run(const ProgressFn& progress) {
   CampaignResult result;
@@ -169,26 +284,105 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   std::mutex exec_serialize;
   std::mutex* exec_mutex = executor_.thread_safe() ? nullptr : &exec_serialize;
 
-  // Phase 1: run shards — one per program, deterministic in isolation thanks
-  // to the per-program RandomEngine::fork streams in make_test_case.
-  const std::size_t workers = std::min(
-      resolve_thread_count(config_.threads),
-      static_cast<std::size_t>(config_.num_programs));
+  std::vector<std::string> identities(result.impl_names.size());
+  bool identities_known = true;
+  for (std::size_t j = 0; j < result.impl_names.size(); ++j) {
+    const std::string identity = executor_.impl_identity(result.impl_names[j]);
+    // The display name is key material too: two implementations with
+    // identical commands still produce distinct RunResults (the impl
+    // field), so their cache entries must not collide.
+    if (!identity.empty()) {
+      identities[j] = "name=" + result.impl_names[j] + ";" + identity;
+    } else {
+      identities_known = false;
+    }
+  }
+
+  // Phase 0: restore completed shards from the checkpoint journal. Verdicts
+  // and divergence are recomputed from the stored raw runs by the same
+  // deterministic pass a cold run uses.
   std::vector<ProgramShard> shards(static_cast<std::size_t>(config_.num_programs));
+  std::vector<char> done(static_cast<std::size_t>(config_.num_programs), 0);
+  resumed_programs_ = 0;
+  if (journal_ != nullptr) {
+    // Resuming needs every implementation's cache identity: checkpoint_key()
+    // cannot otherwise detect that an identity-less executor was
+    // reconfigured between runs, and stale shards would masquerade as
+    // results of the new configuration. Such campaigns still journal (the
+    // records describe this run faithfully) — they just never restore.
+    const auto loaded = journal_->open(checkpoint_key(), result.impl_names,
+                                       resume_ && identities_known);
+    for (const auto& stored : loaded) {
+      const int p = stored.program_index;
+      if (p < 0 || p >= config_.num_programs) continue;
+      if (stored.outcomes.size() !=
+          static_cast<std::size_t>(config_.inputs_per_program)) {
+        continue;
+      }
+      ProgramShard shard;
+      shard.regeneration_attempts = stored.regeneration_attempts;
+      bool ok = true;
+      for (const auto& stored_outcome : stored.outcomes) {
+        if (stored_outcome.runs.size() != result.impl_names.size()) {
+          ok = false;
+          break;
+        }
+        TestOutcome outcome;
+        outcome.program_index = p;
+        outcome.input_index = stored_outcome.input_index;
+        outcome.program_name = stored_outcome.program_name;
+        outcome.input_text = stored_outcome.input_text;
+        outcome.runs = stored_outcome.runs;
+        classify_outcome(outcome, detector);
+        shard.outcomes.push_back(std::move(outcome));
+      }
+      if (!ok) continue;
+      if (!done[static_cast<std::size_t>(p)]) ++resumed_programs_;
+      done[static_cast<std::size_t>(p)] = 1;
+      shards[static_cast<std::size_t>(p)] = std::move(shard);
+    }
+  }
+
+  // Phase 1: run the remaining shards — one per program, deterministic in
+  // isolation thanks to the per-program RandomEngine::fork streams in
+  // make_test_case. Each completed shard is journaled durably before it
+  // counts as progress, so a kill can only lose in-flight shards.
+  const auto finish_shard = [&](int p, ProgramShard&& shard) {
+    // A shard tainted by a harness failure (compile/spawn infrastructure
+    // error) is not checkpointed: resuming must re-execute it rather than
+    // replay the transient failure as an observation.
+    const bool tainted = std::any_of(
+        shard.outcomes.begin(), shard.outcomes.end(), [](const TestOutcome& o) {
+          return std::any_of(o.runs.begin(), o.runs.end(),
+                             [](const core::RunResult& r) {
+                               return r.harness_failure;
+                             });
+        });
+    if (journal_ != nullptr && !tainted) journal_->append(to_stored(shard, p));
+    shards[static_cast<std::size_t>(p)] = std::move(shard);
+  };
+  const int remaining = config_.num_programs - resumed_programs_;
+  const std::size_t workers =
+      std::min(resolve_thread_count(config_.threads),
+               static_cast<std::size_t>(std::max(remaining, 1)));
+  int completed = resumed_programs_;
+  if (progress && completed > 0) progress(completed, config_.num_programs);
   if (workers <= 1) {
     for (int p = 0; p < config_.num_programs; ++p) {
-      shards[static_cast<std::size_t>(p)] = run_program_shard(
-          *this, executor_, nullptr, detector, result.impl_names, p);
-      if (progress) progress(p + 1, config_.num_programs);
+      if (done[static_cast<std::size_t>(p)]) continue;
+      finish_shard(p, run_program_shard(*this, executor_, nullptr, detector,
+                                        result.impl_names, identities, store_, p));
+      if (progress) progress(++completed, config_.num_programs);
     }
   } else {
     ThreadPool pool(workers);
     std::mutex progress_mutex;
-    int completed = 0;
     parallel_for(pool, config_.num_programs, [&](int p) {
-      ProgramShard shard = run_program_shard(*this, executor_, exec_mutex,
-                                             detector, result.impl_names, p);
-      shards[static_cast<std::size_t>(p)] = std::move(shard);
+      if (done[static_cast<std::size_t>(p)]) return;
+      ProgramShard shard =
+          run_program_shard(*this, executor_, exec_mutex, detector,
+                            result.impl_names, identities, store_, p);
+      finish_shard(p, std::move(shard));
       if (progress) {
         const std::lock_guard<std::mutex> lock(progress_mutex);
         progress(++completed, config_.num_programs);

@@ -20,6 +20,7 @@
 #include "core/outlier.hpp"
 #include "harness/executor.hpp"
 #include "support/config.hpp"
+#include "support/result_store.hpp"
 
 namespace ompfuzz::harness {
 
@@ -73,7 +74,9 @@ class Campaign {
   /// Runs the whole campaign. Deterministic given the config seed and the
   /// executor (SimExecutor is fully deterministic): programs are sharded
   /// across `config.threads` workers and aggregated in program order, so the
-  /// result is identical for every thread count.
+  /// result is identical for every thread count — and, with a result store
+  /// or checkpoint attached, identical whether each run was executed,
+  /// cached, or resumed (verdicts are recomputed from the raw runs).
   [[nodiscard]] CampaignResult run(const ProgressFn& progress = nullptr);
 
   /// Generates the i-th test case of this campaign (exposed so benches can
@@ -82,10 +85,42 @@ class Campaign {
 
   [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
 
+  /// Attaches a persistent run cache (not owned; may be shared between
+  /// campaigns). Before dispatching a batch, every (program, input, impl)
+  /// triple whose key is cached is satisfied from the store; executed
+  /// triples are written back as batches complete. Implementations whose
+  /// executor reports an empty impl_identity() are never cached.
+  void set_result_store(ResultStore* store) noexcept { store_ = store; }
+
+  /// Attaches a checkpoint journal (not owned). Completed program shards
+  /// are streamed to it durably; with `resume` true, shards already in the
+  /// journal (written by a previous — possibly killed — run with the same
+  /// checkpoint_key()) are restored instead of re-executed. Resume
+  /// additionally requires every implementation to report a non-empty
+  /// impl_identity() — without it a reconfigured executor would be
+  /// indistinguishable from the one that wrote the journal.
+  void set_checkpoint(CheckpointJournal* journal, bool resume) noexcept {
+    journal_ = journal;
+    resume_ = resume;
+  }
+
+  /// Hash of everything that determines shard contents: seed, per-program
+  /// input count, the full generator config, and each implementation's name
+  /// and cache identity. num_programs is deliberately excluded — program i
+  /// does not depend on it, so a grown campaign resumes its prefix.
+  [[nodiscard]] std::uint64_t checkpoint_key() const;
+
+  /// Shards restored from the journal by the last run() (0 without resume).
+  [[nodiscard]] int resumed_programs() const noexcept { return resumed_programs_; }
+
  private:
   CampaignConfig config_;
   Executor& executor_;
   core::ProgramGenerator generator_;
+  ResultStore* store_ = nullptr;
+  CheckpointJournal* journal_ = nullptr;
+  bool resume_ = false;
+  int resumed_programs_ = 0;
 };
 
 /// Finds the analyzable outcome where `impl` is flagged with `kind`,

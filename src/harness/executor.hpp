@@ -63,6 +63,20 @@ class Executor {
   /// Names of the implementations this executor can drive.
   [[nodiscard]] virtual std::vector<std::string> implementations() const = 0;
 
+  /// Cache identity of one implementation for the persistent result store:
+  /// a string covering everything besides the (program, input) content that
+  /// can change this executor's RunResult — backend kind, compile command
+  /// and flags, timeouts, simulated profile parameters. Two executors whose
+  /// identity strings match must produce bit-identical results for the same
+  /// test, so a cached result can stand in for a real run. The default empty
+  /// string means "unknown identity": the campaign then never caches or
+  /// reuses results for this executor.
+  [[nodiscard]] virtual std::string impl_identity(
+      const std::string& impl_name) const {
+    (void)impl_name;
+    return {};
+  }
+
   /// True if run() may be called concurrently from multiple threads. The
   /// campaign engine serializes run() calls behind a mutex otherwise, so a
   /// non-thread-safe executor is race-free (just unaccelerated). Note that

@@ -23,6 +23,17 @@ const rt::OmpImplProfile& SimExecutor::profile(const std::string& name) const {
   throw Error("unknown implementation: " + name);
 }
 
+std::string SimExecutor::impl_identity(const std::string& impl_name) const {
+  const rt::OmpImplProfile& p = profile(impl_name);
+  // compiler/runtime_lib distinguish the base vendor profile even when the
+  // campaign renames it (campaign_demo maps config names onto profiles).
+  return "sim;profile=" + p.name + ";compiler=" + p.compiler +
+         ";runtime=" + p.runtime_lib +
+         ";num_threads=" + std::to_string(options_.num_threads) +
+         ";hang_timeout_us=" + std::to_string(options_.hang_timeout_us) +
+         ";max_interp_steps=" + std::to_string(options_.max_interp_steps);
+}
+
 std::vector<std::string> SimExecutor::implementations() const {
   std::vector<std::string> names;
   names.reserve(profiles_.size());

@@ -43,6 +43,13 @@ class SimExecutor final : public Executor {
                                     const std::string& impl_name) override;
   [[nodiscard]] std::vector<std::string> implementations() const override;
 
+  /// Backend kind + profile name + every SimExecutorOptions knob. Assumes a
+  /// profile name denotes one fixed parameter set (true for the built-in
+  /// vendor profiles); campaigns that hand-perturb profile fields (the
+  /// ablation benches) should not share a persistent result store.
+  [[nodiscard]] std::string impl_identity(
+      const std::string& impl_name) const override;
+
   /// Stateless run path: interpretation, pricing, and fault decisions touch
   /// only immutable members and locals.
   [[nodiscard]] bool thread_safe() const noexcept override { return true; }

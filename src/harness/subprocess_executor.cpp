@@ -72,6 +72,14 @@ std::vector<std::string> SubprocessExecutor::implementations() const {
   return names;
 }
 
+std::string SubprocessExecutor::impl_identity(
+    const std::string& impl_name) const {
+  const ImplementationSpec& spec = spec_for(impl_name);
+  return "subprocess;cmd=" + spec.compile_command +
+         ";run_timeout_ms=" + std::to_string(options_.run_timeout_ms) +
+         ";compile_timeout_ms=" + std::to_string(options_.compile_timeout_ms);
+}
+
 const ImplementationSpec& SubprocessExecutor::spec_for(
     const std::string& impl_name) const {
   const auto it = impl_index_.find(impl_name);
@@ -79,11 +87,12 @@ const ImplementationSpec& SubprocessExecutor::spec_for(
   return impls_[it->second];
 }
 
-std::shared_future<std::string> SubprocessExecutor::ensure_binary(
-    const TestCase& test, const ImplementationSpec& impl) {
+std::shared_future<SubprocessExecutor::CompileOutcome>
+SubprocessExecutor::ensure_binary(const TestCase& test,
+                                  const ImplementationSpec& impl) {
   const auto key = std::make_pair(test.program.fingerprint(), impl.name);
-  auto promise = std::make_shared<std::promise<std::string>>();
-  std::shared_future<std::string> future = promise->get_future().share();
+  auto promise = std::make_shared<std::promise<CompileOutcome>>();
+  std::shared_future<CompileOutcome> future = promise->get_future().share();
   {
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     if (const auto it = binary_cache_.find(key); it != binary_cache_.end()) {
@@ -120,9 +129,18 @@ std::shared_future<std::string> SubprocessExecutor::ensure_binary(
     job.argv = tokenize(command);
     job.timeout_ms = options_.compile_timeout_ms;
     pool_.submit(std::move(job), [promise, bin](ProcessResult compile) {
-      const bool ok = !compile.timed_out && !compile.signaled &&
-                      compile.exit_code == 0;
-      promise->set_value(ok ? bin : std::string{});
+      CompileOutcome outcome;
+      if (!compile.timed_out && !compile.signaled && compile.exit_code == 0) {
+        outcome.bin = bin;
+      } else {
+        // No binary. A compiler diagnosing/rejecting the program (nonzero
+        // exit with output) is a real observation; a timeout or an
+        // unspawnable compile (exit 127, no output) is the harness failing.
+        outcome.harness_failure =
+            compile.timed_out ||
+            (compile.exit_code == 127 && compile.output.empty());
+      }
+      promise->set_value(std::move(outcome));
     });
   } catch (...) {
     promise->set_exception(std::current_exception());
@@ -141,6 +159,11 @@ core::RunResult SubprocessExecutor::classify(const ProcessResult& proc,
   }
   if (proc.signaled || proc.exit_code != 0) {
     result.status = core::RunStatus::Crash;
+    // Exit 127 with no output is the process pool's fabricated result for a
+    // child it could not spawn (fork/pipe exhaustion) — a harness failure,
+    // not an observation of the implementation. Generated binaries return
+    // 0/2 or die by signal, so this shape cannot be a genuine test outcome.
+    result.harness_failure = proc.exit_code == 127 && proc.output.empty();
     return result;
   }
 
@@ -171,7 +194,7 @@ std::vector<core::RunResult> SubprocessExecutor::run_batch(
   // Stage 1 — compile queue: one in-flight compile per distinct
   // implementation of this program (cross-program concurrency comes from the
   // shared pool: other campaign workers' batches overlap these).
-  std::vector<std::shared_future<std::string>> binaries;
+  std::vector<std::shared_future<CompileOutcome>> binaries;
   binaries.reserve(impls.size());
   for (const auto& impl : impls) {
     binaries.push_back(ensure_binary(test, spec_for(impl)));
@@ -186,18 +209,20 @@ std::vector<core::RunResult> SubprocessExecutor::run_batch(
   std::vector<core::RunResult> results(n);
   std::vector<std::future<ProcessResult>> children(n);
   const auto submit_runs = [&](std::size_t j) {
-    const std::string bin = binaries[j].get();
+    const CompileOutcome compile = binaries[j].get();
     for (std::size_t i = 0; i < input_indices.size(); ++i) {
       const std::size_t k = i * impls.size() + j;
-      if (bin.empty()) {
+      if (compile.bin.empty()) {
         // A compiler that rejects a valid program is itself a correctness
-        // bug; surfaced like an abnormal termination.
+        // bug; surfaced like an abnormal termination. A compile the harness
+        // failed to run at all is marked so the result is never persisted.
         results[k].impl = impls[j];
         results[k].status = core::RunStatus::Crash;
+        results[k].harness_failure = compile.harness_failure;
         continue;
       }
       ProcessJob job;
-      job.argv.push_back(bin);
+      job.argv.push_back(compile.bin);
       for (auto& arg : test.inputs[input_indices[i]].to_argv()) {
         job.argv.push_back(std::move(arg));
       }

@@ -72,15 +72,31 @@ class SubprocessExecutor final : public Executor {
 
   [[nodiscard]] std::vector<std::string> implementations() const override;
 
+  /// Backend kind + the full compile command template (flags included) +
+  /// both timeouts: everything that can alter a classification (a shorter
+  /// run timeout turns Ok into Hang, a different -O level changes the
+  /// binary). Changing any of it changes the cache key.
+  [[nodiscard]] std::string impl_identity(
+      const std::string& impl_name) const override;
+
   /// The binary cache hands out per-key futures behind a short-lived mutex;
   /// child processes are independent, so concurrent calls are safe.
   [[nodiscard]] bool thread_safe() const noexcept override { return true; }
 
  private:
-  /// Returns the future binary path for (test, impl), submitting emission +
-  /// compilation to the pool on first request. The future resolves to "" if
-  /// compilation failed.
-  [[nodiscard]] std::shared_future<std::string> ensure_binary(
+  /// What one (program, impl) compile produced. An empty `bin` means no
+  /// binary: `harness_failure` then separates the toolchain rejecting the
+  /// program (an observation worth caching) from the harness failing to run
+  /// the compile at all (timeout on a loaded machine, fork/pipe exhaustion —
+  /// transient, never cached).
+  struct CompileOutcome {
+    std::string bin;
+    bool harness_failure = false;
+  };
+
+  /// Returns the future compile outcome for (test, impl), submitting
+  /// emission + compilation to the pool on first request.
+  [[nodiscard]] std::shared_future<CompileOutcome> ensure_binary(
       const TestCase& test, const ImplementationSpec& impl);
 
   [[nodiscard]] const ImplementationSpec& spec_for(
@@ -96,9 +112,9 @@ class SubprocessExecutor final : public Executor {
   SubprocessOptions options_;
   /// Guards binary_cache_ only — insertion of the future, not the compile.
   std::mutex cache_mutex_;
-  /// (program fingerprint, impl) -> future binary path ("" = failed).
+  /// (program fingerprint, impl) -> future compile outcome.
   std::map<std::pair<std::uint64_t, std::string>,
-           std::shared_future<std::string>>
+           std::shared_future<CompileOutcome>>
       binary_cache_;
   AsyncProcessPool pool_;
 };

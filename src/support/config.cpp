@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -78,8 +79,23 @@ std::int64_t ConfigFile::get_int(const std::string& key, std::int64_t fallback) 
   if (!v) return fallback;
   std::int64_t out = 0;
   const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec == std::errc::result_out_of_range) {
+    throw ConfigError("value of '" + key + "' is out of range: " + *v);
+  }
   if (ec != std::errc() || ptr != v->data() + v->size()) {
     throw ConfigError("value of '" + key + "' is not an integer: " + *v);
+  }
+  return out;
+}
+
+std::int64_t ConfigFile::get_int(const std::string& key, std::int64_t fallback,
+                                 std::int64_t min_value,
+                                 std::int64_t max_value) const {
+  const std::int64_t out = get_int(key, fallback);
+  if (out < min_value || out > max_value) {
+    throw ConfigError("value of '" + key + "' is out of range [" +
+                      std::to_string(min_value) + ", " +
+                      std::to_string(max_value) + "]: " + std::to_string(out));
   }
   return out;
 }
@@ -90,8 +106,12 @@ double ConfigFile::get_double(const std::string& key, double fallback) const {
   try {
     std::size_t consumed = 0;
     const double out = std::stod(*v, &consumed);
+    // Reject trailing garbage ("1.5x"): truncating at the first bad
+    // character would silently misread the config.
     if (consumed != v->size()) throw std::invalid_argument(*v);
     return out;
+  } catch (const std::out_of_range&) {
+    throw ConfigError("value of '" + key + "' is out of range: " + *v);
   } catch (const std::exception&) {
     throw ConfigError("value of '" + key + "' is not a number: " + *v);
   }
@@ -110,10 +130,22 @@ void ConfigFile::set(const std::string& key, const std::string& value) {
   entries_[key] = value;
 }
 
+namespace {
+
+/// Reads an int-typed key with the narrowing range enforced at parse time:
+/// a value that fits int64 but not int is a config error, not a silent wrap.
+int get_config_int(const ConfigFile& file, const std::string& key, int fallback) {
+  return static_cast<int>(
+      file.get_int(key, fallback, std::numeric_limits<int>::min(),
+                   std::numeric_limits<int>::max()));
+}
+
+}  // namespace
+
 GeneratorConfig GeneratorConfig::from_config(const ConfigFile& file) {
   GeneratorConfig g;
   const auto geti = [&](const char* k, int d) {
-    return static_cast<int>(file.get_int(std::string("generator.") + k, d));
+    return get_config_int(file, std::string("generator.") + k, d);
   };
   const auto getd = [&](const char* k, double d) {
     return file.get_double(std::string("generator.") + k, d);
@@ -166,8 +198,7 @@ ExecutorConfig ExecutorConfig::from_config(const ConfigFile& file) {
       file.get_int("executor.compile_timeout_ms", e.compile_timeout_ms);
   e.concurrent_runs =
       file.get_bool("executor.concurrent_runs", e.concurrent_runs);
-  e.max_inflight =
-      static_cast<int>(file.get_int("executor.max_inflight", e.max_inflight));
+  e.max_inflight = get_config_int(file, "executor.max_inflight", e.max_inflight);
   e.validate();
   return e;
 }
@@ -184,12 +215,24 @@ void ExecutorConfig::validate() const {
   }
 }
 
+StoreConfig StoreConfig::from_config(const ConfigFile& file) {
+  StoreConfig s;
+  s.enabled = file.get_bool("store.enabled", s.enabled);
+  s.dir = file.get_or("store.dir", s.dir);
+  s.validate();
+  return s;
+}
+
+void StoreConfig::validate() const {
+  if (dir.empty()) throw ConfigError("store.dir must not be empty");
+}
+
 CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {
   CampaignConfig c;
   c.generator = GeneratorConfig::from_config(file);
-  c.num_programs = static_cast<int>(file.get_int("campaign.num_programs", c.num_programs));
+  c.num_programs = get_config_int(file, "campaign.num_programs", c.num_programs);
   c.inputs_per_program =
-      static_cast<int>(file.get_int("campaign.inputs_per_program", c.inputs_per_program));
+      get_config_int(file, "campaign.inputs_per_program", c.inputs_per_program);
   c.seed = static_cast<std::uint64_t>(file.get_int("campaign.seed",
                                                    static_cast<std::int64_t>(c.seed)));
   c.alpha = file.get_double("campaign.alpha", c.alpha);
@@ -197,7 +240,7 @@ CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {
   c.min_time_us = file.get_int("campaign.min_time_us", c.min_time_us);
   c.hang_timeout_us = file.get_int("campaign.hang_timeout_us", c.hang_timeout_us);
   c.output_dir = file.get_or("campaign.output_dir", c.output_dir);
-  c.threads = static_cast<int>(file.get_int("campaign.threads", c.threads));
+  c.threads = get_config_int(file, "campaign.threads", c.threads);
 
   // Implementations are listed as "implementations.NAME = profile_or_command".
   // A value starting with "profile:" selects a simulated runtime profile;

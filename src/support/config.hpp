@@ -33,8 +33,16 @@ class ConfigFile {
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
   [[nodiscard]] std::string get_or(const std::string& key,
                                    const std::string& fallback) const;
-  /// Typed getters throw ConfigError if present but unparsable.
+  /// Typed getters throw ConfigError if present but unparsable — including
+  /// trailing garbage ("1.5x") and values outside the target type's range,
+  /// which are rejected loudly instead of being silently truncated.
   [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// Range-checked variant: throws ConfigError unless the parsed value lies
+  /// in [min_value, max_value]. Use wherever the result is narrowed (e.g. to
+  /// int) so an oversized config value cannot wrap around quietly.
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback,
+                                     std::int64_t min_value,
+                                     std::int64_t max_value) const;
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
@@ -102,6 +110,21 @@ struct ExecutorConfig {
 
   /// Reads the [executor] section; unspecified keys keep their defaults.
   static ExecutorConfig from_config(const ConfigFile& file);
+  /// Validates ranges; throws ConfigError otherwise.
+  void validate() const;
+};
+
+/// Knobs for the persistent result store and checkpoint journal (the
+/// [store] section). Consumed by support/result_store.hpp and the campaign.
+struct StoreConfig {
+  /// Off by default: campaigns only persist results when asked to.
+  bool enabled = false;
+  /// Root directory: run-cache records land in `<dir>/runs/`, the campaign
+  /// checkpoint journal in `<dir>/checkpoint.journal`.
+  std::string dir = "_store";
+
+  /// Reads the [store] section; unspecified keys keep their defaults.
+  static StoreConfig from_config(const ConfigFile& file);
   /// Validates ranges; throws ConfigError otherwise.
   void validate() const;
 };

@@ -1,0 +1,487 @@
+#include "support/result_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
+
+namespace ompfuzz {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex64(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 16) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out, 16);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_i64(std::string_view text, std::int64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+/// Writes `content` to `path` atomically: temp file in the same directory,
+/// fsync, rename, directory fsync. Crash at any point leaves either the old
+/// record or the new one, never a torn file.
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // pid distinguishes processes sharing a store; the counter distinguishes
+  // threads of this process (callers do not hold a common lock).
+  static std::atomic<unsigned long> tmp_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw Error("result store: cannot create " + tmp);
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw Error("result store: write failed for " + tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("result store: fsync failed for " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("result store: rename failed for " + path);
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+void make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error("result store: cannot create directory " + path);
+  }
+}
+
+/// Sequential line reader over an in-memory payload.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text) : text_(text) {}
+
+  /// Next line without its trailing '\n'; false at end of input.
+  bool next(std::string_view& line) {
+    if (pos_ >= text_.size()) return false;
+    const std::size_t nl = text_.find('\n', pos_);
+    if (nl == std::string_view::npos) {
+      line = text_.substr(pos_);
+      pos_ = text_.size();
+    } else {
+      line = text_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+    }
+    return true;
+  }
+
+  /// Next line, which must start with `prefix` (a tag plus one space);
+  /// returns the remainder or nullopt.
+  std::optional<std::string_view> tagged(std::string_view prefix) {
+    std::string_view line;
+    if (!next(line)) return std::nullopt;
+    if (!line.starts_with(prefix)) return std::nullopt;
+    return line.substr(prefix.size());
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string serialize_run(const core::RunResult& run) {
+  std::string out;
+  out += "impl " + run.impl + "\n";
+  out += "status " + std::to_string(static_cast<int>(run.status)) + "\n";
+  out += "time " + hex64(std::bit_cast<std::uint64_t>(run.time_us)) + "\n";
+  out += "output " + hex64(std::bit_cast<std::uint64_t>(run.output)) + "\n";
+  return out;
+}
+
+bool parse_status(std::string_view text, core::RunStatus& out) {
+  std::int64_t v = 0;
+  if (!parse_i64(text, v)) return false;
+  if (v < 0 || v > static_cast<std::int64_t>(core::RunStatus::Skipped)) {
+    return false;
+  }
+  out = static_cast<core::RunStatus>(v);
+  return true;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- RunKey ------
+
+std::string RunKey::canonical() const {
+  // Single line: the embedded fields contain no newlines (input_text is
+  // argv-style, impl identities are command lines), and records compare the
+  // whole line verbatim, so internal spaces are unambiguous.
+  return "fp=" + hex64(program_fingerprint) + " input=" + input_text +
+         " impl=" + impl_identity;
+}
+
+std::array<std::uint64_t, 2> RunKey::digest() const {
+  const std::string text = canonical();
+  const std::uint64_t lo = fnv1a64(text);
+  // Second word: FNV-1a over the same bytes from a *different starting
+  // state* (the salt prefix is absorbed first). A trailing salt would make
+  // hi a pure function of lo — FNV is iterative — collapsing the digest to
+  // 64 bits; a leading salt keeps the two passes independent.
+  const std::uint64_t hi = fnv1a64("ompfuzz-run-key-hi|" + text);
+  return {hi, lo};
+}
+
+// -------------------------------------------------------- ResultStore ------
+
+ResultStore::ResultStore(StoreConfig config) : config_(std::move(config)) {
+  config_.validate();
+  make_dir(config_.dir);
+  make_dir(config_.dir + "/runs");
+}
+
+std::string ResultStore::object_path(const RunKey& key) const {
+  const auto d = key.digest();
+  const std::string hex = hex64(d[0]) + hex64(d[1]);
+  return config_.dir + "/runs/" + hex.substr(0, 2) + "/" + hex + ".run";
+}
+
+std::optional<core::RunResult> ResultStore::lookup(const RunKey& key) {
+  const auto d = key.digest();
+  const std::string hex = hex64(d[0]) + hex64(d[1]);
+  const std::string canonical = key.canonical();
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = memo_.find(hex); it != memo_.end()) {
+      if (it->second.first == canonical) {
+        ++stats_.hits;
+        return it->second.second;
+      }
+      ++stats_.misses;  // digest collision against an in-memory record
+      return std::nullopt;
+    }
+  }
+
+  // Disk I/O outside the lock: record files are immutable-once-renamed, so
+  // concurrent readers (and writers of other keys) need no coordination.
+  std::string text;
+  {
+    std::ifstream in(object_path(key));
+    if (!in) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  LineCursor cursor(text);
+  std::string_view line;
+  core::RunResult run;
+  std::uint64_t time_bits = 0;
+  std::uint64_t output_bits = 0;
+  const bool ok = [&] {
+    if (!cursor.next(line) || line != "ompfuzz-run v1") return false;
+    const auto rec_key = cursor.tagged("key ");
+    // A mismatched embedded key is a digest collision (or a foreign file):
+    // report a miss rather than a wrong cached result.
+    if (!rec_key || *rec_key != canonical) return false;
+    const auto impl = cursor.tagged("impl ");
+    if (!impl) return false;
+    run.impl = std::string(*impl);
+    const auto status = cursor.tagged("status ");
+    if (!status || !parse_status(*status, run.status)) return false;
+    const auto time = cursor.tagged("time ");
+    if (!time || !parse_hex64(*time, time_bits)) return false;
+    const auto output = cursor.tagged("output ");
+    if (!output || !parse_hex64(*output, output_bits)) return false;
+    return true;
+  }();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ok) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  run.time_us = std::bit_cast<double>(time_bits);
+  run.output = std::bit_cast<double>(output_bits);
+  memo_[hex] = {canonical, run};
+  ++stats_.hits;
+  return run;
+}
+
+void ResultStore::put(const RunKey& key, const core::RunResult& result) {
+  OMPFUZZ_CHECK(!result.harness_failure,
+                "harness-failure results must not be persisted");
+  const auto d = key.digest();
+  const std::string hex = hex64(d[0]) + hex64(d[1]);
+  const std::string canonical = key.canonical();
+
+  std::string record = "ompfuzz-run v1\nkey " + canonical + "\n";
+  record += serialize_run(result);
+
+  // Disk I/O outside the lock: mkdir tolerates EEXIST, temp names are
+  // unique per call, and the rename is atomic — concurrent same-key writers
+  // are last-wins with identical content. Only memo_/stats_ need the mutex,
+  // so campaign workers don't serialize behind each other's fsyncs.
+  make_dir(config_.dir + "/runs/" + hex.substr(0, 2));
+  write_file_atomic(object_path(key), record);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  memo_[hex] = {canonical, result};
+  ++stats_.puts;
+}
+
+ResultStore::Stats ResultStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// --------------------------------------------------- CheckpointJournal -----
+
+namespace {
+
+std::string header_payload(std::uint64_t campaign_key,
+                           const std::vector<std::string>& impl_names) {
+  std::string out = "ompfuzz-journal v1\n";
+  out += "campaign " + hex64(campaign_key) + "\n";
+  out += "impls " + std::to_string(impl_names.size()) + "\n";
+  for (const auto& name : impl_names) out += "impl " + name + "\n";
+  return out;
+}
+
+std::string shard_payload(const StoredShard& shard,
+                          std::size_t num_impls) {
+  std::string out = "shard " + std::to_string(shard.program_index) + " " +
+                    std::to_string(shard.regeneration_attempts) + " " +
+                    std::to_string(shard.outcomes.size()) + "\n";
+  for (const auto& outcome : shard.outcomes) {
+    OMPFUZZ_CHECK(outcome.runs.size() == num_impls,
+                  "shard outcome has wrong run count");
+    out += "name " + outcome.program_name + "\n";
+    out += "index " + std::to_string(outcome.input_index) + "\n";
+    out += "input " + outcome.input_text + "\n";
+    for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
+      const auto& run = outcome.runs[r];
+      out += "run " + std::to_string(r) + " " +
+             std::to_string(static_cast<int>(run.status)) + " " +
+             hex64(std::bit_cast<std::uint64_t>(run.time_us)) + " " +
+             hex64(std::bit_cast<std::uint64_t>(run.output)) + "\n";
+    }
+  }
+  return out;
+}
+
+/// Parses one shard payload. Returns nullopt on any malformation (the
+/// truncated / corrupt final record of a crashed campaign).
+std::optional<StoredShard> parse_shard_payload(
+    std::string_view payload, const std::vector<std::string>& impl_names) {
+  LineCursor cursor(payload);
+  const auto head = cursor.tagged("shard ");
+  if (!head) return std::nullopt;
+  std::int64_t program_index = 0, regen = 0, n_outcomes = 0;
+  {
+    const auto fields = split(*head, ' ');
+    if (fields.size() != 3 || !parse_i64(fields[0], program_index) ||
+        !parse_i64(fields[1], regen) || !parse_i64(fields[2], n_outcomes)) {
+      return std::nullopt;
+    }
+  }
+  if (program_index < 0 || regen < 0 || n_outcomes < 0) return std::nullopt;
+
+  StoredShard shard;
+  shard.program_index = static_cast<int>(program_index);
+  shard.regeneration_attempts = static_cast<int>(regen);
+  for (std::int64_t i = 0; i < n_outcomes; ++i) {
+    StoredOutcome outcome;
+    const auto name = cursor.tagged("name ");
+    if (!name) return std::nullopt;
+    outcome.program_name = std::string(*name);
+    const auto index = cursor.tagged("index ");
+    std::int64_t input_index = 0;
+    if (!index || !parse_i64(*index, input_index)) return std::nullopt;
+    outcome.input_index = static_cast<int>(input_index);
+    const auto input = cursor.tagged("input ");
+    if (!input) return std::nullopt;
+    outcome.input_text = std::string(*input);
+    for (std::size_t r = 0; r < impl_names.size(); ++r) {
+      const auto rec = cursor.tagged("run ");
+      if (!rec) return std::nullopt;
+      const auto fields = split(*rec, ' ');
+      std::int64_t impl_index = 0;
+      std::uint64_t time_bits = 0, output_bits = 0;
+      core::RunResult run;
+      if (fields.size() != 4 || !parse_i64(fields[0], impl_index) ||
+          impl_index != static_cast<std::int64_t>(r) ||
+          !parse_status(fields[1], run.status) ||
+          !parse_hex64(fields[2], time_bits) ||
+          !parse_hex64(fields[3], output_bits)) {
+        return std::nullopt;
+      }
+      run.impl = impl_names[r];
+      run.time_us = std::bit_cast<double>(time_bits);
+      run.output = std::bit_cast<double>(output_bits);
+      outcome.runs.push_back(std::move(run));
+    }
+    shard.outcomes.push_back(std::move(outcome));
+  }
+  return shard;
+}
+
+std::string frame_record(const std::string& payload) {
+  return "REC " + std::to_string(payload.size()) + " " + hex64(fnv1a64(payload)) +
+         "\n" + payload;
+}
+
+/// Reads the next framed record starting at `pos`. Returns false when the
+/// remaining bytes are not one complete, checksum-valid record (end of file
+/// or the torn tail of a crashed append); `pos` is left at the record start.
+bool read_record(std::string_view file, std::size_t& pos, std::string_view& payload) {
+  const std::size_t start = pos;
+  const std::size_t nl = file.find('\n', start);
+  if (nl == std::string_view::npos) return false;
+  const std::string_view header = file.substr(start, nl - start);
+  if (!header.starts_with("REC ")) return false;
+  const auto fields = split(header.substr(4), ' ');
+  std::int64_t length = 0;
+  std::uint64_t checksum = 0;
+  if (fields.size() != 2 || !parse_i64(fields[0], length) || length < 0 ||
+      !parse_hex64(fields[1], checksum)) {
+    return false;
+  }
+  const std::size_t body_start = nl + 1;
+  if (body_start + static_cast<std::size_t>(length) > file.size()) return false;
+  payload = file.substr(body_start, static_cast<std::size_t>(length));
+  if (fnv1a64(payload) != checksum) return false;
+  pos = body_start + static_cast<std::size_t>(length);
+  return true;
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(std::string path) : path_(std::move(path)) {
+  OMPFUZZ_CHECK(!path_.empty(), "checkpoint journal needs a path");
+}
+
+CheckpointJournal::~CheckpointJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CheckpointJournal::start_fresh(
+    std::uint64_t campaign_key, const std::vector<std::string>& impl_names) {
+  write_file_atomic(path_, frame_record(header_payload(campaign_key, impl_names)));
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) throw Error("checkpoint journal: cannot open " + path_);
+}
+
+std::vector<StoredShard> CheckpointJournal::open(
+    std::uint64_t campaign_key, const std::vector<std::string>& impl_names,
+    bool resume) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  impl_names_ = impl_names;
+
+  std::vector<StoredShard> shards;
+  std::string file;
+  if (resume) {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      file = buf.str();
+    }
+  }
+
+  std::size_t pos = 0;
+  bool header_ok = false;
+  if (!file.empty()) {
+    std::string_view payload;
+    if (read_record(file, pos, payload) &&
+        payload == header_payload(campaign_key, impl_names)) {
+      header_ok = true;
+    }
+  }
+  if (!header_ok) {
+    // Fresh start: no file, resume declined, or the journal belongs to a
+    // different campaign configuration.
+    start_fresh(campaign_key, impl_names);
+    return shards;
+  }
+
+  std::size_t good_end = pos;  // end of the last well-formed record
+  std::string_view payload;
+  while (read_record(file, pos, payload)) {
+    auto shard = parse_shard_payload(payload, impl_names);
+    if (!shard) break;  // corrupt record: stop at the last good shard
+    shards.push_back(std::move(*shard));
+    good_end = pos;
+  }
+
+  // Drop the torn/corrupt tail (if any) so appends extend a valid record
+  // sequence, then continue appending after the last good record.
+  fd_ = ::open(path_.c_str(), O_WRONLY);
+  if (fd_ < 0) throw Error("checkpoint journal: cannot reopen " + path_);
+  if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    throw Error("checkpoint journal: cannot truncate " + path_);
+  }
+  return shards;
+}
+
+void CheckpointJournal::append_record(const std::string& payload) {
+  OMPFUZZ_CHECK(fd_ >= 0, "checkpoint journal not opened");
+  const std::string framed = frame_record(payload);
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("checkpoint journal: append failed for " + path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw Error("checkpoint journal: fsync failed for " + path_);
+  }
+}
+
+void CheckpointJournal::append(const StoredShard& shard) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append_record(shard_payload(shard, impl_names_.size()));
+}
+
+}  // namespace ompfuzz

@@ -1,0 +1,167 @@
+// Persistent result store: content-addressed run cache + checkpoint journal.
+//
+// Two cooperating persistence layers let a campaign survive crashes and skip
+// redundant work across invocations (the ROADMAP's "Result caching" and
+// "Campaign checkpointing" items):
+//
+//   ResultStore       — an on-disk, content-addressed map from a RunKey
+//                       (program fingerprint, full input serialization, and
+//                       the implementation's cache identity — compile command,
+//                       flags, timeouts) to one core::RunResult. The campaign
+//                       consults it before dispatching a batch to the
+//                       executor and fills it as batches complete, so a
+//                       re-run after a config tweak only executes triples
+//                       whose key changed.
+//   CheckpointJournal — an append-only, fsync'd journal of completed program
+//                       shards. A killed campaign resumes at the last shard
+//                       whose record was durably written; a truncated final
+//                       record (the crash case) is detected by its length +
+//                       checksum framing and dropped.
+//
+// Both layers store raw executor observations only (status, time bits,
+// output bits). Verdicts and divergence are recomputed by the campaign's
+// deterministic classification pass, so resumed or cached results are
+// bit-identical to a cold run.
+//
+// Layering note: this support module names core::RunResult (the one value it
+// persists) but nothing above core; the harness-level TestOutcome is
+// converted to the plain StoredShard/StoredOutcome records by the campaign.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/outlier.hpp"
+#include "support/config.hpp"
+
+namespace ompfuzz {
+
+/// Identity of one (program, input, implementation) execution. Every field
+/// that can change the observed RunResult must be part of the key:
+///   * program_fingerprint — the full structural hash of the generated
+///     program (Program::fingerprint covers everything codegen emits);
+///   * input_text — the complete argv serialization of the input set
+///     (hex-float exact, so two inputs collide only if they are bit-equal);
+///   * impl_identity — the executor's self-description for the
+///     implementation: backend kind, compile command incl. flags, timeouts
+///     (Executor::impl_identity). Changing only an optimization level or a
+///     timeout yields a different key, never a stale hit.
+struct RunKey {
+  std::uint64_t program_fingerprint = 0;
+  std::string input_text;
+  std::string impl_identity;
+
+  /// Single-line canonical form; records embed it verbatim so a digest
+  /// collision is detected by comparison instead of returning a wrong result.
+  [[nodiscard]] std::string canonical() const;
+
+  /// 128-bit content address (two independently salted FNV-1a passes over
+  /// the canonical form). Used as the on-disk object name.
+  [[nodiscard]] std::array<std::uint64_t, 2> digest() const;
+};
+
+/// On-disk, content-addressed (RunKey -> RunResult) store.
+///
+/// Layout: `<dir>/runs/<dd>/<digest>.run`, one record file per key, fanned
+/// out by the first byte of the digest. Record files are written to a
+/// temporary name, fsync'd, then renamed into place, so readers (including
+/// concurrent campaigns sharing one store) never observe a partial record.
+/// Thread-safe: lookups and puts may come from any campaign worker.
+class ResultStore {
+ public:
+  explicit ResultStore(StoreConfig config);
+
+  /// Returns the cached result for `key`, or nullopt. A record whose
+  /// embedded canonical key differs from `key` (digest collision) or that
+  /// fails to parse (foreign/corrupt file) is treated as a miss.
+  [[nodiscard]] std::optional<core::RunResult> lookup(const RunKey& key);
+
+  /// Persists `result` under `key` (atomically, last writer wins).
+  void put(const RunKey& key, const core::RunResult& result);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t puts = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return config_.dir; }
+
+ private:
+  [[nodiscard]] std::string object_path(const RunKey& key) const;
+
+  StoreConfig config_;
+  mutable std::mutex mutex_;
+  /// Digest hex -> (canonical key, result) for everything read or written by
+  /// this process, so a warm shard never re-reads its record files.
+  std::map<std::string, std::pair<std::string, core::RunResult>> memo_;
+  Stats stats_;
+};
+
+/// One test outcome as persisted by the checkpoint journal: the raw runs
+/// only — verdict and divergence are recomputed on resume.
+struct StoredOutcome {
+  int input_index = 0;
+  std::string program_name;
+  std::string input_text;
+  std::vector<core::RunResult> runs;  ///< one per implementation, impl order
+};
+
+/// Everything one completed program shard contributes to a CampaignResult.
+struct StoredShard {
+  int program_index = 0;
+  int regeneration_attempts = 0;
+  std::vector<StoredOutcome> outcomes;
+};
+
+/// Append-only, crash-safe journal of completed shards.
+///
+/// The file starts with a header record naming the campaign key (a hash of
+/// everything that determines shard contents: seed, generator config,
+/// implementation identities) and the implementation name list; each
+/// completed shard appends one record. Records are framed as
+/// `REC <payload-bytes> <fnv1a64-of-payload>` followed by the payload, and
+/// every append is fsync'd, so a SIGKILL can lose at most the record being
+/// written — which the next open() detects (short payload or checksum
+/// mismatch) and discards, resuming from the previous shard.
+class CheckpointJournal {
+ public:
+  explicit CheckpointJournal(std::string path);
+  ~CheckpointJournal();
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Opens the journal for one campaign run and returns the shards that can
+  /// be resumed. With `resume` false, or when the existing file's campaign
+  /// key / implementation list does not match, the journal starts fresh
+  /// (atomically replacing any previous file). With `resume` true and a
+  /// matching header, returns every durably recorded shard and truncates the
+  /// file after the last valid record so subsequent appends are well-formed.
+  [[nodiscard]] std::vector<StoredShard> open(
+      std::uint64_t campaign_key, const std::vector<std::string>& impl_names,
+      bool resume);
+
+  /// Durably appends one completed shard (thread-safe; fsync'd).
+  void append(const StoredShard& shard);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void start_fresh(std::uint64_t campaign_key,
+                   const std::vector<std::string>& impl_names);
+  void append_record(const std::string& payload);
+
+  std::string path_;
+  std::mutex mutex_;
+  int fd_ = -1;
+  std::vector<std::string> impl_names_;
+};
+
+}  // namespace ompfuzz

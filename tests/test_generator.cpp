@@ -1,7 +1,13 @@
 // Tests for the random program generator (Sections III-C..III-G).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "core/generator.hpp"
 #include "core/race_checker.hpp"
@@ -36,6 +42,137 @@ TEST(Generator, DifferentSeedsProduceDifferentPrograms) {
     fingerprints.insert(gen.generate("t", 9000 + s).fingerprint());
   }
   EXPECT_GE(fingerprints.size(), 29u);  // collisions should be near-impossible
+}
+
+// ------------------------------------------------ fingerprint stability ----
+//
+// The persistent result store addresses cached runs by Program::fingerprint,
+// so the value must be pinned: a silent change would orphan every store on
+// disk (annoying), and a fingerprint that skips an emitted structural field
+// would *alias* distinct programs (a stale-cache correctness bug).
+
+constexpr std::array<std::uint64_t, 3> kGoldenSeeds = {20240611, 1, 424242};
+constexpr std::array<std::uint64_t, 3> kGoldenFingerprints = {
+    0x8412101c254f44a8ULL,  // seed 20240611
+    0xbdb2809bb74d200cULL,  // seed 1
+    0x07b7117bd767f921ULL,  // seed 424242
+};
+
+std::uint64_t golden_fingerprint(std::uint64_t seed) {
+  const ProgramGenerator gen(small_config());
+  return gen.generate("golden", seed).fingerprint();
+}
+
+TEST(FingerprintGolden, SeededValuesArePinned) {
+  for (std::size_t i = 0; i < kGoldenSeeds.size(); ++i) {
+    EXPECT_EQ(golden_fingerprint(kGoldenSeeds[i]), kGoldenFingerprints[i])
+        << "seed " << kGoldenSeeds[i]
+        << ": Program::fingerprint changed — bump the store format / expect "
+           "every persistent result store to go cold, and update the goldens "
+           "deliberately";
+  }
+}
+
+TEST(FingerprintGolden, StableAcrossProcesses) {
+  // Child mode: re-generate and print, then leave before gtest reports.
+  // (Guards against any address- or process-dependent input sneaking into
+  // the hash — exactly what a cross-process run cache cannot tolerate.)
+  if (std::getenv("OMPFUZZ_FINGERPRINT_CHILD") != nullptr) {
+    for (std::size_t i = 0; i < kGoldenSeeds.size(); ++i) {
+      std::printf("fingerprint %llu %016llx\n",
+                  static_cast<unsigned long long>(kGoldenSeeds[i]),
+                  static_cast<unsigned long long>(
+                      golden_fingerprint(kGoldenSeeds[i])));
+    }
+    std::fflush(stdout);
+    std::_Exit(0);
+  }
+
+  // Resolve our own binary: /proc/self/exe inside the popen'd shell would
+  // name the shell, not this test.
+  char exe[4096];
+  const ssize_t exe_len = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  ASSERT_GT(exe_len, 0);
+  exe[exe_len] = '\0';
+  const std::string command =
+      "OMPFUZZ_FINGERPRINT_CHILD=1 '" + std::string(exe) +
+      "' --gtest_filter=FingerprintGolden.StableAcrossProcesses 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> reported;
+  char line[256];
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    unsigned long long seed = 0, fp = 0;
+    if (std::sscanf(line, "fingerprint %llu %llx", &seed, &fp) == 2) {
+      reported.insert({seed, fp});
+    }
+  }
+  ASSERT_EQ(pclose(pipe), 0);
+  ASSERT_EQ(reported.size(), kGoldenSeeds.size());
+  for (std::size_t i = 0; i < kGoldenSeeds.size(); ++i) {
+    EXPECT_TRUE(reported.contains({kGoldenSeeds[i], kGoldenFingerprints[i]}))
+        << "child process re-hash of seed " << kGoldenSeeds[i]
+        << " does not match the in-process fingerprint";
+  }
+}
+
+TEST(FingerprintGolden, CoversEmittedStructuralFields) {
+  using ast::VarDecl;
+  using ast::VarKind;
+  using ast::VarRole;
+  using ast::FpWidth;
+
+  // Parameter order shapes the emitted compute() signature and main()'s
+  // argv parsing — regression for a fingerprint that skipped params.
+  const auto make = [](bool swap_params) {
+    Program prog;
+    prog.set_name("p");
+    const auto a = prog.add_var({"a", VarKind::FpScalar, VarRole::Param,
+                                 FpWidth::F64, 0});
+    const auto b = prog.add_var({"b", VarKind::FpScalar, VarRole::Param,
+                                 FpWidth::F64, 0});
+    const auto comp = prog.add_var({"comp", VarKind::FpScalar, VarRole::Comp,
+                                    FpWidth::F64, 0});
+    prog.set_comp(comp);
+    if (swap_params) {
+      prog.add_param(b);
+      prog.add_param(a);
+    } else {
+      prog.add_param(a);
+      prog.add_param(b);
+    }
+    prog.body().stmts.push_back(Stmt::assign(
+        ast::LValue{comp, nullptr}, ast::AssignOp::AddAssign, Expr::var(a)));
+    return prog;
+  };
+  const auto ab = make(false);
+  const auto ba = make(true);
+  ASSERT_NE(emit::emit_translation_unit(ab), emit::emit_translation_unit(ba));
+  EXPECT_NE(ab.fingerprint(), ba.fingerprint())
+      << "fingerprint ignores parameter order but codegen does not";
+
+  // Explicit grammar parentheses are emitted — two trees differing only in
+  // the paren flag must not share a fingerprint.
+  const auto make_paren = [](bool paren) {
+    Program prog;
+    prog.set_name("p");
+    const auto a = prog.add_var({"a", VarKind::FpScalar, VarRole::Param,
+                                 FpWidth::F64, 0});
+    const auto comp = prog.add_var({"comp", VarKind::FpScalar, VarRole::Comp,
+                                    FpWidth::F64, 0});
+    prog.set_comp(comp);
+    prog.add_param(a);
+    prog.body().stmts.push_back(Stmt::assign(
+        ast::LValue{comp, nullptr}, ast::AssignOp::Assign,
+        Expr::binary(ast::BinOp::Add, Expr::var(a), Expr::fp_const(1.0), paren)));
+    return prog;
+  };
+  const auto plain = make_paren(false);
+  const auto parenthesized = make_paren(true);
+  ASSERT_NE(emit::emit_translation_unit(plain),
+            emit::emit_translation_unit(parenthesized));
+  EXPECT_NE(plain.fingerprint(), parenthesized.fingerprint())
+      << "fingerprint ignores explicit parentheses but codegen emits them";
 }
 
 TEST(Generator, GenerationIsIndependentOfCallOrder) {

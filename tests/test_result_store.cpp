@@ -1,0 +1,780 @@
+// Tests for the persistent result store and checkpoint journal: cache-key
+// collision-proofing (flags / input values / timeouts all key material),
+// bit-exact round trips, warm-cache campaigns executing zero children,
+// journal crash-safety (truncated final record), and kill-and-resume
+// producing a CampaignResult bit-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/campaign.hpp"
+#include "harness/sim_executor.hpp"
+#include "harness/subprocess_executor.hpp"
+#include "support/config.hpp"
+#include "support/result_store.hpp"
+
+namespace ompfuzz::harness {
+namespace {
+
+std::string temp_dir() {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "/ompfuzz_store_" +
+                    std::to_string(getpid()) + "_" + std::to_string(counter++);
+  mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void write_script(const std::string& path, const std::string& content) {
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << path;
+    out << content;
+  }
+  ASSERT_EQ(chmod(path.c_str(), 0755), 0);
+}
+
+/// Stub "compiler" whose produced "binary" echoes its first input argument
+/// back as the comp value (so results depend on the generated inputs, making
+/// bit-identity assertions meaningful). Both stages log their pid to
+/// `children.log`, which is how the tests count spawned children.
+std::string make_logging_compiler(const std::string& dir,
+                                  const std::string& name,
+                                  const std::string& run_sleep = "") {
+  const std::string log = dir + "/children.log";
+  const std::string payload = dir + "/" + name + "_payload.sh";
+  std::string body = "#!/bin/sh\necho run_$$ >> " + log + "\n";
+  if (!run_sleep.empty()) body += "sleep " + run_sleep + "\n";
+  body += "echo \"${1:-7}\"\necho \"time_us: 2000\"\n";
+  write_script(payload, body);
+  const std::string cc = dir + "/" + name + ".sh";
+  write_script(cc, "#!/bin/sh\necho compile_$$ >> " + log + "\n"
+                   "cp " + payload + " \"$2\"\nchmod +x \"$2\"\n");
+  return cc;
+}
+
+int count_children(const std::string& dir) {
+  std::ifstream in(dir + "/children.log");
+  int n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+CampaignConfig stub_campaign_config(int programs, int threads) {
+  CampaignConfig cfg;
+  cfg.num_programs = programs;
+  cfg.inputs_per_program = 2;
+  cfg.generator.num_threads = 4;
+  cfg.generator.max_loop_trip_count = 20;
+  cfg.min_time_us = 0;
+  cfg.seed = 0x5109e;
+  cfg.threads = threads;
+  return cfg;
+}
+
+void expect_bits_eq(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.impl_names, b.impl_names);
+  EXPECT_EQ(a.total_runs, b.total_runs);
+  EXPECT_EQ(a.total_tests, b.total_tests);
+  EXPECT_EQ(a.analyzable_tests, b.analyzable_tests);
+  EXPECT_EQ(a.skipped_runs, b.skipped_runs);
+  EXPECT_EQ(a.regenerated_programs, b.regenerated_programs);
+
+  ASSERT_EQ(a.per_impl.size(), b.per_impl.size());
+  for (const auto& [name, counts] : a.per_impl) {
+    const auto it = b.per_impl.find(name);
+    ASSERT_NE(it, b.per_impl.end()) << name;
+    EXPECT_EQ(counts.slow, it->second.slow) << name;
+    EXPECT_EQ(counts.fast, it->second.fast) << name;
+    EXPECT_EQ(counts.crash, it->second.crash) << name;
+    EXPECT_EQ(counts.hang, it->second.hang) << name;
+    EXPECT_EQ(counts.fast_with_divergence, it->second.fast_with_divergence)
+        << name;
+  }
+
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t t = 0; t < a.outcomes.size(); ++t) {
+    const TestOutcome& oa = a.outcomes[t];
+    const TestOutcome& ob = b.outcomes[t];
+    EXPECT_EQ(oa.program_index, ob.program_index);
+    EXPECT_EQ(oa.input_index, ob.input_index);
+    EXPECT_EQ(oa.program_name, ob.program_name);
+    EXPECT_EQ(oa.input_text, ob.input_text);
+    ASSERT_EQ(oa.runs.size(), ob.runs.size());
+    for (std::size_t r = 0; r < oa.runs.size(); ++r) {
+      EXPECT_EQ(oa.runs[r].impl, ob.runs[r].impl);
+      EXPECT_EQ(oa.runs[r].status, ob.runs[r].status);
+      expect_bits_eq(oa.runs[r].time_us, ob.runs[r].time_us);
+      expect_bits_eq(oa.runs[r].output, ob.runs[r].output);
+    }
+    EXPECT_EQ(oa.verdict.per_run, ob.verdict.per_run);
+    EXPECT_EQ(oa.divergence.diverges, ob.divergence.diverges);
+  }
+}
+
+StoreConfig store_config(const std::string& dir) {
+  StoreConfig cfg;
+  cfg.enabled = true;
+  cfg.dir = dir;
+  return cfg;
+}
+
+// ------------------------------------------------------------- RunKey ------
+
+TEST(RunKeyTest, EveryFieldIsKeyMaterial) {
+  const RunKey base{0x1234, "0x1.8p+3 100", "subprocess;cmd=g++ -O2;run_timeout_ms=1000"};
+
+  RunKey other = base;
+  other.program_fingerprint = 0x1235;
+  EXPECT_NE(base.digest(), other.digest());
+
+  // Changing a single input value must miss the cache.
+  other = base;
+  other.input_text = "0x1.8p+4 100";
+  EXPECT_NE(base.canonical(), other.canonical());
+  EXPECT_NE(base.digest(), other.digest());
+
+  // Changing only the optimization level must miss the cache.
+  other = base;
+  other.impl_identity = "subprocess;cmd=g++ -O3;run_timeout_ms=1000";
+  EXPECT_NE(base.canonical(), other.canonical());
+  EXPECT_NE(base.digest(), other.digest());
+
+  // Changing only a timeout must miss the cache (Hang classification).
+  other = base;
+  other.impl_identity = "subprocess;cmd=g++ -O2;run_timeout_ms=500";
+  EXPECT_NE(base.digest(), other.digest());
+}
+
+TEST(RunKeyTest, SubprocessIdentityCoversCommandAndTimeouts) {
+  const std::string dir = temp_dir();
+  const auto identity_for = [&](const std::string& flags,
+                                std::int64_t run_timeout) {
+    std::vector<ImplementationSpec> impls = {
+        {"cc", "g++ " + flags + " {src} -o {bin}", ""}};
+    SubprocessOptions opt;
+    opt.work_dir = dir + "/w";
+    opt.run_timeout_ms = run_timeout;
+    SubprocessExecutor exec(impls, opt);
+    return exec.impl_identity("cc");
+  };
+  const std::string o2 = identity_for("-fopenmp -O2", 1000);
+  const std::string o3 = identity_for("-fopenmp -O3", 1000);
+  const std::string o2_short = identity_for("-fopenmp -O2", 400);
+  EXPECT_NE(o2, o3) << "optimization level not part of the impl identity";
+  EXPECT_NE(o2, o2_short) << "run timeout not part of the impl identity";
+  EXPECT_NE(o2.find("-O2"), std::string::npos);
+}
+
+// -------------------------------------------------------- ResultStore ------
+
+TEST(ResultStoreTest, RoundTripsResultsBitExactly) {
+  ResultStore store(store_config(temp_dir() + "/store"));
+
+  core::RunResult nan_result;
+  nan_result.impl = "gcc";
+  nan_result.status = core::RunStatus::Ok;
+  nan_result.time_us = 1234.5;
+  nan_result.output = std::nan("");
+  const RunKey key{42, "0x1p+0", "sim;profile=gcc"};
+
+  EXPECT_FALSE(store.lookup(key).has_value());
+  store.put(key, nan_result);
+  const auto cached = store.lookup(key);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->impl, "gcc");
+  EXPECT_EQ(cached->status, core::RunStatus::Ok);
+  expect_bits_eq(cached->time_us, nan_result.time_us);
+  expect_bits_eq(cached->output, nan_result.output);
+
+  // Statuses round trip too.
+  core::RunResult hang;
+  hang.impl = "clang";
+  hang.status = core::RunStatus::Hang;
+  const RunKey hang_key{43, "0x1p+0", "sim;profile=clang"};
+  store.put(hang_key, hang);
+  ASSERT_TRUE(store.lookup(hang_key).has_value());
+  EXPECT_EQ(store.lookup(hang_key)->status, core::RunStatus::Hang);
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_GE(stats.hits, 3u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(ResultStoreTest, SurvivesReopenAcrossProcessesWorthOfState) {
+  const std::string dir = temp_dir() + "/store";
+  const RunKey key{7, "100", "subprocess;cmd=cc -O1"};
+  core::RunResult result;
+  result.impl = "cc";
+  result.output = 3.25;
+  {
+    ResultStore store(store_config(dir));
+    store.put(key, result);
+  }
+  ResultStore fresh(store_config(dir));  // new instance: reads from disk
+  const auto cached = fresh.lookup(key);
+  ASSERT_TRUE(cached.has_value());
+  expect_bits_eq(cached->output, 3.25);
+}
+
+TEST(ResultStoreTest, DigestCollisionIsAMissNotAStaleHit) {
+  const std::string dir = temp_dir() + "/store";
+  const RunKey a{1, "i", "x"};
+  const RunKey b{2, "j", "y"};
+  core::RunResult result;
+  result.impl = "cc";
+  result.output = 9.0;
+  {
+    ResultStore store(store_config(dir));
+    store.put(a, result);
+  }
+  // Simulate a digest collision: a's record sits where b's digest points.
+  const auto hex = [](const RunKey& k) {
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(k.digest()[0]),
+                  static_cast<unsigned long long>(k.digest()[1]));
+    return std::string(buf);
+  };
+  const std::string a_path =
+      dir + "/runs/" + hex(a).substr(0, 2) + "/" + hex(a) + ".run";
+  const std::string b_dir = dir + "/runs/" + hex(b).substr(0, 2);
+  mkdir(b_dir.c_str(), 0755);
+  ASSERT_EQ(::rename(a_path.c_str(), (b_dir + "/" + hex(b) + ".run").c_str()), 0);
+
+  ResultStore store(store_config(dir));
+  EXPECT_FALSE(store.lookup(b).has_value())
+      << "record with a mismatched embedded key was returned as a hit";
+}
+
+TEST(ResultStoreTest, CorruptRecordIsAMiss) {
+  const std::string dir = temp_dir() + "/store";
+  const RunKey key{5, "in", "impl"};
+  {
+    ResultStore store(store_config(dir));
+    core::RunResult result;
+    result.impl = "cc";
+    store.put(key, result);
+  }
+  // Truncate the record mid-file.
+  const auto d = key.digest();
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(d[0]),
+                static_cast<unsigned long long>(d[1]));
+  const std::string path =
+      dir + "/runs/" + std::string(buf).substr(0, 2) + "/" + buf + ".run";
+  std::ofstream(path, std::ios::trunc) << "ompfuzz-run v1\nkey ";
+
+  ResultStore store(store_config(dir));
+  EXPECT_FALSE(store.lookup(key).has_value());
+}
+
+// ------------------------------------------- warm-cache campaign runs ------
+
+TEST(WarmCache, SecondRunExecutesZeroChildrenAndIsBitIdentical) {
+  const std::string dir = temp_dir();
+  const std::string cc = make_logging_compiler(dir, "cc");
+  std::vector<ImplementationSpec> impls = {
+      {"alpha", cc + " {src} {bin}", ""},
+      {"beta", cc + " {src} {bin}", ""},
+  };
+  SubprocessOptions opt;
+  opt.work_dir = dir + "/work";
+  opt.concurrent_runs = true;
+  opt.max_inflight = 8;
+
+  ResultStore store(store_config(dir + "/store"));
+
+  SubprocessExecutor cold_exec(impls, opt);
+  Campaign cold(stub_campaign_config(4, 2), cold_exec);
+  cold.set_result_store(&store);
+  const CampaignResult cold_result = cold.run();
+  const int cold_children = count_children(dir);
+  // 4 programs x 2 impls compiles + 4 x 2 inputs x 2 impls runs.
+  EXPECT_EQ(cold_children, 24);
+
+  // Fresh executor (empty binary cache): every child the warm run spawns
+  // would be counted. There must be none.
+  SubprocessExecutor warm_exec(impls, opt);
+  Campaign warm(stub_campaign_config(4, 2), warm_exec);
+  warm.set_result_store(&store);
+  const CampaignResult warm_result = warm.run();
+  EXPECT_EQ(count_children(dir), cold_children)
+      << "warm-cache campaign spawned children";
+  expect_identical(cold_result, warm_result);
+}
+
+TEST(WarmCache, ChangingOnlyTheCompileFlagsMissesTheCache) {
+  const std::string dir = temp_dir();
+  const std::string cc = make_logging_compiler(dir, "cc");
+  SubprocessOptions opt;
+  opt.work_dir = dir + "/work";
+  opt.concurrent_runs = true;
+
+  ResultStore store(store_config(dir + "/store"));
+
+  // The stub compiler ignores trailing flags, so "-O2" vs "-O3" exercises
+  // exactly the cache key, not the toolchain.
+  std::vector<ImplementationSpec> o2 = {{"cc", cc + " {src} {bin} -O2", ""}};
+  SubprocessExecutor exec_o2(o2, opt);
+  Campaign first(stub_campaign_config(2, 1), exec_o2);
+  first.set_result_store(&store);
+  (void)first.run();
+  const int after_first = count_children(dir);
+  ASSERT_GT(after_first, 0);
+
+  std::vector<ImplementationSpec> o3 = {{"cc", cc + " {src} {bin} -O3", ""}};
+  SubprocessExecutor exec_o3(o3, opt);
+  Campaign second(stub_campaign_config(2, 1), exec_o3);
+  second.set_result_store(&store);
+  (void)second.run();
+  EXPECT_EQ(count_children(dir), 2 * after_first)
+      << "a compile-flag change was served from the cache (stale results)";
+
+  // And re-running the -O2 campaign is still fully cached.
+  SubprocessExecutor exec_again(o2, opt);
+  Campaign third(stub_campaign_config(2, 1), exec_again);
+  third.set_result_store(&store);
+  (void)third.run();
+  EXPECT_EQ(count_children(dir), 2 * after_first);
+}
+
+TEST(WarmCache, PartialHitsOnlyExecuteTheMissingTriples) {
+  const std::string dir = temp_dir();
+  const std::string cc = make_logging_compiler(dir, "cc");
+  SubprocessOptions opt;
+  opt.work_dir = dir + "/work";
+  opt.concurrent_runs = true;
+
+  ResultStore store(store_config(dir + "/store"));
+
+  std::vector<ImplementationSpec> one = {{"alpha", cc + " {src} {bin}", ""}};
+  SubprocessExecutor exec_one(one, opt);
+  Campaign first(stub_campaign_config(3, 1), exec_one);
+  first.set_result_store(&store);
+  const auto first_result = first.run();
+  const int after_first = count_children(dir);  // 3 compiles + 6 runs
+  EXPECT_EQ(after_first, 9);
+
+  // Adding an implementation re-executes only the new impl's triples.
+  std::vector<ImplementationSpec> two = {{"alpha", cc + " {src} {bin}", ""},
+                                         {"beta", cc + " {src} {bin}", ""}};
+  SubprocessExecutor exec_two(two, opt);
+  Campaign second(stub_campaign_config(3, 1), exec_two);
+  second.set_result_store(&store);
+  const auto second_result = second.run();
+  EXPECT_EQ(count_children(dir), after_first + 9)
+      << "cached alpha triples were re-executed";
+
+  // The cached alpha runs are bit-identical inside the merged result.
+  ASSERT_EQ(second_result.outcomes.size(), first_result.outcomes.size());
+  for (std::size_t t = 0; t < first_result.outcomes.size(); ++t) {
+    ASSERT_EQ(second_result.outcomes[t].runs.size(), 2u);
+    expect_bits_eq(second_result.outcomes[t].runs[0].output,
+                   first_result.outcomes[t].runs[0].output);
+  }
+}
+
+TEST(WarmCache, HarnessFailuresAreNeverPersisted) {
+  // A compile the harness cannot even spawn (missing compiler binary)
+  // fabricates Crash results — those must not poison the store or the
+  // journal: the next run has to try again, not replay the hiccup.
+  const std::string dir = temp_dir();
+  std::vector<ImplementationSpec> impls = {
+      {"ghost", dir + "/no_such_compiler.sh {src} {bin}", ""}};
+  SubprocessOptions opt;
+  opt.work_dir = dir + "/work";
+  opt.concurrent_runs = true;
+
+  ResultStore store(store_config(dir + "/store"));
+  CheckpointJournal journal(dir + "/j.journal");
+  SubprocessExecutor exec(impls, opt);
+  Campaign campaign(stub_campaign_config(2, 1), exec);
+  campaign.set_result_store(&store);
+  campaign.set_checkpoint(&journal, true);
+  const auto result = campaign.run();
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_EQ(outcome.runs[0].status, core::RunStatus::Crash);
+    EXPECT_TRUE(outcome.runs[0].harness_failure);
+  }
+  EXPECT_EQ(store.stats().puts, 0u) << "transient failure persisted to store";
+
+  CheckpointJournal reread(dir + "/j.journal");
+  SubprocessExecutor exec2(impls, opt);
+  Campaign second(stub_campaign_config(2, 1), exec2);
+  second.set_result_store(&store);
+  second.set_checkpoint(&reread, true);
+  (void)second.run();
+  EXPECT_EQ(second.resumed_programs(), 0)
+      << "transient failure replayed from the journal";
+
+  // A compiler that *rejects* the program (diagnostic + nonzero exit) is a
+  // genuine observation and is cached.
+  const std::string reject = dir + "/reject.sh";
+  write_script(reject, "#!/bin/sh\necho 'error: no thanks' >&2\n"
+                       "echo diagnosed\nexit 1\n");
+  std::vector<ImplementationSpec> reject_impls = {
+      {"strict", reject + " {src} {bin}", ""}};
+  SubprocessExecutor reject_exec(reject_impls, opt);
+  Campaign third(stub_campaign_config(2, 1), reject_exec);
+  third.set_result_store(&store);
+  const auto rejected = third.run();
+  for (const auto& outcome : rejected.outcomes) {
+    EXPECT_EQ(outcome.runs[0].status, core::RunStatus::Crash);
+    EXPECT_FALSE(outcome.runs[0].harness_failure);
+  }
+  EXPECT_GT(store.stats().puts, 0u) << "genuine compile rejection not cached";
+}
+
+TEST(WarmCache, SimBackendCampaignsShareTheStore) {
+  const std::string dir = temp_dir() + "/store";
+  SimExecutorOptions opt;
+  opt.num_threads = 4;
+
+  ResultStore store(store_config(dir));
+  SimExecutor exec_a(opt);
+  Campaign a(stub_campaign_config(5, 2), exec_a);
+  a.set_result_store(&store);
+  const auto result_a = a.run();
+  const auto stats_cold = store.stats();
+  EXPECT_EQ(stats_cold.hits, 0u);
+  EXPECT_GT(stats_cold.puts, 0u);
+
+  SimExecutor exec_b(opt);
+  Campaign b(stub_campaign_config(5, 1), exec_b);
+  b.set_result_store(&store);
+  const auto result_b = b.run();
+  const auto stats_warm = store.stats();
+  EXPECT_EQ(stats_warm.puts, stats_cold.puts) << "warm sim campaign re-executed";
+  expect_identical(result_a, result_b);
+}
+
+// --------------------------------------------------- checkpoint journal ----
+
+StoredShard make_shard(int p, int n_outcomes, int n_impls) {
+  StoredShard shard;
+  shard.program_index = p;
+  shard.regeneration_attempts = p % 2;
+  for (int i = 0; i < n_outcomes; ++i) {
+    StoredOutcome outcome;
+    outcome.input_index = i;
+    outcome.program_name = "test_" + std::to_string(p);
+    outcome.input_text = "0x1p+" + std::to_string(i) + " 10";
+    for (int r = 0; r < n_impls; ++r) {
+      core::RunResult run;
+      run.impl = "impl" + std::to_string(r);
+      run.status = core::RunStatus::Ok;
+      run.time_us = 1000.0 + p * 10 + i;
+      run.output = p + i * 0.5;
+      outcome.runs.push_back(std::move(run));
+    }
+    shard.outcomes.push_back(std::move(outcome));
+  }
+  return shard;
+}
+
+TEST(Journal, AppendsAndResumes) {
+  const std::string path = temp_dir() + "/j.journal";
+  const std::vector<std::string> impls = {"impl0", "impl1"};
+  {
+    CheckpointJournal journal(path);
+    EXPECT_TRUE(journal.open(0xABCD, impls, true).empty());
+    journal.append(make_shard(0, 2, 2));
+    journal.append(make_shard(1, 2, 2));
+  }
+  CheckpointJournal journal(path);
+  const auto shards = journal.open(0xABCD, impls, true);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].program_index, 0);
+  EXPECT_EQ(shards[1].program_index, 1);
+  ASSERT_EQ(shards[1].outcomes.size(), 2u);
+  EXPECT_EQ(shards[1].outcomes[1].program_name, "test_1");
+  EXPECT_EQ(shards[1].outcomes[1].runs[1].impl, "impl1");
+  expect_bits_eq(shards[1].outcomes[1].runs[1].output, 1.5);
+}
+
+TEST(Journal, MismatchedCampaignKeyStartsFresh) {
+  const std::string path = temp_dir() + "/j.journal";
+  const std::vector<std::string> impls = {"impl0"};
+  {
+    CheckpointJournal journal(path);
+    (void)journal.open(1, impls, true);
+    journal.append(make_shard(0, 1, 1));
+  }
+  {
+    CheckpointJournal journal(path);
+    EXPECT_TRUE(journal.open(2, impls, true).empty()) << "key mismatch resumed";
+  }
+  {
+    // Different implementation list: also a different campaign.
+    CheckpointJournal journal(path);
+    (void)journal.open(3, impls, true);
+    journal.append(make_shard(0, 1, 1));
+    CheckpointJournal reread(path);
+    EXPECT_TRUE(reread.open(3, {"impl0", "impl1"}, true).empty());
+  }
+}
+
+TEST(Journal, ResumeFalseDiscardsPreviousRecords) {
+  const std::string path = temp_dir() + "/j.journal";
+  const std::vector<std::string> impls = {"impl0"};
+  {
+    CheckpointJournal journal(path);
+    (void)journal.open(9, impls, true);
+    journal.append(make_shard(0, 1, 1));
+  }
+  CheckpointJournal journal(path);
+  EXPECT_TRUE(journal.open(9, impls, false).empty());
+  CheckpointJournal reread(path);
+  EXPECT_TRUE(reread.open(9, impls, true).empty());
+}
+
+TEST(Journal, TruncatedFinalRecordIsDropped) {
+  const std::string path = temp_dir() + "/j.journal";
+  const std::vector<std::string> impls = {"impl0", "impl1"};
+  {
+    CheckpointJournal journal(path);
+    (void)journal.open(0xFEED, impls, true);
+    journal.append(make_shard(0, 2, 2));
+    journal.append(make_shard(1, 2, 2));
+    journal.append(make_shard(2, 2, 2));
+  }
+  // Tear off the tail of the final record, as a SIGKILL mid-append would.
+  struct stat st{};
+  ASSERT_EQ(stat(path.c_str(), &st), 0);
+  ASSERT_EQ(truncate(path.c_str(), st.st_size - 25), 0);
+
+  CheckpointJournal journal(path);
+  const auto shards = journal.open(0xFEED, impls, true);
+  ASSERT_EQ(shards.size(), 2u) << "torn final record not dropped";
+  EXPECT_EQ(shards[1].program_index, 1);
+
+  // Appends after the truncation must produce a well-formed journal again.
+  journal.append(make_shard(2, 2, 2));
+  CheckpointJournal reread(path);
+  EXPECT_EQ(reread.open(0xFEED, impls, true).size(), 3u);
+}
+
+TEST(Journal, GarbageFileStartsFresh) {
+  const std::string path = temp_dir() + "/j.journal";
+  std::ofstream(path) << "this is not a journal\n";
+  CheckpointJournal journal(path);
+  EXPECT_TRUE(journal.open(1, {"impl0"}, true).empty());
+  journal.append(make_shard(0, 1, 1));
+  CheckpointJournal reread(path);
+  EXPECT_EQ(reread.open(1, {"impl0"}, true).size(), 1u);
+}
+
+// ------------------------------------------------- campaign + journal ------
+
+TEST(CampaignCheckpoint, JournalResumeSkipsCompletedPrograms) {
+  const std::string dir = temp_dir();
+  const std::string cc = make_logging_compiler(dir, "cc");
+  std::vector<ImplementationSpec> impls = {{"cc", cc + " {src} {bin}", ""}};
+  SubprocessOptions opt;
+  opt.work_dir = dir + "/work";
+  opt.concurrent_runs = true;
+
+  const CampaignConfig cfg = stub_campaign_config(4, 1);
+  CheckpointJournal journal(dir + "/j.journal");
+
+  SubprocessExecutor cold_exec(impls, opt);
+  Campaign cold(cfg, cold_exec);
+  cold.set_checkpoint(&journal, true);
+  const auto cold_result = cold.run();
+  EXPECT_EQ(cold.resumed_programs(), 0);
+  const int cold_children = count_children(dir);
+
+  CheckpointJournal journal2(dir + "/j.journal");
+  SubprocessExecutor warm_exec(impls, opt);
+  Campaign warm(cfg, warm_exec);
+  warm.set_checkpoint(&journal2, true);
+  const auto warm_result = warm.run();
+  EXPECT_EQ(warm.resumed_programs(), 4);
+  EXPECT_EQ(count_children(dir), cold_children)
+      << "fully-journaled campaign spawned children";
+  expect_identical(cold_result, warm_result);
+}
+
+TEST(CampaignCheckpoint, TruncatedJournalReexecutesOnlyTheTornShard) {
+  const std::string dir = temp_dir();
+  const std::string cc = make_logging_compiler(dir, "cc");
+  std::vector<ImplementationSpec> impls = {{"cc", cc + " {src} {bin}", ""}};
+  SubprocessOptions opt;
+  opt.work_dir = dir + "/work";
+  opt.concurrent_runs = true;
+
+  const CampaignConfig cfg = stub_campaign_config(4, 1);
+  const std::string path = dir + "/j.journal";
+  {
+    CheckpointJournal journal(path);
+    SubprocessExecutor exec(impls, opt);
+    Campaign campaign(cfg, exec);
+    campaign.set_checkpoint(&journal, true);
+    (void)campaign.run();
+  }
+  const int cold_children = count_children(dir);
+
+  struct stat st{};
+  ASSERT_EQ(stat(path.c_str(), &st), 0);
+  ASSERT_EQ(truncate(path.c_str(), st.st_size - 10), 0);
+
+  CheckpointJournal journal(path);
+  SubprocessExecutor exec(impls, opt);
+  Campaign campaign(cfg, exec);
+  campaign.set_checkpoint(&journal, true);
+
+  SubprocessExecutor reference_exec(impls, opt);
+  Campaign reference(cfg, reference_exec);
+  const auto expected = reference.run();
+  const int reference_children = count_children(dir) - cold_children;
+
+  const int before_resume = count_children(dir);
+  const auto resumed = campaign.run();
+  EXPECT_EQ(campaign.resumed_programs(), 3);
+  // One shard re-executed: 1 compile + inputs_per_program runs.
+  EXPECT_EQ(count_children(dir) - before_resume, 1 + cfg.inputs_per_program);
+  EXPECT_GT(reference_children, 1 + cfg.inputs_per_program);
+  expect_identical(expected, resumed);
+}
+
+// ---------------------------------------------------- kill and resume ------
+
+constexpr int kKillCampaignPrograms = 8;
+
+CampaignConfig kill_campaign_config() {
+  CampaignConfig cfg = stub_campaign_config(kKillCampaignPrograms, 1);
+  cfg.inputs_per_program = 1;
+  return cfg;
+}
+
+/// Child mode of KillResume.SurvivesSigkillBitIdentically: runs the campaign
+/// against the slow stub compiler until killed. Driven via env so the parent
+/// can SIGKILL an honest separate process mid-flight.
+TEST(KillResume, ChildCampaign) {
+  const char* dir_env = std::getenv("OMPFUZZ_KILL_CHILD_DIR");
+  if (dir_env == nullptr) {
+    GTEST_SKIP() << "helper: only meaningful as the re-exec'd child";
+  }
+  const std::string dir = dir_env;
+  std::vector<ImplementationSpec> impls = {
+      {"cc", dir + "/cc.sh {src} {bin}", ""}};
+  SubprocessOptions opt;
+  opt.work_dir = dir + "/work_child";
+  opt.concurrent_runs = true;
+  SubprocessExecutor exec(impls, opt);
+  CheckpointJournal journal(dir + "/j.journal");
+  Campaign campaign(kill_campaign_config(), exec);
+  campaign.set_checkpoint(&journal, true);
+  (void)campaign.run();
+  std::_Exit(0);  // completed without being killed (fast machine): fine too
+}
+
+int count_journal_records(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  int n = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("REC ", pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') ++n;
+    pos += 4;
+  }
+  return n;  // includes the header record
+}
+
+TEST(KillResume, SurvivesSigkillBitIdentically) {
+  const std::string dir = temp_dir();
+  // Slow stub (sleeps while "running") so the parent reliably catches the
+  // child mid-campaign.
+  (void)make_logging_compiler(dir, "cc", "0.15");
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    setenv("OMPFUZZ_KILL_CHILD_DIR", dir.c_str(), 1);
+    execl("/proc/self/exe", "/proc/self/exe",
+          "--gtest_filter=KillResume.ChildCampaign",
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  // Wait until at least two shards are durably journaled, then SIGKILL the
+  // campaign mid-flight.
+  const std::string journal_path = dir + "/j.journal";
+  for (int spin = 0; spin < 1000 && count_journal_records(journal_path) < 3;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  kill(child, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+
+  const int records_after_kill = count_journal_records(journal_path);
+  ASSERT_GE(records_after_kill, 3) << "child never journaled two shards";
+
+  // Uninterrupted reference run (own journal + work dir).
+  std::vector<ImplementationSpec> impls = {
+      {"cc", dir + "/cc.sh {src} {bin}", ""}};
+  SubprocessOptions ref_opt;
+  ref_opt.work_dir = dir + "/work_ref";
+  ref_opt.concurrent_runs = true;
+  SubprocessExecutor ref_exec(impls, ref_opt);
+  CheckpointJournal ref_journal(dir + "/ref.journal");
+  Campaign reference(kill_campaign_config(), ref_exec);
+  reference.set_checkpoint(&ref_journal, true);
+  const auto expected = reference.run();
+
+  // Resume from the killed child's journal.
+  SubprocessOptions res_opt;
+  res_opt.work_dir = dir + "/work_resume";
+  res_opt.concurrent_runs = true;
+  SubprocessExecutor res_exec(impls, res_opt);
+  CheckpointJournal journal(journal_path);
+  Campaign resumed_campaign(kill_campaign_config(), res_exec);
+  resumed_campaign.set_checkpoint(&journal, true);
+  const auto resumed = resumed_campaign.run();
+
+  EXPECT_GE(resumed_campaign.resumed_programs(), 2);
+  expect_identical(expected, resumed);
+
+  // The same journal now holds the full campaign: a second resume restores
+  // everything without executing a single child.
+  CheckpointJournal journal2(journal_path);
+  SubprocessExecutor again_exec(impls, res_opt);
+  Campaign again(kill_campaign_config(), again_exec);
+  again.set_checkpoint(&journal2, true);
+  const int children_before = count_children(dir);
+  const auto full = again.run();
+  EXPECT_EQ(again.resumed_programs(), kKillCampaignPrograms);
+  EXPECT_EQ(count_children(dir), children_before);
+  expect_identical(expected, full);
+}
+
+}  // namespace
+}  // namespace ompfuzz::harness

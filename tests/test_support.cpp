@@ -208,6 +208,75 @@ TEST(Config, BadTypedValuesThrow) {
   EXPECT_THROW((void)cfg.get_bool("b", false), ConfigError);
 }
 
+TEST(Config, TrailingGarbageIsRejectedNotTruncated) {
+  // Regression: "timeout = 1.5x" must be a loud ConfigError, never a silent
+  // 1.5 (or 1) — truncating at the first bad character would misread the
+  // config.
+  const auto cfg = ConfigFile::parse(
+      "timeout = 1.5x\n"
+      "count = 10x\n"
+      "hexish = 0x10\n"
+      "pair = 1.5 2.5\n"
+      "expo = 1e\n");
+  EXPECT_THROW((void)cfg.get_double("timeout", 0.0), ConfigError);
+  EXPECT_THROW((void)cfg.get_int("count", 0), ConfigError);
+  EXPECT_THROW((void)cfg.get_int("hexish", 0), ConfigError);
+  EXPECT_THROW((void)cfg.get_double("pair", 0.0), ConfigError);
+  EXPECT_THROW((void)cfg.get_double("expo", 0.0), ConfigError);
+}
+
+TEST(Config, OutOfRangeValuesThrowWithClearMessage) {
+  const auto cfg = ConfigFile::parse(
+      "big_int = 99999999999999999999999999\n"
+      "big_double = 1e999\n"
+      "ok = 42\n");
+  try {
+    (void)cfg.get_int("big_int", 0);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+  try {
+    (void)cfg.get_double("big_double", 0.0);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+  // The range-checked overload guards narrowing conversions.
+  EXPECT_EQ(cfg.get_int("ok", 0, 0, 100), 42);
+  EXPECT_THROW((void)cfg.get_int("ok", 0, 0, 10), ConfigError);
+  EXPECT_THROW((void)cfg.get_int("ok", 0, 50, 100), ConfigError);
+}
+
+TEST(Config, IntTypedSectionsRejectOversizedValues) {
+  // 2^33 fits int64 but not int: from_config must throw, not wrap to a
+  // small positive number.
+  EXPECT_THROW((void)GeneratorConfig::from_config(ConfigFile::parse(
+                   "[generator]\narray_size = 8589934592\n")),
+               ConfigError);
+  EXPECT_THROW((void)CampaignConfig::from_config(ConfigFile::parse(
+                   "[campaign]\nnum_programs = 8589934592\n")),
+               ConfigError);
+  EXPECT_THROW((void)ExecutorConfig::from_config(ConfigFile::parse(
+                   "[executor]\nmax_inflight = 8589934592\n")),
+               ConfigError);
+}
+
+TEST(Config, StoreSectionParsesAndValidates) {
+  const auto defaults = StoreConfig::from_config(ConfigFile::parse(""));
+  EXPECT_FALSE(defaults.enabled);
+  EXPECT_EQ(defaults.dir, "_store");
+
+  const auto cfg = StoreConfig::from_config(ConfigFile::parse(
+      "[store]\nenabled = true\ndir = /tmp/my_store\n"));
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.dir, "/tmp/my_store");
+
+  StoreConfig bad;
+  bad.dir.clear();
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
 TEST(Config, GeneratorConfigFromFileAndValidation) {
   const auto file = ConfigFile::parse(
       "[generator]\nmax_expression_size = 9\narray_size = 64\n");
