@@ -1,0 +1,226 @@
+// Cold vs. store-warm reduction of a divergent triple.
+//
+// Drives the verdict-preserving reducer over a stub toolchain (shell scripts
+// with controlled sleeps; the two "implementations" always disagree, so the
+// divergence is unconditional and the minimal program is the empty kernel).
+// The cold pass executes every candidate classification through the async
+// subprocess pipeline and fills the persistent result store; the warm pass
+// re-runs the same reduction against a fresh executor and must be served
+// entirely from the store. Verifies what the tentpole promises:
+//   * the warm reduction spawns ZERO compiler/test children;
+//   * the warm minimal program is byte-identical to the cold one;
+//   * the warm reduction is at least 5x faster in wall-clock.
+//
+// Results land in BENCH_reduce.json so later PRs can track the ratio.
+//
+//   $ ./bench_reduce [sleep_ms]
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "emit/codegen.hpp"
+#include "harness/campaign.hpp"
+#include "harness/subprocess_executor.hpp"
+#include "reduce/oracle.hpp"
+#include "reduce/reducer.hpp"
+#include "support/json_writer.hpp"
+#include "support/result_store.hpp"
+
+namespace {
+
+using namespace ompfuzz;
+
+void write_script(const std::string& path, const std::string& content) {
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << content;
+  }
+  ::chmod(path.c_str(), 0755);
+}
+
+int count_children(const std::string& dir) {
+  std::ifstream in(dir + "/children.log");
+  int n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+/// Stub whose binary prints a fixed comp value after a controlled sleep.
+std::string make_stub(const std::string& dir, const std::string& name,
+                      const std::string& comp_value, const char* sleep_s) {
+  const std::string log = dir + "/children.log";
+  const std::string payload = dir + "/" + name + "_payload.sh";
+  write_script(payload, std::string("#!/bin/sh\necho run_$$ >> ") + log +
+                            "\nsleep " + sleep_s + "\necho \"" + comp_value +
+                            "\"\necho \"time_us: 2000\"\n");
+  const std::string cc = dir + "/" + name + ".sh";
+  write_script(cc, std::string("#!/bin/sh\necho compile_$$ >> ") + log +
+                       "\nsleep " + sleep_s + "\ncp " + payload +
+                       " \"$2\"\nchmod +x \"$2\"\n");
+  return cc + " {src} {bin}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int sleep_ms = argc > 1 ? std::atoi(argv[1]) : 20;
+  char sleep_buf[32];
+  std::snprintf(sleep_buf, sizeof(sleep_buf), "%.3f",
+                static_cast<double>(sleep_ms) / 1000.0);
+
+  const std::string dir = "_bench_reduce";
+  ::mkdir(dir.c_str(), 0755);
+  const std::vector<ImplementationSpec> impls = {
+      {"alpha", make_stub(dir, "alpha", "7", sleep_buf), ""},
+      {"beta", make_stub(dir, "beta", "42", sleep_buf), ""},
+  };
+
+  // One generated program; the stubs disagree on every input, so the
+  // campaign retains divergent triples for the reducer.
+  CampaignConfig cfg;
+  cfg.num_programs = 1;
+  cfg.inputs_per_program = 2;
+  cfg.generator.num_threads = 4;
+  cfg.generator.max_loop_trip_count = 20;
+  cfg.min_time_us = 0;
+  cfg.seed = 0xD1CE;
+
+  harness::SubprocessOptions campaign_opt;
+  campaign_opt.work_dir = dir + "/work_campaign";
+  campaign_opt.concurrent_runs = true;
+  campaign_opt.max_inflight = 16;
+  harness::SubprocessExecutor campaign_exec(impls, campaign_opt);
+  harness::Campaign campaign(cfg, campaign_exec);
+  const auto result = campaign.run();
+  if (result.divergent.empty()) {
+    std::fprintf(stderr, "stub campaign produced no divergent triple\n");
+    return 1;
+  }
+  const harness::DivergentTriple& triple = result.divergent.front();
+
+  std::printf("cold vs. store-warm reduction (stub toolchain, %d ms per "
+              "child)\n", sleep_ms);
+  std::printf("  triple: %s input %d, %zu statements, class must stay "
+              "divergent\n\n",
+              triple.program_name.c_str(), triple.input_index,
+              ast::count_stmts(triple.program.body()));
+  std::printf("  %-6s %10s %10s %10s %10s %9s\n", "run", "wall_ms", "children",
+              "executed", "cached", "speedup");
+
+  StoreConfig store_cfg;
+  store_cfg.enabled = true;
+  store_cfg.dir = dir + "/store";
+  ResultStore store(store_cfg);
+
+  struct Row {
+    const char* label;
+    double wall_ms = 0.0;
+    int children = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cached = 0;
+    std::string source;
+    std::size_t final_statements = 0;
+    std::size_t initial_statements = 0;
+  };
+  Row rows[2] = {{"cold"}, {"warm"}};
+
+  for (Row& row : rows) {
+    harness::SubprocessOptions opt;
+    opt.work_dir = dir + "/work_" + row.label;
+    opt.concurrent_runs = true;
+    opt.max_inflight = 16;
+    harness::SubprocessExecutor executor(impls, opt);
+    reduce::OracleOptions oracle_opt;
+    oracle_opt.threads = 8;
+    reduce::InterestingnessOracle oracle(executor, oracle_opt);
+    oracle.set_result_store(&store);
+    reduce::Reducer reducer(oracle);
+
+    const int children_before = count_children(dir);
+    const auto start = std::chrono::steady_clock::now();
+    const reduce::ReduceResult reduced =
+        reducer.reduce(triple.program, triple.input);
+    row.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    row.children = count_children(dir) - children_before;
+    row.executed = oracle.stats().executed_runs;
+    row.cached = oracle.stats().cached_runs;
+    row.source = emit::emit_translation_unit(reduced.program);
+    row.final_statements = reduced.stats.final_statements;
+    row.initial_statements = reduced.stats.initial_statements;
+    if (!reduced.reproduced) {
+      std::fprintf(stderr, "triple did not reproduce\n");
+      return 1;
+    }
+    std::printf("  %-6s %10.1f %10d %10llu %10llu %8.2fx\n", row.label,
+                row.wall_ms, row.children,
+                static_cast<unsigned long long>(row.executed),
+                static_cast<unsigned long long>(row.cached),
+                row.wall_ms > 0 ? rows[0].wall_ms / row.wall_ms : 0.0);
+  }
+
+  const bool identical = rows[0].source == rows[1].source;
+  const bool zero_children = rows[1].children == 0 && rows[1].executed == 0;
+  const bool shrank = rows[0].final_statements < rows[0].initial_statements;
+  const double speedup =
+      rows[1].wall_ms > 0 ? rows[0].wall_ms / rows[1].wall_ms : 0.0;
+
+  std::printf("\n  warm reduction spawned zero children: %s\n",
+              zero_children ? "yes" : "NO — cache was bypassed!");
+  std::printf("  minimal program bit-identical cold vs warm: %s\n",
+              identical ? "yes" : "NO — reduction is nondeterministic!");
+  std::printf("  statements: %zu -> %zu\n", rows[0].initial_statements,
+              rows[0].final_statements);
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("workload").begin_object();
+  json.key("implementations").value(2);
+  json.key("child_sleep_ms").value(sleep_ms);
+  json.key("initial_statements")
+      .value(static_cast<std::int64_t>(rows[0].initial_statements));
+  json.key("final_statements")
+      .value(static_cast<std::int64_t>(rows[0].final_statements));
+  json.end_object();
+  for (const Row& row : rows) {
+    json.key(row.label).begin_object();
+    json.key("wall_ms").value(row.wall_ms);
+    json.key("children").value(row.children);
+    json.key("candidate_runs_executed")
+        .value(static_cast<std::int64_t>(row.executed));
+    json.key("candidate_runs_cached")
+        .value(static_cast<std::int64_t>(row.cached));
+    json.end_object();
+  }
+  json.key("speedup_warm_vs_cold").value(speedup);
+  json.key("results_identical").value(identical);
+  json.end_object();
+  {
+    std::ofstream out("BENCH_reduce.json");
+    out << json.str() << "\n";
+  }
+  std::printf("  wrote BENCH_reduce.json\n");
+
+  const bool fast_enough = speedup >= 5.0;
+  if (!fast_enough) {
+    std::printf("\n  WARNING: warm reduction speedup %.2fx below the 5x "
+                "target\n", speedup);
+  }
+  return identical && zero_children && shrank && fast_enough ? 0 : 1;
+}

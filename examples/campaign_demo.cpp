@@ -1,7 +1,7 @@
 // Campaign demo: the full Figure 1 workflow at configurable scale, driven by
 // an INI configuration file exactly like the paper's step (a).
 //
-//   $ ./campaign_demo [config.ini] [--resume]
+//   $ ./campaign_demo [config.ini] [--resume] [--reduce]
 //
 // Without a config argument it uses a built-in 40-program configuration over
 // the simulated backend. Implementations whose value is a compile command
@@ -16,6 +16,12 @@
 // (possibly killed) invocation. Either way the final CampaignResult is
 // bit-identical to a cold run.
 //
+// With `--reduce` every divergent (program, input, implementation set)
+// triple the campaign retained is minimized by the verdict-preserving
+// reducer; the reduction table is printed and the reduced sources land in
+// campaign_reductions.json. When the store is enabled the oracle shares it,
+// so a re-reduction replays candidate verdicts without executing anything.
+//
 // The report prints the Table I counts for the campaign plus the most
 // extreme outliers, and writes a machine-readable JSON report next to the
 // binary.
@@ -29,6 +35,7 @@
 #include "harness/report.hpp"
 #include "harness/sim_executor.hpp"
 #include "harness/subprocess_executor.hpp"
+#include "reduce/campaign_reduce.hpp"
 #include "support/error.hpp"
 #include "support/result_store.hpp"
 
@@ -67,10 +74,13 @@ int main(int argc, char** argv) {
   using namespace ompfuzz;
 
   bool resume = false;
+  bool reduce_divergent = false;
   std::string config_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[a], "--reduce") == 0) {
+      reduce_divergent = true;
     } else {
       config_path = argv[a];
     }
@@ -159,6 +169,26 @@ int main(int argc, char** argv) {
   std::printf("%s\n", harness::render_table1(result).c_str());
   std::printf("%s\n", harness::render_summary(result).c_str());
   std::printf("%s\n", harness::render_outlier_list(result, 10).c_str());
+
+  if (reduce_divergent) {
+    std::printf("reducing %zu divergent triples...\n", result.divergent.size());
+    const auto reduction_report = reduce::reduce_campaign(
+        result, *executor, store.get(), {}, [](int done, int total) {
+          std::fprintf(stderr, "  reduced %d/%d triples\n", done, total);
+        });
+    std::printf("%s\n",
+                reduce::render_reduction_table(reduction_report.reductions)
+                    .c_str());
+    const auto& ostats = reduction_report.oracle_stats;
+    std::printf("reduction oracle: %llu candidates, %llu runs executed, "
+                "%llu served by the store\n\n",
+                static_cast<unsigned long long>(ostats.candidates),
+                static_cast<unsigned long long>(ostats.executed_runs),
+                static_cast<unsigned long long>(ostats.cached_runs));
+    std::ofstream reductions_json("campaign_reductions.json");
+    reductions_json << reduce::reductions_to_json(reduction_report.reductions);
+    std::printf("reduced sources written to campaign_reductions.json\n");
+  }
 
   const std::string json_path = "campaign_report.json";
   std::ofstream json(json_path);

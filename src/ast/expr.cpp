@@ -128,6 +128,26 @@ ExprPtr Expr::clone() const {
   throw Error("unreachable expr kind in clone");
 }
 
+ExprPtr Expr::clone_remap(std::span<const VarId> map) const {
+  const auto remap = [&map](VarId id) {
+    OMPFUZZ_CHECK(id < map.size() && map[id] != kInvalidVar,
+                  "clone_remap: variable has no mapping");
+    return map[id];
+  };
+  switch (kind_) {
+    case Kind::FpConst: return fp_const(fp_value_, width_);
+    case Kind::IntConst: return int_const(int_value_);
+    case Kind::VarRef: return var(remap(var_));
+    case Kind::ArrayRef: return array(remap(var_), index_->clone_remap(map));
+    case Kind::ThreadId: return thread_id();
+    case Kind::Binary:
+      return binary(bin_op_, lhs_->clone_remap(map), rhs_->clone_remap(map),
+                    paren_);
+    case Kind::Call: return call(func_, lhs_->clone_remap(map));
+  }
+  throw Error("unreachable expr kind in clone_remap");
+}
+
 bool Expr::equals(const Expr& other) const noexcept {
   if (kind_ != other.kind_) return false;
   switch (kind_) {
@@ -196,6 +216,16 @@ BoolExpr BoolExpr::clone() const {
   out.lhs = lhs;
   out.op = op;
   out.rhs = rhs ? rhs->clone() : nullptr;
+  return out;
+}
+
+BoolExpr BoolExpr::clone_remap(std::span<const VarId> map) const {
+  OMPFUZZ_CHECK(lhs < map.size() && map[lhs] != kInvalidVar,
+                "clone_remap: bool guard variable has no mapping");
+  BoolExpr out;
+  out.lhs = map[lhs];
+  out.op = op;
+  out.rhs = rhs ? rhs->clone_remap(map) : nullptr;
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "ast/types.hpp"
@@ -58,6 +59,11 @@ class Expr {
   [[nodiscard]] const Expr& arg() const;
 
   [[nodiscard]] ExprPtr clone() const;
+  /// Deep copy with every variable reference translated through `map`
+  /// (`map[old_id]` is the new id; entries must be valid for every id this
+  /// subtree references). Used when the reducer drops unused variables from
+  /// a program's symbol table, which renumbers the survivors.
+  [[nodiscard]] ExprPtr clone_remap(std::span<const VarId> map) const;
   [[nodiscard]] bool equals(const Expr& other) const noexcept;
   /// Structural hash (stable across processes).
   [[nodiscard]] std::uint64_t hash() const noexcept;
@@ -97,6 +103,7 @@ struct BoolExpr {
   ExprPtr rhs;
 
   [[nodiscard]] BoolExpr clone() const;
+  [[nodiscard]] BoolExpr clone_remap(std::span<const VarId> map) const;
   [[nodiscard]] std::uint64_t hash() const noexcept;
 };
 

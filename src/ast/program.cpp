@@ -218,6 +218,89 @@ void Program::validate() const {
   });
 }
 
+PruneResult prune_unused_vars(const Program& program) {
+  const std::size_t n = program.var_count();
+  std::vector<char> used(n, 0);
+  used[program.comp()] = 1;  // validate() requires comp even if unassigned
+  walk_stmts(program.body(), [&](const Stmt& s) {
+    if (s.target.var != kInvalidVar) used[s.target.var] = 1;
+    if (s.loop_var != kInvalidVar) used[s.loop_var] = 1;
+    if (s.kind == Stmt::Kind::If) used[s.cond.lhs] = 1;
+  });
+  walk_exprs(program.body(), [&](const Expr& e) {
+    if (e.kind() == Expr::Kind::VarRef || e.kind() == Expr::Kind::ArrayRef) {
+      used[e.var_id()] = 1;
+    }
+  });
+
+  PruneResult out;
+  if (std::find(used.begin(), used.end(), 0) == used.end()) {
+    out.program = program.clone();
+    out.kept_params.resize(program.params().size());
+    for (std::size_t i = 0; i < out.kept_params.size(); ++i) out.kept_params[i] = i;
+    return out;
+  }
+  out.changed = true;
+
+  std::vector<VarId> map(n, kInvalidVar);
+  for (std::size_t id = 0; id < n; ++id) {
+    if (used[id]) map[id] = out.program.add_var(program.var(static_cast<VarId>(id)));
+  }
+  for (std::size_t i = 0; i < program.params().size(); ++i) {
+    const VarId id = program.params()[i];
+    if (used[id]) {
+      out.program.add_param(map[id]);
+      out.kept_params.push_back(i);
+    }
+  }
+  out.program.set_comp(map[program.comp()]);
+  out.program.set_name(program.name());
+
+  // Rebuild the body through clone_remap, filtering pruned variables out of
+  // data-sharing clauses on the way (a clause is a mention, not a use — a
+  // variable only named there goes away together with its clause entry).
+  const std::function<Block(const Block&)> rebuild = [&](const Block& block) {
+    Block result;
+    result.stmts.reserve(block.stmts.size());
+    for (const auto& s : block.stmts) {
+      switch (s->kind) {
+        case Stmt::Kind::Assign:
+        case Stmt::Kind::Decl:
+          result.stmts.push_back(s->clone_remap(map));
+          break;
+        case Stmt::Kind::If:
+          result.stmts.push_back(
+              Stmt::if_block(s->cond.clone_remap(map), rebuild(s->body)));
+          break;
+        case Stmt::Kind::For:
+          result.stmts.push_back(Stmt::for_loop(map[s->loop_var],
+                                                s->loop_bound->clone_remap(map),
+                                                rebuild(s->body), s->omp_for));
+          break;
+        case Stmt::Kind::OmpParallel: {
+          OmpClauses c;
+          for (VarId v : s->clauses.privates) {
+            if (used[v]) c.privates.push_back(map[v]);
+          }
+          for (VarId v : s->clauses.firstprivates) {
+            if (used[v]) c.firstprivates.push_back(map[v]);
+          }
+          c.reduction = s->clauses.reduction;
+          c.num_threads = s->clauses.num_threads;
+          result.stmts.push_back(Stmt::omp_parallel(std::move(c), rebuild(s->body)));
+          break;
+        }
+        case Stmt::Kind::OmpCritical:
+          result.stmts.push_back(Stmt::omp_critical(rebuild(s->body)));
+          break;
+      }
+    }
+    return result;
+  };
+  out.program.body() = rebuild(program.body());
+  return out;
+}
+
 ProgramFeatures analyze(const Program& program) {
   ProgramFeatures f;
   for (const auto& d : program.vars()) {

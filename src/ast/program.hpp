@@ -94,4 +94,22 @@ struct ProgramFeatures {
 
 [[nodiscard]] ProgramFeatures analyze(const Program& program);
 
+/// Result of dropping every variable the body never references (the
+/// reducer's final cleanup). Pruning renumbers the surviving VarIds, so the
+/// body is rebuilt through clone_remap and the program re-fingerprints.
+struct PruneResult {
+  Program program;
+  /// For each surviving parameter, its position in the original parameter
+  /// list (ascending). The caller uses this to drop the corresponding values
+  /// from an InputSet so the argv contract still matches the signature.
+  std::vector<std::size_t> kept_params;
+  bool changed = false;  ///< false when every variable was still referenced
+};
+
+/// Drops unused variables and parameters. "Used" means referenced anywhere
+/// in the body (targets, expressions, guards, loop vars and bounds); comp is
+/// always kept. A variable whose only mention is a data-sharing clause is
+/// unused — the clause entry is dropped with it.
+[[nodiscard]] PruneResult prune_unused_vars(const Program& program);
+
 }  // namespace ompfuzz::ast

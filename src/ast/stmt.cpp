@@ -72,6 +72,56 @@ StmtPtr Stmt::omp_critical(Block body) {
   return s;
 }
 
+Block Block::clone_remap(std::span<const VarId> map) const {
+  Block out;
+  out.stmts.reserve(stmts.size());
+  for (const auto& s : stmts) out.stmts.push_back(s->clone_remap(map));
+  return out;
+}
+
+namespace {
+
+VarId remap_var(std::span<const VarId> map, VarId id) {
+  OMPFUZZ_CHECK(id < map.size() && map[id] != kInvalidVar,
+                "clone_remap: statement variable has no mapping");
+  return map[id];
+}
+
+}  // namespace
+
+StmtPtr Stmt::clone_remap(std::span<const VarId> map) const {
+  switch (kind) {
+    case Kind::Assign: {
+      LValue t;
+      t.var = remap_var(map, target.var);
+      t.index = target.index ? target.index->clone_remap(map) : nullptr;
+      return assign(std::move(t), assign_op, value->clone_remap(map));
+    }
+    case Kind::Decl:
+      return decl(remap_var(map, target.var), value->clone_remap(map));
+    case Kind::If:
+      return if_block(cond.clone_remap(map), body.clone_remap(map));
+    case Kind::For:
+      return for_loop(remap_var(map, loop_var), loop_bound->clone_remap(map),
+                      body.clone_remap(map), omp_for);
+    case Kind::OmpParallel: {
+      OmpClauses c;
+      c.privates.reserve(clauses.privates.size());
+      for (VarId v : clauses.privates) c.privates.push_back(remap_var(map, v));
+      c.firstprivates.reserve(clauses.firstprivates.size());
+      for (VarId v : clauses.firstprivates) {
+        c.firstprivates.push_back(remap_var(map, v));
+      }
+      c.reduction = clauses.reduction;
+      c.num_threads = clauses.num_threads;
+      return omp_parallel(std::move(c), body.clone_remap(map));
+    }
+    case Kind::OmpCritical:
+      return omp_critical(body.clone_remap(map));
+  }
+  throw Error("unreachable stmt kind in clone_remap");
+}
+
 StmtPtr Stmt::clone() const {
   switch (kind) {
     case Kind::Assign:
@@ -111,6 +161,12 @@ void walk_stmts(const Block& block, const std::function<void(const Stmt&)>& fn) 
         break;
     }
   }
+}
+
+std::size_t count_stmts(const Block& block) {
+  std::size_t n = 0;
+  walk_stmts(block, [&n](const Stmt&) { ++n; });
+  return n;
 }
 
 void walk_exprs(const Block& block, const std::function<void(const Expr&)>& fn) {

@@ -29,6 +29,9 @@ struct Block {
   std::vector<StmtPtr> stmts;
 
   [[nodiscard]] Block clone() const;
+  /// Deep copy with every VarId (targets, refs, loop vars, clause lists)
+  /// translated through `map`; see Expr::clone_remap.
+  [[nodiscard]] Block clone_remap(std::span<const VarId> map) const;
   [[nodiscard]] bool empty() const noexcept { return stmts.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return stmts.size(); }
 };
@@ -96,6 +99,7 @@ class Stmt {
   [[nodiscard]] static StmtPtr omp_critical(Block body);
 
   [[nodiscard]] StmtPtr clone() const;
+  [[nodiscard]] StmtPtr clone_remap(std::span<const VarId> map) const;
 
  private:
   explicit Stmt(Kind k) noexcept : kind(k) {}
@@ -103,6 +107,10 @@ class Stmt {
 
 /// Pre-order walk over every statement in a block (including nested bodies).
 void walk_stmts(const Block& block, const std::function<void(const Stmt&)>& fn);
+
+/// Number of statements in the block, nested bodies included — the size
+/// metric the test-case reducer minimizes and reports.
+[[nodiscard]] std::size_t count_stmts(const Block& block);
 
 /// Walks every expression appearing anywhere in a block (assignment values,
 /// lvalue subscripts, bool guards, loop bounds, decl initializers).

@@ -89,4 +89,91 @@ OutputDivergence analyze_outputs(std::span<const double> outputs,
   return d;
 }
 
+OutputDivergence analyze_run_outputs(std::span<const RunResult> runs,
+                                     const DiffTolerance& tol) {
+  std::vector<double> ok_outputs;
+  std::vector<std::size_t> ok_ids;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (runs[r].status == RunStatus::Ok) {
+      ok_outputs.push_back(runs[r].output);
+      ok_ids.push_back(r);
+    }
+  }
+  const OutputDivergence ok_divergence = analyze_outputs(ok_outputs, tol);
+  OutputDivergence out;
+  out.all_equivalent = ok_divergence.all_equivalent;
+  out.majority_size = ok_divergence.majority_size;
+  out.diverges.assign(runs.size(), false);
+  for (std::size_t k = 0; k < ok_ids.size(); ++k) {
+    out.diverges[ok_ids[k]] = ok_divergence.diverges[k];
+  }
+  return out;
+}
+
+const char* to_string(RunClass c) noexcept {
+  switch (c) {
+    case RunClass::OkConsensus: return "ok";
+    case RunClass::OkDivergent: return "ok/div";
+    case RunClass::Crash: return "crash";
+    case RunClass::Hang: return "hang";
+    case RunClass::Skipped: return "skip";
+  }
+  return "?";
+}
+
+bool VerdictClass::divergent() const noexcept {
+  bool any_ok = false;
+  bool any_divergent = false;
+  bool any_failed = false;
+  for (const RunClass c : per_run) {
+    switch (c) {
+      case RunClass::OkConsensus: any_ok = true; break;
+      case RunClass::OkDivergent:
+        any_ok = true;
+        any_divergent = true;
+        break;
+      case RunClass::Crash:
+      case RunClass::Hang:
+        any_failed = true;
+        break;
+      case RunClass::Skipped: break;
+    }
+  }
+  // A crash/hang with no surviving baseline is not differential evidence
+  // (every implementation may be reacting to the same invalid input).
+  return any_divergent || (any_failed && any_ok);
+}
+
+VerdictClass classify_runs(std::span<const RunResult> runs,
+                           const DiffTolerance& tol) {
+  return classify_runs(runs, analyze_run_outputs(runs, tol));
+}
+
+VerdictClass classify_runs(std::span<const RunResult> runs,
+                           const OutputDivergence& divergence) {
+  VerdictClass cls;
+  cls.per_run.reserve(runs.size());
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    switch (runs[r].status) {
+      case RunStatus::Ok:
+        cls.per_run.push_back(divergence.diverges[r] ? RunClass::OkDivergent
+                                                     : RunClass::OkConsensus);
+        break;
+      case RunStatus::Crash: cls.per_run.push_back(RunClass::Crash); break;
+      case RunStatus::Hang: cls.per_run.push_back(RunClass::Hang); break;
+      case RunStatus::Skipped: cls.per_run.push_back(RunClass::Skipped); break;
+    }
+  }
+  return cls;
+}
+
+std::string to_string(const VerdictClass& cls) {
+  std::string out;
+  for (std::size_t r = 0; r < cls.per_run.size(); ++r) {
+    if (r > 0) out += ' ';
+    out += to_string(cls.per_run[r]);
+  }
+  return out;
+}
+
 }  // namespace ompfuzz::core

@@ -15,7 +15,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "core/outlier.hpp"
 
 namespace ompfuzz::core {
 
@@ -23,6 +26,12 @@ struct DiffTolerance {
   std::int64_t max_ulps = 16;    ///< ULP budget for "same result"
   double max_rel_error = 1e-12;  ///< alternative relative-error budget
 };
+
+/// Bitwise (NaN-aware) comparison: the tolerance the campaign applies to the
+/// printed outputs, which %.17g round-trips exactly.
+[[nodiscard]] constexpr DiffTolerance exact_tolerance() noexcept {
+  return DiffTolerance{0, 0.0};
+}
 
 /// Comparison of two outputs.
 struct OutputComparison {
@@ -51,5 +60,56 @@ struct OutputDivergence {
 
 [[nodiscard]] OutputDivergence analyze_outputs(std::span<const double> outputs,
                                                const DiffTolerance& tol = {});
+
+/// Majority analysis over the Ok runs of one test (the campaign's divergence
+/// pass, shared with the reducer's oracle): the returned vector is aligned
+/// with `runs`; non-Ok runs are non-divergent placeholders.
+[[nodiscard]] OutputDivergence analyze_run_outputs(
+    std::span<const RunResult> runs, const DiffTolerance& tol);
+
+/// Time-independent class of one run within its test. This is the signature
+/// the test-case reducer preserves: it covers output divergence and
+/// correctness outliers but deliberately excludes the Slow/Fast performance
+/// verdicts — reduction shrinks run times, so timing outliers are not stable
+/// under it.
+enum class RunClass : std::uint8_t {
+  OkConsensus,  ///< terminated OK, output in the majority class
+  OkDivergent,  ///< terminated OK, output diverges from the majority
+  Crash,
+  Hang,
+  Skipped,
+};
+
+[[nodiscard]] const char* to_string(RunClass c) noexcept;
+
+/// Per-implementation verdict class of one test: the equality the reducer's
+/// interestingness oracle checks. Two run vectors are in the same class iff
+/// every implementation lands in the same RunClass.
+struct VerdictClass {
+  std::vector<RunClass> per_run;  ///< one entry per run, implementation order
+
+  friend bool operator==(const VerdictClass&, const VerdictClass&) = default;
+
+  /// True when this test is worth reporting (and reducing): some Ok run
+  /// diverges from the consensus, or an implementation crashed/hanged while
+  /// another terminated OK (the paper's correctness outliers, Section IV-C).
+  [[nodiscard]] bool divergent() const noexcept;
+};
+
+/// Classifies one test's runs. Deterministic, and derived purely from the
+/// raw observations — no timing thresholds — so cached, resumed, and freshly
+/// executed runs classify identically.
+[[nodiscard]] VerdictClass classify_runs(std::span<const RunResult> runs,
+                                         const DiffTolerance& tol);
+
+/// Same classification from an already-computed divergence (the campaign
+/// stores one per outcome); the tolerance overload delegates here, so there
+/// is exactly one status+divergence -> RunClass mapping.
+[[nodiscard]] VerdictClass classify_runs(std::span<const RunResult> runs,
+                                         const OutputDivergence& divergence);
+
+/// Compact rendering, e.g. "gcc=ok clang=ok/div intel=crash" without names:
+/// "ok ok/div crash".
+[[nodiscard]] std::string to_string(const VerdictClass& cls);
 
 }  // namespace ompfuzz::core

@@ -26,6 +26,11 @@ class Emitter {
 
   std::string translation_unit() {
     line("// Auto-generated OpenMP differential test: " + prog_.name());
+    if (!opt_.header_comment.empty()) {
+      for (const auto& text : split(opt_.header_comment, '\n')) {
+        line("// " + text);
+      }
+    }
     line("#include <chrono>");
     line("#include <cmath>");
     line("#include <cstdio>");

@@ -28,6 +28,11 @@ struct EmitOptions {
   bool include_main = true;      ///< emit the driver main() around compute()
   bool emit_line_comments = false;  ///< annotate OpenMP constructs
   int indent_width = 2;
+  /// Extra provenance lines prepended as a `//` comment block (after the
+  /// auto-generated banner). The reducer records the preserved verdict class
+  /// and the shrink ratio here, so a reduced artifact is self-describing.
+  /// Newlines split into multiple comment lines.
+  std::string header_comment;
 };
 
 /// Renders the full .cpp translation unit.

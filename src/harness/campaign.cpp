@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "core/race_checker.hpp"
+#include "emit/codegen.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
@@ -75,6 +76,8 @@ namespace {
 /// parallel campaign is bit-identical to a serial one.
 struct ProgramShard {
   std::vector<TestOutcome> outcomes;
+  std::vector<DivergentTriple> divergent;
+  std::uint64_t program_fingerprint = 0;
   int regeneration_attempts = 0;
 };
 
@@ -85,26 +88,53 @@ void classify_outcome(TestOutcome& outcome, const core::OutlierDetector& detecto
   outcome.verdict = detector.analyze(outcome.runs);
 
   // Output divergence across the OK runs (NaN-aware majority vote);
-  // non-OK runs are marked non-divergent placeholders.
-  std::vector<double> ok_outputs;
-  std::vector<std::size_t> ok_ids;
-  for (std::size_t r = 0; r < outcome.runs.size(); ++r) {
-    if (outcome.runs[r].status == core::RunStatus::Ok) {
-      ok_outputs.push_back(outcome.runs[r].output);
-      ok_ids.push_back(r);
+  // non-OK runs are marked non-divergent placeholders. The paper's driver
+  // compares the printed outputs, and %.17g round-trips doubles exactly —
+  // so divergence is bitwise (exact tolerance). The reducer's oracle
+  // classifies candidates through the same function, so "divergent" means
+  // the same thing to the campaign and to a reduction.
+  outcome.divergence =
+      core::analyze_run_outputs(outcome.runs, core::exact_tolerance());
+}
+
+/// The outcome's time-independent verdict class, derived from the already
+/// computed divergence so it cannot drift from what classify_outcome stored.
+core::VerdictClass outcome_class(const TestOutcome& outcome) {
+  return core::classify_runs(outcome.runs, outcome.divergence);
+}
+
+/// Retains every divergent (program, input) pair of one shard — AST clone,
+/// input values, emitted source — so the reducer and the reports can work
+/// from the campaign's own artifacts instead of re-generating from the seed.
+void collect_divergent(ProgramShard& shard, const TestCase& test, int p) {
+  std::string source;  // emitted once, shared by all divergent inputs
+  for (const TestOutcome& outcome : shard.outcomes) {
+    if (outcome.input_index < 0 ||
+        static_cast<std::size_t>(outcome.input_index) >= test.inputs.size()) {
+      continue;  // journal-restored index beyond this campaign's inputs
     }
-  }
-  // The paper's driver compares the printed outputs, and %.17g
-  // round-trips doubles exactly — so divergence is bitwise (NaN-aware).
-  core::DiffTolerance exact;
-  exact.max_ulps = 0;
-  exact.max_rel_error = 0.0;
-  const auto ok_divergence = core::analyze_outputs(ok_outputs, exact);
-  outcome.divergence.all_equivalent = ok_divergence.all_equivalent;
-  outcome.divergence.majority_size = ok_divergence.majority_size;
-  outcome.divergence.diverges.assign(outcome.runs.size(), false);
-  for (std::size_t k = 0; k < ok_ids.size(); ++k) {
-    outcome.divergence.diverges[ok_ids[k]] = ok_divergence.diverges[k];
+    // The retained input must be the one the runs observed. Always true on
+    // the live path; on the resume path a changed input generator would
+    // regenerate different values than the journaled serialization (the
+    // program fingerprint check upstream cannot see that) — drop the triple
+    // rather than pair old verdicts with a wrong input.
+    if (test.inputs[static_cast<std::size_t>(outcome.input_index)].to_string() !=
+        outcome.input_text) {
+      continue;
+    }
+    const core::VerdictClass cls = outcome_class(outcome);
+    if (!cls.divergent()) continue;
+    if (source.empty()) source = emit::emit_translation_unit(test.program);
+    DivergentTriple triple;
+    triple.program_index = p;
+    triple.input_index = outcome.input_index;
+    triple.program_name = outcome.program_name;
+    triple.program = test.program.clone();
+    triple.input = test.inputs[static_cast<std::size_t>(outcome.input_index)];
+    triple.source = source;
+    triple.input_text = outcome.input_text;
+    triple.verdict_class = cls;
+    shard.divergent.push_back(std::move(triple));
   }
 }
 
@@ -128,6 +158,7 @@ ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
   const std::size_t nj = impl_names.size();
   shard.outcomes.reserve(ni);
   const std::uint64_t fingerprint = test.program.fingerprint();
+  shard.program_fingerprint = fingerprint;
 
   std::vector<std::string> input_texts(ni);
   for (std::size_t i = 0; i < ni; ++i) input_texts[i] = test.inputs[i].to_string();
@@ -222,6 +253,7 @@ ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
     classify_outcome(outcome, detector);
     shard.outcomes.push_back(std::move(outcome));
   }
+  collect_divergent(shard, test, p);
   return shard;
 }
 
@@ -231,6 +263,7 @@ StoredShard to_stored(const ProgramShard& shard, int p) {
   StoredShard out;
   out.program_index = p;
   out.regeneration_attempts = shard.regeneration_attempts;
+  out.program_fingerprint = shard.program_fingerprint;
   out.outcomes.reserve(shard.outcomes.size());
   for (const auto& outcome : shard.outcomes) {
     StoredOutcome stored;
@@ -287,15 +320,9 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   std::vector<std::string> identities(result.impl_names.size());
   bool identities_known = true;
   for (std::size_t j = 0; j < result.impl_names.size(); ++j) {
-    const std::string identity = executor_.impl_identity(result.impl_names[j]);
-    // The display name is key material too: two implementations with
-    // identical commands still produce distinct RunResults (the impl
-    // field), so their cache entries must not collide.
-    if (!identity.empty()) {
-      identities[j] = "name=" + result.impl_names[j] + ";" + identity;
-    } else {
-      identities_known = false;
-    }
+    identities[j] = store_impl_identity(
+        result.impl_names[j], executor_.impl_identity(result.impl_names[j]));
+    if (identities[j].empty()) identities_known = false;
   }
 
   // Phase 0: restore completed shards from the checkpoint journal. Verdicts
@@ -321,6 +348,7 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
       }
       ProgramShard shard;
       shard.regeneration_attempts = stored.regeneration_attempts;
+      shard.program_fingerprint = stored.program_fingerprint;
       bool ok = true;
       for (const auto& stored_outcome : stored.outcomes) {
         if (stored_outcome.runs.size() != result.impl_names.size()) {
@@ -337,6 +365,24 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
         shard.outcomes.push_back(std::move(outcome));
       }
       if (!ok) continue;
+      // The journal stores raw runs, not the AST, so a restored shard with a
+      // divergence regenerates its test case (deterministic, and only for
+      // divergent shards — the common non-divergent shard restores without
+      // touching the generator). The journaled fingerprint guards the
+      // regeneration: if the generator algorithm changed since the journal
+      // was written (same config, so checkpoint_key still matches),
+      // make_test_case would produce a different program than the one the
+      // stored runs observed — retaining it would pair a new source with
+      // old verdicts, so such triples are dropped instead.
+      if (std::any_of(shard.outcomes.begin(), shard.outcomes.end(),
+                      [](const TestOutcome& o) {
+                        return outcome_class(o).divergent();
+                      })) {
+        const TestCase test = make_test_case(p);
+        if (test.program.fingerprint() == stored.program_fingerprint) {
+          collect_divergent(shard, test, p);
+        }
+      }
       if (!done[static_cast<std::size_t>(p)]) ++resumed_programs_;
       done[static_cast<std::size_t>(p)] = 1;
       shards[static_cast<std::size_t>(p)] = std::move(shard);
@@ -392,9 +438,26 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
 
   // Phase 2: ordered aggregation. Every count is derived from the shard
   // outcomes in program order, so the result does not depend on the thread
-  // count or on shard completion order.
+  // count or on shard completion order. When the store is size-bounded and a
+  // journal is attached, the journaled shards' RunKeys are collected here as
+  // GC pins (before the outcomes are moved into the result).
+  const bool want_gc = store_ != nullptr && store_->config().max_bytes > 0;
+  std::vector<std::array<std::uint64_t, 2>> pins;
   for (auto& shard : shards) {
     result.regenerated_programs += shard.regeneration_attempts > 0 ? 1 : 0;
+    if (want_gc && journal_ != nullptr) {
+      for (const auto& outcome : shard.outcomes) {
+        for (std::size_t j = 0; j < identities.size(); ++j) {
+          if (identities[j].empty()) continue;
+          pins.push_back(RunKey{shard.program_fingerprint, outcome.input_text,
+                                identities[j]}
+                             .digest());
+        }
+      }
+    }
+    for (auto& triple : shard.divergent) {
+      result.divergent.push_back(std::move(triple));
+    }
     for (auto& outcome : shard.outcomes) {
       ++result.total_tests;
       if (outcome.verdict.analyzable) ++result.analyzable_tests;
@@ -418,6 +481,12 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
       result.outcomes.push_back(std::move(outcome));
     }
   }
+
+  // Phase 3: size-bounded store GC. Every journaled shard's RunKeys are
+  // pinned — a resume must find its cached triples even after eviction —
+  // then least-recently-used records are evicted until the cache fits
+  // store.max_bytes.
+  if (want_gc) store_->gc(pins);
   return result;
 }
 

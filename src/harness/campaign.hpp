@@ -47,9 +47,29 @@ struct ImplOutlierCounts {
   [[nodiscard]] int total() const noexcept { return slow + fast + crash + hang; }
 };
 
+/// One divergent (program, input, implementation set) triple, retained with
+/// everything a test-case reducer or a bug report needs: the AST (the
+/// reducer's working representation), the parsed input values, and the
+/// emitted source + argv text (the reportable artifact). Without this the
+/// campaign would discard the program when its shard completes and the
+/// reducer would have to re-generate it from the seed.
+struct DivergentTriple {
+  int program_index = 0;
+  int input_index = 0;
+  std::string program_name;
+  ast::Program program;            ///< deep copy of the generated AST
+  fp::InputSet input;              ///< the diverging input values
+  std::string source;              ///< emitted translation unit
+  std::string input_text;          ///< argv serialization of `input`
+  core::VerdictClass verdict_class;  ///< the class a reduction must preserve
+};
+
 struct CampaignResult {
   std::vector<std::string> impl_names;
   std::vector<TestOutcome> outcomes;
+  /// Divergent triples in (program, input) order. ast::Program is move-only,
+  /// so retaining them makes CampaignResult move-only too.
+  std::vector<DivergentTriple> divergent;
   std::map<std::string, ImplOutlierCounts> per_impl;
 
   int total_runs = 0;

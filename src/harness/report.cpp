@@ -117,6 +117,21 @@ std::string to_json(const CampaignResult& result) {
   }
   json.end_object();
 
+  // The divergence records the campaign retained: everything a bug report
+  // (or the reducer) needs about each divergent triple, source included.
+  json.key("divergent").begin_array();
+  for (const auto& triple : result.divergent) {
+    json.begin_object();
+    json.key("program").value(triple.program_name);
+    json.key("program_index").value(static_cast<std::int64_t>(triple.program_index));
+    json.key("input_index").value(static_cast<std::int64_t>(triple.input_index));
+    json.key("verdict_class").value(core::to_string(triple.verdict_class));
+    json.key("input").value(triple.input_text);
+    json.key("source").value(triple.source);
+    json.end_object();
+  }
+  json.end_array();
+
   json.key("outcomes").begin_array();
   for (const auto& outcome : result.outcomes) {
     json.begin_object();

@@ -1,0 +1,80 @@
+// Candidate-generating transformations for the test-case reducer.
+//
+// Each pass proposes small, structurally valid edits of the current program;
+// the Reducer batches the proposals through the InterestingnessOracle and
+// keeps the first one that preserves the verdict class. Passes only propose —
+// they never decide. Every edit strictly shrinks a bounded size measure
+// (statements, clauses, OpenMP annotations, expression nodes, variables), so
+// the reducer's fixpoint loop terminates.
+//
+// Candidate validity is stricter than Program::validate(): a candidate must
+// also respect C++ lexical scoping (removing a temp's Decl while uses remain
+// would emit uncompilable code) and must stay race-free under the static
+// checker (dropping a private clause or collapsing a critical can introduce
+// a data race, whose nondeterminism would poison the oracle).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/program.hpp"
+#include "fp/input_gen.hpp"
+
+namespace ompfuzz::reduce {
+
+/// Path of a statement within a program body: indices into nested
+/// Block::stmts, outermost first. Depth = path length.
+using StmtPath = std::vector<std::size_t>;
+
+/// One proposed edit: a complete replacement (program, input) pair. The
+/// input changes only when the edit drops parameters (variable pruning).
+struct Candidate {
+  ast::Program program;
+  fp::InputSet input;
+  std::string edit;  ///< human-readable description, for tracing
+};
+
+/// True when the candidate emits to compilable, race-free code: it passes
+/// Program::validate(), every temp/loop-index use is lexically in scope of
+/// its declaration, and the static race checker finds nothing.
+[[nodiscard]] bool structurally_valid(const ast::Program& program);
+
+/// Deepest statement nesting level (1 = top-level only; 0 = empty body).
+[[nodiscard]] std::size_t max_stmt_depth(const ast::Program& program);
+
+/// All statement paths of exactly `depth`, in pre-order. These are the ddmin
+/// units for hierarchical delta debugging: units at one depth never contain
+/// each other, so any subset can be removed in one step.
+[[nodiscard]] std::vector<StmtPath> paths_at_depth(const ast::Program& program,
+                                                   std::size_t depth);
+
+/// Clone with the statements at `remove` (and their subtrees) deleted.
+/// All paths must share one depth.
+[[nodiscard]] ast::Program remove_paths(const ast::Program& program,
+                                        std::vector<StmtPath> remove);
+
+/// Replaces each compound statement (if / for / parallel / critical) with
+/// the contents of its body: one candidate per compound.
+[[nodiscard]] std::vector<Candidate> collapse_candidates(
+    const ast::Program& program, const fp::InputSet& input);
+
+/// Drops OpenMP clauses one at a time: each private / firstprivate list
+/// entry, the reduction clause, and the "#pragma omp for" annotation.
+[[nodiscard]] std::vector<Candidate> clause_candidates(
+    const ast::Program& program, const fp::InputSet& input);
+
+/// Expression shrinking, one node edit per candidate: a binary collapses to
+/// either operand, a call to its argument, constant-only subtrees fold to
+/// their evaluated constant (double semantics, matching the emitted code),
+/// omp_get_thread_num() pins to 0, and a loop bound shrinks to 1.
+[[nodiscard]] std::vector<Candidate> expr_candidates(
+    const ast::Program& program, const fp::InputSet& input);
+
+/// Drops unused variables and parameters (ast::prune_unused_vars), shrinking
+/// the InputSet to the surviving signature. nullopt when nothing is unused.
+[[nodiscard]] std::optional<Candidate> prune_candidate(
+    const ast::Program& program, const fp::InputSet& input);
+
+}  // namespace ompfuzz::reduce

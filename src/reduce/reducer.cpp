@@ -1,0 +1,198 @@
+#include "reduce/reducer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace ompfuzz::reduce {
+
+namespace {
+
+/// Reduction state threaded through the passes: the current best program and
+/// its (possibly pruned) input.
+struct State {
+  ast::Program program;
+  fp::InputSet input;
+};
+
+}  // namespace
+
+Reducer::Reducer(InterestingnessOracle& oracle, ReduceOptions options)
+    : oracle_(oracle), options_(options) {}
+
+ReduceResult Reducer::reduce(const ast::Program& original,
+                             const fp::InputSet& input) {
+  ReduceResult result;
+  result.stats.initial_statements = ast::count_stmts(original.body());
+
+  // Establish the target class: the original must reproduce a divergent
+  // verdict under this executor, or there is nothing to preserve.
+  InterestingnessOracle::Request request{&original, &input};
+  const auto baseline = oracle_.classify({&request, 1});
+  ++result.stats.candidates_tried;
+  const core::VerdictClass target = baseline.front().cls;
+  result.verdict = target;
+  if (!baseline.front().trusted || !target.divergent()) {
+    result.program = original.clone();
+    result.input = input;
+    result.stats.final_statements = result.stats.initial_statements;
+    return result;
+  }
+  result.reproduced = true;
+
+  State state{original.clone(), input};
+
+  // Classifies a generation of candidates as ONE oracle batch (the oracle
+  // overlaps their compiles and runs) and returns the index of the first
+  // interesting one in enumeration order — never completion order, which
+  // keeps the reduction deterministic. Invalid candidates are rejected
+  // before execution and never reach the oracle.
+  const auto first_interesting =
+      [&](const std::vector<Candidate>& candidates) -> std::size_t {
+    std::vector<std::size_t> valid_ids;
+    std::vector<InterestingnessOracle::Request> requests;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!structurally_valid(candidates[i].program)) {
+        ++result.stats.candidates_invalid;
+        continue;
+      }
+      valid_ids.push_back(i);
+      requests.push_back({&candidates[i].program, &candidates[i].input});
+    }
+    if (requests.empty()) return candidates.size();
+    const auto classifications = oracle_.classify(requests);
+    result.stats.candidates_tried += requests.size();
+    for (std::size_t k = 0; k < classifications.size(); ++k) {
+      if (classifications[k].trusted && classifications[k].cls == target) {
+        ++result.stats.candidates_interesting;
+        return valid_ids[k];
+      }
+    }
+    return candidates.size();
+  };
+
+  const auto budget_left = [&] {
+    return result.stats.candidates_tried < options_.max_candidates;
+  };
+
+  // Hierarchical ddmin over the statement paths of one nesting depth.
+  // Classic ddmin: try keeping single chunks (big jumps), then removing
+  // single chunks (complements), refining the granularity on failure. Every
+  // granularity step is one oracle batch.
+  const auto ddmin_depth = [&](std::size_t depth) {
+    bool any = false;
+    std::vector<StmtPath> units = paths_at_depth(state.program, depth);
+    std::size_t chunks = 2;
+    while (units.size() >= 1 && budget_left()) {
+      if (units.size() == 1) chunks = 1;  // only the "remove everything" test
+      std::vector<Candidate> candidates;
+      std::vector<std::size_t> kept_count;  // units surviving if accepted
+      const std::size_t per_chunk = (units.size() + chunks - 1) / chunks;
+      std::vector<std::pair<std::size_t, std::size_t>> ranges;
+      for (std::size_t begin = 0; begin < units.size(); begin += per_chunk) {
+        ranges.emplace_back(begin, std::min(begin + per_chunk, units.size()));
+      }
+      // Subsets first (keep one chunk, drop the rest)...
+      for (const auto& [begin, end] : ranges) {
+        if (end - begin == units.size()) continue;  // would change nothing
+        std::vector<StmtPath> remove;
+        for (std::size_t u = 0; u < units.size(); ++u) {
+          if (u < begin || u >= end) remove.push_back(units[u]);
+        }
+        Candidate c;
+        c.program = remove_paths(state.program, std::move(remove));
+        c.input = state.input;
+        c.edit = "ddmin keep-chunk";
+        candidates.push_back(std::move(c));
+        kept_count.push_back(end - begin);
+      }
+      const std::size_t subset_count = candidates.size();
+      // ...then complements (drop one chunk, keep the rest). With exactly
+      // two chunks the complements duplicate the subsets, so they are
+      // skipped; with a single chunk the complement is "remove everything
+      // at this depth" — the step that reaches an empty block.
+      if (ranges.size() != 2) {
+        for (const auto& [begin, end] : ranges) {
+          std::vector<StmtPath> remove;
+          for (std::size_t u = begin; u < end; ++u) remove.push_back(units[u]);
+          Candidate c;
+          c.program = remove_paths(state.program, std::move(remove));
+          c.input = state.input;
+          c.edit = "ddmin drop-chunk";
+          candidates.push_back(std::move(c));
+          kept_count.push_back(units.size() - (end - begin));
+        }
+      }
+      if (candidates.empty()) break;
+      const std::size_t hit = first_interesting(candidates);
+      if (hit < candidates.size()) {
+        state.program = std::move(candidates[hit].program);
+        // Removal shifted the surviving units' sibling indices, so the kept
+        // set is re-collected from the new program: depth-d removals only
+        // delete depth-d statements, so the remaining depth-d paths are
+        // exactly the kept units (same pre-order, fresh indices).
+        units = paths_at_depth(state.program, depth);
+        OMPFUZZ_CHECK(units.size() == kept_count[hit],
+                      "ddmin kept-unit bookkeeping diverged");
+        // A subset hit restarts coarse; a complement hit keeps granularity
+        // relative to the shrunk list (classic ddmin's max(chunks-1, 2)).
+        chunks = hit < subset_count ? 2 : std::max<std::size_t>(chunks - 1, 2);
+        chunks = std::min(chunks, std::max<std::size_t>(units.size(), 1));
+        ++result.stats.edits_applied;
+        any = true;
+        continue;
+      }
+      if (chunks >= units.size()) break;
+      chunks = std::min(units.size(), chunks * 2);
+    }
+    return any;
+  };
+
+  // A single-edit pass run to fixpoint: regenerate candidates, apply the
+  // first interesting one, repeat until none survives.
+  const auto fixpoint = [&](const auto& generate) {
+    bool any = false;
+    while (budget_left()) {
+      std::vector<Candidate> candidates = generate(state.program, state.input);
+      if (candidates.empty()) break;
+      const std::size_t hit = first_interesting(candidates);
+      if (hit >= candidates.size()) break;
+      state.program = std::move(candidates[hit].program);
+      state.input = std::move(candidates[hit].input);
+      ++result.stats.edits_applied;
+      any = true;
+    }
+    return any;
+  };
+
+  for (int round = 0; round < options_.max_rounds && budget_left(); ++round) {
+    ++result.stats.rounds;
+    bool changed = false;
+    for (std::size_t depth = 1;
+         depth <= max_stmt_depth(state.program) && budget_left(); ++depth) {
+      changed = ddmin_depth(depth) || changed;
+    }
+    changed = fixpoint(collapse_candidates) || changed;
+    changed = fixpoint(clause_candidates) || changed;
+    changed = fixpoint(expr_candidates) || changed;
+    if (auto pruned = prune_candidate(state.program, state.input)) {
+      std::vector<Candidate> one;
+      one.push_back(std::move(*pruned));
+      if (first_interesting(one) == 0) {
+        state.program = std::move(one.front().program);
+        state.input = std::move(one.front().input);
+        ++result.stats.edits_applied;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.program = std::move(state.program);
+  result.input = std::move(state.input);
+  result.stats.final_statements = ast::count_stmts(result.program.body());
+  return result;
+}
+
+}  // namespace ompfuzz::reduce

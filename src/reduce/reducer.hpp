@@ -1,0 +1,80 @@
+// Verdict-preserving test-case reduction (the paper's missing last mile).
+//
+// A campaign ends with divergent (program, input, implementation set)
+// triples of hundreds of generated statements; a bug report needs the
+// smallest program that still shows the divergence. Reducer shrinks the AST
+// with hierarchical delta debugging (ddmin over the statement lists of each
+// nesting level) followed by targeted simplification passes (collapse
+// compound statements, drop OpenMP clauses, shrink expressions to operands /
+// evaluated constants, prune unused variables and parameters), accepting an
+// edit only when the InterestingnessOracle confirms the candidate still
+// lands in the original verdict class under core::classify_runs.
+//
+// Reduction is deterministic — a hard invariant: candidate enumeration
+// order is fixed, each generation is evaluated as one batch and the first
+// interesting candidate (in enumeration order, never completion order) is
+// applied, and the oracle's answers are pure functions of the candidate.
+// Same triple + same executor configuration => bit-identical minimal
+// program, across processes. Every accepted edit strictly shrinks the
+// program, so the fixpoint loop terminates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "reduce/oracle.hpp"
+#include "reduce/passes.hpp"
+
+namespace ompfuzz::reduce {
+
+struct ReduceOptions {
+  /// Upper bound on full fixpoint rounds (each round runs every pass once);
+  /// the loop exits earlier as soon as a round changes nothing.
+  int max_rounds = 16;
+  /// Safety valve: stop reducing (keeping the best program so far) once this
+  /// many candidates have been classified.
+  std::uint64_t max_candidates = 200'000;
+};
+
+struct ReduceStats {
+  int rounds = 0;
+  std::size_t initial_statements = 0;
+  std::size_t final_statements = 0;
+  std::uint64_t candidates_tried = 0;        ///< classified by the oracle
+  std::uint64_t candidates_interesting = 0;  ///< preserved the verdict class
+  std::uint64_t candidates_invalid = 0;      ///< rejected before execution
+  std::uint64_t edits_applied = 0;
+
+  [[nodiscard]] double shrink_ratio() const noexcept {
+    return initial_statements == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(final_statements) /
+                           static_cast<double>(initial_statements);
+  }
+};
+
+struct ReduceResult {
+  ast::Program program;  ///< the minimal program (the original if !reproduced)
+  fp::InputSet input;    ///< input matching program's (possibly pruned) params
+  core::VerdictClass verdict;  ///< the class every accepted edit preserved
+  /// False when the original triple did not reproduce a divergent verdict
+  /// class under this executor (nothing was reduced).
+  bool reproduced = false;
+  ReduceStats stats;
+};
+
+class Reducer {
+ public:
+  Reducer(InterestingnessOracle& oracle, ReduceOptions options = {});
+
+  /// Reduces one divergent triple. The input must match the program's
+  /// parameter signature.
+  [[nodiscard]] ReduceResult reduce(const ast::Program& original,
+                                    const fp::InputSet& input);
+
+ private:
+  InterestingnessOracle& oracle_;
+  ReduceOptions options_;
+};
+
+}  // namespace ompfuzz::reduce

@@ -219,12 +219,15 @@ StoreConfig StoreConfig::from_config(const ConfigFile& file) {
   StoreConfig s;
   s.enabled = file.get_bool("store.enabled", s.enabled);
   s.dir = file.get_or("store.dir", s.dir);
+  s.max_bytes = file.get_int("store.max_bytes", s.max_bytes, 0,
+                             std::numeric_limits<std::int64_t>::max());
   s.validate();
   return s;
 }
 
 void StoreConfig::validate() const {
   if (dir.empty()) throw ConfigError("store.dir must not be empty");
+  if (max_bytes < 0) throw ConfigError("store.max_bytes must be >= 0");
 }
 
 CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {

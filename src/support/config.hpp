@@ -122,6 +122,11 @@ struct StoreConfig {
   /// Root directory: run-cache records land in `<dir>/runs/`, the campaign
   /// checkpoint journal in `<dir>/checkpoint.journal`.
   std::string dir = "_store";
+  /// Size budget for the run cache in bytes; 0 = unbounded. When set,
+  /// ResultStore::gc() evicts least-recently-used record files (by atime)
+  /// until the cache fits — the campaign runs it after every completed
+  /// campaign, pinning the records its checkpoint journal still references.
+  std::int64_t max_bytes = 0;
 
   /// Reads the [store] section; unspecified keys keep their defaults.
   static StoreConfig from_config(const ConfigFile& file);

@@ -1,9 +1,11 @@
 #include "support/result_store.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cerrno>
@@ -11,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -161,6 +164,11 @@ std::array<std::uint64_t, 2> RunKey::digest() const {
   return {hi, lo};
 }
 
+std::string store_impl_identity(const std::string& impl_name,
+                                const std::string& identity) {
+  return identity.empty() ? std::string() : "name=" + impl_name + ";" + identity;
+}
+
 // -------------------------------------------------------- ResultStore ------
 
 ResultStore::ResultStore(StoreConfig config) : config_(std::move(config)) {
@@ -194,9 +202,10 @@ std::optional<core::RunResult> ResultStore::lookup(const RunKey& key) {
 
   // Disk I/O outside the lock: record files are immutable-once-renamed, so
   // concurrent readers (and writers of other keys) need no coordination.
+  const std::string path = object_path(key);
   std::string text;
   {
-    std::ifstream in(object_path(key));
+    std::ifstream in(path);
     if (!in) {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.misses;
@@ -229,6 +238,11 @@ std::optional<core::RunResult> ResultStore::lookup(const RunKey& key) {
     if (!output || !parse_hex64(*output, output_bits)) return false;
     return true;
   }();
+  if (ok) {
+    // Refresh the record's timestamps so LRU eviction (gc) sees this read
+    // even on noatime mounts. Best-effort: a failure only ages the record.
+    (void)::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!ok) {
     ++stats_.misses;
@@ -268,13 +282,114 @@ ResultStore::Stats ResultStore::stats() const {
   return stats_;
 }
 
+namespace {
+
+struct RecordFile {
+  std::string hex;   ///< 32-hex digest (file stem)
+  std::string path;
+  std::uint64_t bytes = 0;
+  struct timespec atime = {};
+};
+
+bool older(const RecordFile& a, const RecordFile& b) {
+  if (a.atime.tv_sec != b.atime.tv_sec) return a.atime.tv_sec < b.atime.tv_sec;
+  if (a.atime.tv_nsec != b.atime.tv_nsec) return a.atime.tv_nsec < b.atime.tv_nsec;
+  return a.path < b.path;  // deterministic order under equal timestamps
+}
+
+}  // namespace
+
+ResultStore::GcStats ResultStore::gc(
+    std::span<const std::array<std::uint64_t, 2>> pinned) {
+  GcStats out;
+  if (config_.max_bytes <= 0) return out;
+
+  std::set<std::string> pin_set;
+  for (const auto& digest : pinned) {
+    pin_set.insert(hex64(digest[0]) + hex64(digest[1]));
+  }
+
+  // Memo hits never touch the disk, so a record this process kept reading
+  // from memory would look cold to the atime order. The memo is exactly the
+  // process's working set (everything read or written here): refresh those
+  // records now, before ordering, so eviction prefers records no live
+  // campaign is using.
+  std::set<std::string> warm;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [hex, entry] : memo_) warm.insert(hex);
+  }
+
+  // Scan runs/<dd>/*.run. Temp files of in-flight put()s are skipped: they
+  // are renamed into place atomically, so deleting only finished records can
+  // never tear a concurrent write.
+  std::vector<RecordFile> records;
+  const std::string runs_dir = config_.dir + "/runs";
+  DIR* top = ::opendir(runs_dir.c_str());
+  if (top == nullptr) return out;
+  while (const dirent* fan = ::readdir(top)) {
+    if (fan->d_name[0] == '.') continue;
+    const std::string sub = runs_dir + "/" + fan->d_name;
+    DIR* subdir = ::opendir(sub.c_str());
+    if (subdir == nullptr) continue;
+    while (const dirent* entry = ::readdir(subdir)) {
+      const std::string name = entry->d_name;
+      if (name.size() < 4 || !name.ends_with(".run") ||
+          name.find(".tmp.") != std::string::npos) {
+        continue;
+      }
+      RecordFile record;
+      record.hex = name.substr(0, name.size() - 4);
+      record.path = sub + "/" + name;
+      if (warm.contains(record.hex)) {
+        (void)::utimensat(AT_FDCWD, record.path.c_str(), nullptr, 0);
+      }
+      struct stat st = {};
+      if (::stat(record.path.c_str(), &st) != 0) continue;
+      record.bytes = static_cast<std::uint64_t>(st.st_size);
+      record.atime = st.st_atim;
+      records.push_back(std::move(record));
+    }
+    ::closedir(subdir);
+  }
+  ::closedir(top);
+
+  std::uint64_t total = 0;
+  for (const auto& record : records) {
+    ++out.scanned_files;
+    total += record.bytes;
+  }
+  out.scanned_bytes = total;
+  if (total <= static_cast<std::uint64_t>(config_.max_bytes)) return out;
+
+  std::sort(records.begin(), records.end(), older);
+  for (const auto& record : records) {
+    if (total <= static_cast<std::uint64_t>(config_.max_bytes)) break;
+    if (pin_set.contains(record.hex)) {
+      ++out.pinned_files;
+      continue;
+    }
+    if (::unlink(record.path.c_str()) != 0) continue;
+    total -= record.bytes;
+    ++out.evicted_files;
+    out.evicted_bytes += record.bytes;
+    // The in-process memo must forget the record too, or this process would
+    // keep "hitting" an entry it just evicted from disk.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    memo_.erase(record.hex);
+  }
+  return out;
+}
+
 // --------------------------------------------------- CheckpointJournal -----
 
 namespace {
 
 std::string header_payload(std::uint64_t campaign_key,
                            const std::vector<std::string>& impl_names) {
-  std::string out = "ompfuzz-journal v1\n";
+  // v2 added the per-shard program fingerprint; a v1 journal's header no
+  // longer matches, so old journals start fresh instead of resuming.
+  std::string out = "ompfuzz-journal v2\n";
   out += "campaign " + hex64(campaign_key) + "\n";
   out += "impls " + std::to_string(impl_names.size()) + "\n";
   for (const auto& name : impl_names) out += "impl " + name + "\n";
@@ -285,6 +400,7 @@ std::string shard_payload(const StoredShard& shard,
                           std::size_t num_impls) {
   std::string out = "shard " + std::to_string(shard.program_index) + " " +
                     std::to_string(shard.regeneration_attempts) + " " +
+                    hex64(shard.program_fingerprint) + " " +
                     std::to_string(shard.outcomes.size()) + "\n";
   for (const auto& outcome : shard.outcomes) {
     OMPFUZZ_CHECK(outcome.runs.size() == num_impls,
@@ -311,10 +427,12 @@ std::optional<StoredShard> parse_shard_payload(
   const auto head = cursor.tagged("shard ");
   if (!head) return std::nullopt;
   std::int64_t program_index = 0, regen = 0, n_outcomes = 0;
+  std::uint64_t fingerprint = 0;
   {
     const auto fields = split(*head, ' ');
-    if (fields.size() != 3 || !parse_i64(fields[0], program_index) ||
-        !parse_i64(fields[1], regen) || !parse_i64(fields[2], n_outcomes)) {
+    if (fields.size() != 4 || !parse_i64(fields[0], program_index) ||
+        !parse_i64(fields[1], regen) || !parse_hex64(fields[2], fingerprint) ||
+        !parse_i64(fields[3], n_outcomes)) {
       return std::nullopt;
     }
   }
@@ -323,6 +441,7 @@ std::optional<StoredShard> parse_shard_payload(
   StoredShard shard;
   shard.program_index = static_cast<int>(program_index);
   shard.regeneration_attempts = static_cast<int>(regen);
+  shard.program_fingerprint = fingerprint;
   for (std::int64_t i = 0; i < n_outcomes; ++i) {
     StoredOutcome outcome;
     const auto name = cursor.tagged("name ");
@@ -331,6 +450,11 @@ std::optional<StoredShard> parse_shard_payload(
     const auto index = cursor.tagged("index ");
     std::int64_t input_index = 0;
     if (!index || !parse_i64(*index, input_index)) return std::nullopt;
+    // One outcome per input: an index outside [0, n_outcomes) can only come
+    // from a corrupt or hand-edited journal, and the campaign indexes its
+    // regenerated inputs with it — reject the record rather than hand an
+    // out-of-range index downstream.
+    if (input_index < 0 || input_index >= n_outcomes) return std::nullopt;
     outcome.input_index = static_cast<int>(input_index);
     const auto input = cursor.tagged("input ");
     if (!input) return std::nullopt;

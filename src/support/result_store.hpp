@@ -33,6 +33,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,14 @@ struct RunKey {
   [[nodiscard]] std::array<std::uint64_t, 2> digest() const;
 };
 
+/// Composes the impl_identity key material every store consumer must use:
+/// the display name is key material too (it is part of the RunResult), and
+/// an empty executor identity disables caching (returns ""). Shared by the
+/// campaign and the reducer's oracle so their cache entries interoperate —
+/// a warm reduction can replay runs the campaign executed.
+[[nodiscard]] std::string store_impl_identity(const std::string& impl_name,
+                                              const std::string& identity);
+
 /// On-disk, content-addressed (RunKey -> RunResult) store.
 ///
 /// Layout: `<dir>/runs/<dd>/<digest>.run`, one record file per key, fanned
@@ -91,7 +100,30 @@ class ResultStore {
   };
   [[nodiscard]] Stats stats() const;
 
+  struct GcStats {
+    std::uint64_t scanned_files = 0;
+    std::uint64_t scanned_bytes = 0;
+    std::uint64_t evicted_files = 0;
+    std::uint64_t evicted_bytes = 0;
+    std::uint64_t pinned_files = 0;  ///< kept only because a pin protected them
+  };
+
+  /// Size-bounded garbage collection: when the record files exceed
+  /// `config.max_bytes`, evicts least-recently-used records (by atime —
+  /// lookup() refreshes the timestamp of every record it reads from disk,
+  /// and gc() refreshes everything in the in-process memo — the working set
+  /// served from memory — before ordering, so the order is meaningful on
+  /// noatime mounts and for memo-hot records alike) until the cache fits
+  /// the budget. Records whose
+  /// digest is in `pinned` are never evicted — the campaign pins everything
+  /// its live checkpoint journal references, so a resume after GC can still
+  /// trust the cache. In-flight temp files are skipped; deleting a record
+  /// never races a writer (put() recreates it atomically, temp-then-rename).
+  /// No-op when max_bytes is 0.
+  GcStats gc(std::span<const std::array<std::uint64_t, 2>> pinned = {});
+
   [[nodiscard]] const std::string& dir() const noexcept { return config_.dir; }
+  [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
 
  private:
   [[nodiscard]] std::string object_path(const RunKey& key) const;
@@ -117,6 +149,10 @@ struct StoredOutcome {
 struct StoredShard {
   int program_index = 0;
   int regeneration_attempts = 0;
+  /// Structural fingerprint of the shard's program. Lets the campaign
+  /// compute the RunKeys a restored shard references (journal pins for the
+  /// store's size-bounded GC) without regenerating the program.
+  std::uint64_t program_fingerprint = 0;
   std::vector<StoredOutcome> outcomes;
 };
 

@@ -5,6 +5,7 @@
 // producing a CampaignResult bit-identical to an uninterrupted run.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
@@ -26,6 +27,7 @@
 #include "harness/sim_executor.hpp"
 #include "harness/subprocess_executor.hpp"
 #include "support/config.hpp"
+#include "support/error.hpp"
 #include "support/result_store.hpp"
 
 namespace ompfuzz::harness {
@@ -659,6 +661,248 @@ TEST(CampaignCheckpoint, TruncatedJournalReexecutesOnlyTheTornShard) {
   EXPECT_EQ(count_children(dir) - before_resume, 1 + cfg.inputs_per_program);
   EXPECT_GT(reference_children, 1 + cfg.inputs_per_program);
   expect_identical(expected, resumed);
+}
+
+// ------------------------------------------------------ size-bounded GC ----
+
+RunKey gc_key(int i) {
+  RunKey key;
+  key.program_fingerprint = 0x6c0000 + static_cast<std::uint64_t>(i);
+  key.input_text = "0x1p0";
+  key.impl_identity = "name=cc;subprocess;cmd=cc";
+  return key;
+}
+
+std::string record_path(const StoreConfig& cfg, const RunKey& key) {
+  char hex[33];
+  const auto d = key.digest();
+  std::snprintf(hex, sizeof(hex), "%016llx%016llx",
+                static_cast<unsigned long long>(d[0]),
+                static_cast<unsigned long long>(d[1]));
+  return cfg.dir + "/runs/" + std::string(hex, 2) + "/" + hex + ".run";
+}
+
+void set_atime(const std::string& path, std::time_t when) {
+  timespec times[2] = {{when, 0}, {when, 0}};  // atime and mtime
+  ASSERT_EQ(utimensat(AT_FDCWD, path.c_str(), times, 0), 0) << path;
+}
+
+TEST(StoreGc, EvictsLeastRecentlyUsedUntilUnderBudget) {
+  StoreConfig cfg = store_config(temp_dir());
+  std::uint64_t record_bytes = 0;
+  {
+    ResultStore writer(cfg);
+    for (int i = 0; i < 6; ++i) {
+      core::RunResult r;
+      r.impl = "cc";
+      r.output = i;
+      r.time_us = 1000;
+      writer.put(gc_key(i), r);
+    }
+    struct stat st = {};
+    ASSERT_EQ(stat(record_path(cfg, gc_key(0)).c_str(), &st), 0);
+    record_bytes = static_cast<std::uint64_t>(st.st_size);
+  }
+  // Ascending atimes: record 0 is the coldest.
+  const std::time_t base = 1'700'000'000;
+  for (int i = 0; i < 6; ++i) {
+    set_atime(record_path(cfg, gc_key(i)), base + i * 60);
+  }
+
+  // Budget for three records: the three oldest must go, in atime order.
+  cfg.max_bytes = static_cast<std::int64_t>(record_bytes * 3);
+  ResultStore store(cfg);
+  const auto stats = store.gc();
+  EXPECT_EQ(stats.scanned_files, 6u);
+  EXPECT_EQ(stats.evicted_files, 3u);
+  EXPECT_EQ(stats.pinned_files, 0u);
+  EXPECT_EQ(stats.evicted_bytes, record_bytes * 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(store.lookup(gc_key(i)).has_value()) << i;
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_TRUE(store.lookup(gc_key(i)).has_value()) << i;
+  }
+}
+
+TEST(StoreGc, EvictionForgetsTheInProcessMemo) {
+  StoreConfig cfg = store_config(temp_dir());
+  cfg.max_bytes = 1;  // everything must go
+  ResultStore store(cfg);
+  core::RunResult r;
+  r.impl = "cc";
+  store.put(gc_key(0), r);
+  ASSERT_TRUE(store.lookup(gc_key(0)).has_value());
+  const auto stats = store.gc();
+  EXPECT_EQ(stats.evicted_files, 1u);
+  // Without the memo purge this would still "hit" the evicted record.
+  EXPECT_FALSE(store.lookup(gc_key(0)).has_value());
+}
+
+TEST(StoreGc, PinnedRecordsSurviveEviction) {
+  StoreConfig cfg = store_config(temp_dir());
+  {
+    ResultStore writer(cfg);
+    for (int i = 0; i < 4; ++i) {
+      core::RunResult r;
+      r.impl = "cc";
+      writer.put(gc_key(i), r);
+    }
+  }
+  const std::time_t base = 1'700'000'000;
+  for (int i = 0; i < 4; ++i) {
+    set_atime(record_path(cfg, gc_key(i)), base + i * 60);
+  }
+
+  cfg.max_bytes = 1;  // evict everything that is not pinned
+  ResultStore store(cfg);
+  const std::vector<std::array<std::uint64_t, 2>> pins = {gc_key(0).digest(),
+                                                          gc_key(2).digest()};
+  const auto stats = store.gc(pins);
+  EXPECT_EQ(stats.evicted_files, 2u);
+  EXPECT_EQ(stats.pinned_files, 2u);
+  EXPECT_TRUE(store.lookup(gc_key(0)).has_value());   // coldest, but pinned
+  EXPECT_FALSE(store.lookup(gc_key(1)).has_value());
+  EXPECT_TRUE(store.lookup(gc_key(2)).has_value());
+  EXPECT_FALSE(store.lookup(gc_key(3)).has_value());
+}
+
+TEST(StoreGc, UnboundedStoreNeverEvicts) {
+  StoreConfig cfg = store_config(temp_dir());
+  ResultStore store(cfg);  // max_bytes = 0
+  core::RunResult r;
+  r.impl = "cc";
+  store.put(gc_key(0), r);
+  const auto stats = store.gc();
+  EXPECT_EQ(stats.scanned_files, 0u);
+  EXPECT_EQ(stats.evicted_files, 0u);
+  EXPECT_TRUE(store.lookup(gc_key(0)).has_value());
+}
+
+TEST(StoreGc, LookupRefreshesAtimeSoWarmRecordsSurvive) {
+  StoreConfig cfg = store_config(temp_dir());
+  std::uint64_t record_bytes = 0;
+  {
+    ResultStore writer(cfg);
+    for (int i = 0; i < 2; ++i) {
+      core::RunResult r;
+      r.impl = "cc";
+      writer.put(gc_key(i), r);
+    }
+    struct stat st = {};
+    ASSERT_EQ(stat(record_path(cfg, gc_key(0)).c_str(), &st), 0);
+    record_bytes = static_cast<std::uint64_t>(st.st_size);
+  }
+  const std::time_t base = 1'700'000'000;
+  set_atime(record_path(cfg, gc_key(0)), base);
+  set_atime(record_path(cfg, gc_key(1)), base + 60);
+
+  // A fresh store (cold memo) reads record 0 from disk: that lookup must
+  // refresh its timestamp, making record 1 the eviction victim.
+  cfg.max_bytes = static_cast<std::int64_t>(record_bytes);
+  ResultStore store(cfg);
+  ASSERT_TRUE(store.lookup(gc_key(0)).has_value());
+  const auto stats = store.gc();
+  EXPECT_EQ(stats.evicted_files, 1u);
+  EXPECT_TRUE(store.lookup(gc_key(0)).has_value());
+  EXPECT_FALSE(store.lookup(gc_key(1)).has_value());
+}
+
+TEST(StoreGc, MemoWarmRecordsAreTreatedAsFresh) {
+  StoreConfig cfg = store_config(temp_dir());
+  std::uint64_t record_bytes = 0;
+  {
+    ResultStore writer(cfg);
+    for (int i = 0; i < 2; ++i) {
+      core::RunResult r;
+      r.impl = "cc";
+      writer.put(gc_key(i), r);
+    }
+    struct stat st = {};
+    ASSERT_EQ(stat(record_path(cfg, gc_key(0)).c_str(), &st), 0);
+    record_bytes = static_cast<std::uint64_t>(st.st_size);
+  }
+
+  cfg.max_bytes = static_cast<std::int64_t>(record_bytes);
+  ResultStore store(cfg);
+  // Record 0 enters the memo via one disk read; every later hit would be
+  // memory-only and never touch its atime...
+  ASSERT_TRUE(store.lookup(gc_key(0)).has_value());
+  ASSERT_TRUE(store.lookup(gc_key(0)).has_value());
+  // ...so backdate both files to simulate the atimes GC would observe after
+  // a long run: 0 older than 1 on disk, but 0 is the process's working set.
+  const std::time_t base = 1'700'000'000;
+  set_atime(record_path(cfg, gc_key(0)), base);
+  set_atime(record_path(cfg, gc_key(1)), base + 60);
+  const auto stats = store.gc();
+  EXPECT_EQ(stats.evicted_files, 1u);
+  EXPECT_TRUE(store.lookup(gc_key(0)).has_value());   // memo-warm: kept
+  EXPECT_FALSE(store.lookup(gc_key(1)).has_value());  // cold: evicted
+}
+
+TEST(StoreGc, ConfigParsesAndValidatesMaxBytes) {
+  const auto file = ConfigFile::parse("[store]\nenabled = true\n"
+                                      "max_bytes = 4096\n");
+  StoreConfig cfg = StoreConfig::from_config(file);
+  EXPECT_EQ(cfg.max_bytes, 4096);
+  const auto bad = ConfigFile::parse("[store]\nmax_bytes = -1\n");
+  EXPECT_THROW((void)StoreConfig::from_config(bad), ConfigError);
+}
+
+/// The journal-pin rule end to end: with a journal attached every journaled
+/// shard's triples are pinned, so even an absurdly small budget evicts
+/// nothing and a resumed re-run still executes zero children. The same
+/// campaign without a journal evicts freely.
+TEST(StoreGc, CampaignPinsJournaledShards) {
+  const std::string dir = temp_dir();
+  const std::string cc = make_logging_compiler(dir, "cc");
+  std::vector<ImplementationSpec> impls = {{"cc", cc + " {src} {bin}", ""}};
+  CampaignConfig cfg = stub_campaign_config(3, 1);
+
+  StoreConfig store_cfg = store_config(dir + "/store");
+  store_cfg.max_bytes = 1;  // far below one record
+  ResultStore store(store_cfg);
+  CheckpointJournal journal(dir + "/j.journal");
+
+  {
+    SubprocessOptions opt;
+    opt.work_dir = dir + "/work_cold";
+    opt.concurrent_runs = true;
+    SubprocessExecutor exec(impls, opt);
+    Campaign campaign(cfg, exec);
+    campaign.set_result_store(&store);
+    campaign.set_checkpoint(&journal, false);
+    (void)campaign.run();
+  }
+  const int cold_children = count_children(dir);
+  ASSERT_GT(cold_children, 0);
+
+  // Every record was journaled, hence pinned, hence survived the end-of-run
+  // GC: a warm run (fresh journal-less campaign, same store) executes
+  // nothing.
+  {
+    SubprocessOptions opt;
+    opt.work_dir = dir + "/work_warm";
+    opt.concurrent_runs = true;
+    SubprocessExecutor exec(impls, opt);
+    Campaign campaign(cfg, exec);
+    campaign.set_result_store(&store);
+    (void)campaign.run();
+  }
+  EXPECT_EQ(count_children(dir), cold_children);
+
+  // Without a journal nothing is pinned: the same budget empties the cache
+  // (the warm campaign above ran GC on exit), so a third run re-executes.
+  {
+    SubprocessOptions opt;
+    opt.work_dir = dir + "/work_cold2";
+    opt.concurrent_runs = true;
+    SubprocessExecutor exec(impls, opt);
+    Campaign campaign(cfg, exec);
+    campaign.set_result_store(&store);
+    (void)campaign.run();
+  }
+  EXPECT_GT(count_children(dir), cold_children);
 }
 
 // ---------------------------------------------------- kill and resume ------
