@@ -1,12 +1,19 @@
 // Campaign demo: the full Figure 1 workflow at configurable scale, driven by
 // an INI configuration file exactly like the paper's step (a).
 //
-//   $ ./campaign_demo [config.ini] [--resume] [--reduce]
+//   $ ./campaign_demo [config.ini] [--resume] [--reduce] [--backends N]
 //
 // Without a config argument it uses a built-in 40-program configuration over
 // the simulated backend. Implementations whose value is a compile command
 // (instead of "profile: NAME") select the real-compiler subprocess backend,
 // tuned by the [executor] section (max_inflight, concurrent_runs, ...).
+//
+// The [scheduler] section (and the --backends override) splits the
+// implementation list into N contiguous execution backends — each group all
+// simulated or all subprocess, so e.g. "profile:" entries can run next to a
+// real toolchain in one campaign — and controls shard batching
+// (scheduler.batch_size) and work-stealing (scheduler.steal). The merged
+// CampaignResult and its JSON report are bit-identical for every split.
 //
 // With `[store] enabled = true` the campaign persists every executed
 // (program, input, implementation) result in a content-addressed run cache
@@ -75,12 +82,20 @@ int main(int argc, char** argv) {
 
   bool resume = false;
   bool reduce_divergent = false;
+  int backends_override = 0;
   std::string config_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(argv[a], "--reduce") == 0) {
       reduce_divergent = true;
+    } else if (std::strcmp(argv[a], "--backends") == 0) {
+      // Must not fall through to the config-path branch on a missing value:
+      // "--backends" would silently become the config file path.
+      backends_override = a + 1 < argc ? std::atoi(argv[++a]) : 0;
+      if (backends_override < 1) {
+        throw ConfigError("--backends needs a positive count");
+      }
     } else {
       config_path = argv[a];
     }
@@ -93,46 +108,86 @@ int main(int argc, char** argv) {
               cfg.num_programs, cfg.inputs_per_program, cfg.alpha, cfg.beta,
               cfg.implementations.size());
 
-  std::unique_ptr<harness::Executor> executor;
-  const auto has_command = [](const ImplementationSpec& impl) {
-    return !impl.compile_command.empty();
-  };
-  const bool subprocess_mode =
-      !cfg.implementations.empty() &&
-      std::all_of(cfg.implementations.begin(), cfg.implementations.end(),
-                  has_command);
-  if (!subprocess_mode &&
-      std::any_of(cfg.implementations.begin(), cfg.implementations.end(),
-                  has_command)) {
-    // Refuse mixed configs loudly: falling back to simulation would quietly
-    // simulate an implementation the user gave a real compile command for.
-    throw ConfigError(
-        "implementations mix compile commands and 'profile:' entries; "
-        "use one backend per campaign");
+  SchedulerConfig sched = SchedulerConfig::from_config(file);
+  if (backends_override > 0) sched.backends = backends_override;
+  const auto num_backends = static_cast<std::size_t>(sched.backends);
+  if (num_backends > cfg.implementations.size()) {
+    throw ConfigError("scheduler.backends exceeds the implementation count");
   }
-  if (subprocess_mode) {
-    const ExecutorConfig ecfg = ExecutorConfig::from_config(file);
-    executor = std::make_unique<harness::SubprocessExecutor>(
-        cfg.implementations, harness::to_subprocess_options(ecfg));
-    std::printf("subprocess backend: work_dir=%s max_inflight=%d "
-                "concurrent_runs=%s\n\n",
-                ecfg.work_dir.c_str(), ecfg.max_inflight,
-                ecfg.concurrent_runs ? "true" : "false");
-  } else {
-    harness::SimExecutorOptions opt;
-    opt.num_threads = cfg.generator.num_threads;
-    // Map the configured implementations onto simulated profiles.
-    std::vector<rt::OmpImplProfile> profiles;
-    for (const auto& impl : cfg.implementations) {
-      auto profile = rt::profile_by_name(
-          impl.profile.empty() ? impl.name : impl.profile);
-      profile.name = impl.name;
-      profiles.push_back(std::move(profile));
-    }
-    executor = std::make_unique<harness::SimExecutor>(std::move(profiles), opt);
+  if (reduce_divergent && num_backends > 1) {
+    // Checked before the campaign runs, not after hours of execution: the
+    // reduction oracle classifies candidates against ONE executor's
+    // implementation set; reducing a multi-backend campaign's triples would
+    // silently drop every implementation outside backend 0.
+    throw ConfigError("--reduce currently needs scheduler.backends = 1");
   }
 
-  harness::Campaign campaign(cfg, *executor);
+  // Split the implementation list into `scheduler.backends` contiguous,
+  // as-equal-as-possible groups. Each group must be homogeneous — all
+  // "profile:" entries (one simulated backend) or all compile commands (one
+  // subprocess pool). Mixing kinds ACROSS groups is the point of the split
+  // (a simulated oracle next to real toolchains in one campaign); mixing
+  // within one group is refused loudly, because falling back to simulation
+  // would quietly simulate an implementation the user gave a real compile
+  // command for.
+  const ExecutorConfig ecfg = ExecutorConfig::from_config(file);
+  std::vector<std::unique_ptr<harness::Executor>> executors;
+  std::vector<harness::CampaignBackend> backends;
+  const std::size_t base = cfg.implementations.size() / num_backends;
+  const std::size_t extra = cfg.implementations.size() % num_backends;
+  std::size_t next = 0;
+  for (std::size_t g = 0; g < num_backends; ++g) {
+    const std::size_t count = base + (g < extra ? 1 : 0);
+    const std::vector<ImplementationSpec> group(
+        cfg.implementations.begin() + static_cast<std::ptrdiff_t>(next),
+        cfg.implementations.begin() + static_cast<std::ptrdiff_t>(next + count));
+    next += count;
+    const auto has_command = [](const ImplementationSpec& impl) {
+      return !impl.compile_command.empty();
+    };
+    const bool subprocess_group =
+        std::all_of(group.begin(), group.end(), has_command);
+    if (!subprocess_group &&
+        std::any_of(group.begin(), group.end(), has_command)) {
+      throw ConfigError(
+          "backend " + std::to_string(g) +
+          " mixes compile commands and 'profile:' entries; reorder the "
+          "implementations or adjust scheduler.backends so every backend "
+          "group is one kind");
+    }
+    std::string name;
+    if (subprocess_group) {
+      name = "subprocess" + std::to_string(g);
+      executors.push_back(std::make_unique<harness::SubprocessExecutor>(
+          group, harness::to_subprocess_options(ecfg)));
+      std::printf("backend %s: work_dir=%s max_inflight=%d "
+                  "concurrent_runs=%s\n",
+                  name.c_str(), ecfg.work_dir.c_str(), ecfg.max_inflight,
+                  ecfg.concurrent_runs ? "true" : "false");
+    } else {
+      name = "sim" + std::to_string(g);
+      harness::SimExecutorOptions opt;
+      opt.num_threads = cfg.generator.num_threads;
+      // Map the configured implementations onto simulated profiles.
+      std::vector<rt::OmpImplProfile> profiles;
+      for (const auto& impl : group) {
+        auto profile = rt::profile_by_name(
+            impl.profile.empty() ? impl.name : impl.profile);
+        profile.name = impl.name;
+        profiles.push_back(std::move(profile));
+      }
+      executors.push_back(std::make_unique<harness::SimExecutor>(
+          std::move(profiles), opt));
+    }
+    backends.push_back({executors.back().get(), name});
+  }
+  if (num_backends > 1 || sched.batch_size > 1) {
+    std::printf("scheduler: %zu backends, batch_size=%d steal=%s\n",
+                num_backends, sched.batch_size, sched.steal ? "on" : "off");
+  }
+  std::printf("\n");
+
+  harness::Campaign campaign(cfg, backends, sched);
 
   const StoreConfig store_cfg = StoreConfig::from_config(file);
   std::unique_ptr<ResultStore> store;
@@ -168,12 +223,17 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", harness::render_table1(result).c_str());
   std::printf("%s\n", harness::render_summary(result).c_str());
+  std::printf("%s\n",
+              harness::render_scheduler_summary(campaign.backends(),
+                                                campaign.scheduler_stats())
+                  .c_str());
   std::printf("%s\n", harness::render_outlier_list(result, 10).c_str());
 
   if (reduce_divergent) {
     std::printf("reducing %zu divergent triples...\n", result.divergent.size());
     const auto reduction_report = reduce::reduce_campaign(
-        result, *executor, store.get(), {}, [](int done, int total) {
+        result, *backends.front().executor, store.get(), {},
+        [](int done, int total) {
           std::fprintf(stderr, "  reduced %d/%d triples\n", done, total);
         });
     std::printf("%s\n",

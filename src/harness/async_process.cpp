@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/stat.h>
 #include <sys/syscall.h>
 #include <sys/types.h>
@@ -11,9 +12,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 
+#include "support/config.hpp"
 #include "support/error.hpp"
 #include "support/string_utils.hpp"
 
@@ -218,13 +221,77 @@ ProcessResult run_process(const std::vector<std::string>& argv,
   return result;
 }
 
+namespace {
+
+/// Every live child holds its stdout pipe read end plus (where the kernel
+/// provides one) a pidfd, and spawning transiently holds the pipe write end.
+constexpr std::size_t kFdsPerChild = 3;
+/// Headroom for everything else the process keeps open (store record files,
+/// the checkpoint journal, emitted sources, wake pipes, stdio).
+constexpr std::size_t kReservedFds = 64;
+
+/// Process-wide ledger of fds reserved by live pools, so SEVERAL pools in
+/// one process (a multi-backend campaign runs one subprocess pool per
+/// toolchain, a reduction adds another) cannot jointly exhaust the table
+/// that each clamp individually respected. Guarded by a mutex: pools are
+/// constructed rarely.
+std::mutex g_fd_budget_mutex;
+std::size_t g_reserved_child_fds = 0;
+
+/// Caps the in-flight child count so the pools of this process can never
+/// exhaust its fd table: grants at most what RLIMIT_NOFILE minus the
+/// headroom minus other pools' reservations leaves, records the grant in
+/// the ledger, and logs when the cap bites. Without the clamp an oversized
+/// executor.max_inflight makes pipe()/fork() fail mid-batch, fabricating
+/// harness-failure results that taint whole shards.
+std::size_t reserve_fd_budget(std::size_t requested) {
+  struct rlimit limit {};
+  const bool limited = ::getrlimit(RLIMIT_NOFILE, &limit) == 0 &&
+                       limit.rlim_cur != RLIM_INFINITY;
+  const std::lock_guard<std::mutex> lock(g_fd_budget_mutex);
+  std::size_t granted = requested;
+  if (limited) {
+    const auto open_max = static_cast<std::size_t>(limit.rlim_cur);
+    const std::size_t total = open_max > kReservedFds ? open_max - kReservedFds
+                                                      : kFdsPerChild;
+    const std::size_t available =
+        total > g_reserved_child_fds ? total - g_reserved_child_fds
+                                     : kFdsPerChild;
+    // Every pool can keep at least one child in flight — a pool that could
+    // spawn nothing would deadlock its callers, and one child's fds fit any
+    // realistic limit.
+    const std::size_t cap = std::max<std::size_t>(1, available / kFdsPerChild);
+    if (requested > cap) {
+      std::fprintf(stderr,
+                   "ompfuzz: clamping max_inflight %zu -> %zu "
+                   "(RLIMIT_NOFILE = %zu, %zu fds per in-flight child, "
+                   "%zu fds reserved by other pools)\n",
+                   requested, cap, open_max, kFdsPerChild,
+                   g_reserved_child_fds);
+      granted = cap;
+    }
+  }
+  g_reserved_child_fds += granted * kFdsPerChild;
+  return granted;
+}
+
+void release_fd_budget(std::size_t granted) {
+  const std::lock_guard<std::mutex> lock(g_fd_budget_mutex);
+  g_reserved_child_fds -= std::min(g_reserved_child_fds, granted * kFdsPerChild);
+}
+
+}  // namespace
+
 AsyncProcessPool::AsyncProcessPool(std::size_t max_inflight)
     : max_inflight_(max_inflight) {
   if (max_inflight_ == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    max_inflight_ = 2 * static_cast<std::size_t>(hw == 0 ? 1 : hw);
+    // Children spend most of their life blocked in-kernel, so 2x the cores
+    // keeps the machine busy without drowning it.
+    max_inflight_ = 2 * hardware_thread_count();
   }
+  max_inflight_ = std::max<std::size_t>(1, reserve_fd_budget(max_inflight_));
   if (pipe2(wake_fds_, O_CLOEXEC | O_NONBLOCK) != 0) {
+    release_fd_budget(max_inflight_);
     throw Error("pipe2() failed for pool wake pipe");
   }
   loop_thread_ = std::thread([this] { event_loop(); });
@@ -239,6 +306,7 @@ AsyncProcessPool::~AsyncProcessPool() {
   loop_thread_.join();
   close(wake_fds_[0]);
   close(wake_fds_[1]);
+  release_fd_budget(max_inflight_);
 }
 
 void AsyncProcessPool::wake() {

@@ -71,6 +71,10 @@ class AsyncProcessPool {
   /// Spawns the event-loop thread. `max_inflight` bounds concurrently live
   /// children; 0 resolves to 2x hardware concurrency (children spend most of
   /// their life blocked in-kernel, so oversubscribing the cores pays off).
+  /// The resolved value is clamped against RLIMIT_NOFILE — each in-flight
+  /// child holds pipe fds (plus a pidfd), so an oversized knob would make
+  /// pipe()/fork() fail mid-batch — and the clamp is logged to stderr;
+  /// max_inflight() reports the effective bound.
   explicit AsyncProcessPool(std::size_t max_inflight = 0);
 
   /// Kills any in-flight children (SIGKILL to the group), completes queued

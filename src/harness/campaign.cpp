@@ -1,14 +1,16 @@
 #include "harness/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <mutex>
+#include <set>
 
 #include "core/race_checker.hpp"
 #include "emit/codegen.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
-#include "support/thread_pool.hpp"
 
 namespace ompfuzz::harness {
 
@@ -25,9 +27,31 @@ double CampaignResult::outlier_rate() const {
 }
 
 Campaign::Campaign(CampaignConfig config, Executor& executor)
-    : config_(std::move(config)), executor_(executor),
-      generator_(config_.generator) {
+    : Campaign(std::move(config),
+               std::vector<CampaignBackend>{{&executor, "default"}}) {}
+
+Campaign::Campaign(CampaignConfig config, std::vector<CampaignBackend> backends,
+                   SchedulerConfig scheduler)
+    : config_(std::move(config)), backends_(std::move(backends)),
+      scheduler_(scheduler), generator_(config_.generator) {
   config_.validate();
+  scheduler_.validate();
+  OMPFUZZ_CHECK(!backends_.empty(), "campaign needs at least one backend");
+  std::set<std::string> backend_names;
+  std::set<std::string> impl_names;
+  for (const auto& backend : backends_) {
+    OMPFUZZ_CHECK(backend.executor != nullptr, "campaign backend needs an executor");
+    OMPFUZZ_CHECK(!backend.name.empty(), "campaign backend needs a name");
+    OMPFUZZ_CHECK(backend_names.insert(backend.name).second,
+                  "duplicate backend name: " + backend.name);
+    for (const auto& name : backend.executor->implementations()) {
+      // Uniqueness across backends: the merged result is keyed by
+      // implementation name, and a duplicate would make two backends' runs
+      // indistinguishable in every report.
+      OMPFUZZ_CHECK(impl_names.insert(name).second,
+                    "implementation '" + name + "' appears in several backends");
+    }
+  }
 }
 
 TestCase Campaign::make_test_case(int program_index) const {
@@ -72,9 +96,26 @@ TestCase Campaign::make_test_case(int program_index) const {
 
 namespace {
 
-/// Everything one program shard produces; aggregated in program order so a
-/// parallel campaign is bit-identical to a serial one.
-struct ProgramShard {
+/// Everything one (program, backend) unit produces: the raw runs of that
+/// backend's implementation subset, input-major. Classification happens
+/// after ALL backends of a program completed — the outlier analysis compares
+/// an implementation against the whole team, which spans backends.
+struct SubShard {
+  bool done = false;
+  /// Any run fabricated by a harness failure (compile/spawn infrastructure
+  /// error): the sub-shard is merged like any other but never journaled —
+  /// resuming must re-execute it rather than replay the transient failure.
+  bool tainted = false;
+  int regeneration_attempts = 0;
+  std::uint64_t fingerprint = 0;
+  std::string program_name;
+  std::vector<std::string> input_texts;  ///< one per input
+  std::vector<core::RunResult> runs;     ///< inputs x backend impls, input-major
+};
+
+/// One program's merged result, assembled in program order by the merge
+/// phase so a scheduled campaign is bit-identical to a serial one.
+struct MergedShard {
   std::vector<TestOutcome> outcomes;
   std::vector<DivergentTriple> divergent;
   std::uint64_t program_fingerprint = 0;
@@ -106,7 +147,7 @@ core::VerdictClass outcome_class(const TestOutcome& outcome) {
 /// Retains every divergent (program, input) pair of one shard — AST clone,
 /// input values, emitted source — so the reducer and the reports can work
 /// from the campaign's own artifacts instead of re-generating from the seed.
-void collect_divergent(ProgramShard& shard, const TestCase& test, int p) {
+void collect_divergent(MergedShard& shard, const TestCase& test, int p) {
   std::string source;  // emitted once, shared by all divergent inputs
   for (const TestOutcome& outcome : shard.outcomes) {
     if (outcome.input_index < 0 ||
@@ -138,33 +179,42 @@ void collect_divergent(ProgramShard& shard, const TestCase& test, int p) {
   }
 }
 
-/// Generates program `p`, runs every (input, implementation) pair not
-/// already in the result store, and classifies each test. Pure function of
-/// the campaign config, the executor, and the store contents (the store only
-/// ever holds what the executor would have produced); `exec_mutex`
-/// serializes executor calls when the backend is not thread-safe.
-ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
-                               std::mutex* exec_mutex,
-                               const core::OutlierDetector& detector,
-                               const std::vector<std::string>& impl_names,
-                               const std::vector<std::string>& impl_identities,
-                               ResultStore* store, int p) {
-  ProgramShard shard;
+/// Generates program `p` and runs every (input, implementation) pair of ONE
+/// backend's implementation subset that is not already in the result store.
+/// Pure function of the campaign config, the backend's executor, and the
+/// store contents (the store only ever holds what the executor would have
+/// produced); `exec_mutex` serializes executor calls when the backend is not
+/// thread-safe.
+///
+/// Each unit regenerates its own TestCase, so an N-backend campaign runs the
+/// generator N times per program. Deliberate: batches are backend-major, so
+/// one program's units can be claimed arbitrarily far apart — sharing the
+/// TestCase would hold up to num_programs ASTs live at once, and generation
+/// is a bounded CPU cost per unit where the executed runs (compiles, test
+/// children, interpretation) dominate.
+SubShard run_shard_unit(const Campaign& campaign, Executor& executor,
+                        std::mutex* exec_mutex,
+                        const std::vector<std::string>& impl_names,
+                        const std::vector<std::string>& impl_identities,
+                        ResultStore* store, int p) {
+  SubShard shard;
   const TestCase test = campaign.make_test_case(p);
   shard.regeneration_attempts = test.regeneration_attempts;
+  shard.program_name = test.program.name();
 
   const std::size_t ni =
       static_cast<std::size_t>(campaign.config().inputs_per_program);
   const std::size_t nj = impl_names.size();
-  shard.outcomes.reserve(ni);
   const std::uint64_t fingerprint = test.program.fingerprint();
-  shard.program_fingerprint = fingerprint;
+  shard.fingerprint = fingerprint;
 
-  std::vector<std::string> input_texts(ni);
-  for (std::size_t i = 0; i < ni; ++i) input_texts[i] = test.inputs[i].to_string();
+  shard.input_texts.resize(ni);
+  for (std::size_t i = 0; i < ni; ++i) {
+    shard.input_texts[i] = test.inputs[i].to_string();
+  }
 
   const auto key_for = [&](std::size_t i, std::size_t j) {
-    return RunKey{fingerprint, input_texts[i], impl_identities[j]};
+    return RunKey{fingerprint, shard.input_texts[i], impl_identities[j]};
   };
 
   // Consult the run cache triple-by-triple. An implementation with an empty
@@ -186,10 +236,10 @@ ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
   // Batch the remaining triples: implementations sharing the same missing
   // input set go to the executor in one run_batch call (the pipelined
   // backend overlaps all of its children), in implementation order. A cold
-  // or store-less shard therefore degenerates to the previous behavior —
-  // one batched call covering every (input, impl) pair — and a fully warm
-  // shard dispatches nothing at all. The input-major result order is part
-  // of the run_batch contract.
+  // or store-less unit therefore degenerates to one batched call covering
+  // every (input, impl) pair of this backend — and a fully warm unit
+  // dispatches nothing at all. The input-major result order is part of the
+  // run_batch contract.
   struct BatchGroup {
     std::vector<std::size_t> missing_inputs;
     std::vector<std::size_t> impl_ids;
@@ -239,48 +289,62 @@ ProgramShard run_program_shard(const Campaign& campaign, Executor& executor,
     }
   }
 
-  for (std::size_t i = 0; i < ni; ++i) {
-    TestOutcome outcome;
-    outcome.program_index = p;
-    outcome.input_index = static_cast<int>(i);
-    outcome.program_name = test.program.name();
-    outcome.input_text = std::move(input_texts[i]);
-
-    const auto row = runs.begin() + static_cast<std::ptrdiff_t>(i * nj);
-    outcome.runs.assign(std::make_move_iterator(row),
-                        std::make_move_iterator(row + static_cast<std::ptrdiff_t>(nj)));
-
-    classify_outcome(outcome, detector);
-    shard.outcomes.push_back(std::move(outcome));
-  }
-  collect_divergent(shard, test, p);
+  shard.tainted = std::any_of(runs.begin(), runs.end(),
+                              [](const core::RunResult& r) {
+                                return r.harness_failure;
+                              });
+  shard.runs = std::move(runs);
+  shard.done = true;
   return shard;
 }
 
-/// Journal record of one completed shard (raw runs only; verdicts are
+/// Journal record of one completed sub-shard (raw runs only; verdicts are
 /// recomputed on restore).
-StoredShard to_stored(const ProgramShard& shard, int p) {
+StoredShard to_stored(const SubShard& shard, int p, int backend_index) {
   StoredShard out;
   out.program_index = p;
+  out.backend_index = backend_index;
   out.regeneration_attempts = shard.regeneration_attempts;
-  out.program_fingerprint = shard.program_fingerprint;
-  out.outcomes.reserve(shard.outcomes.size());
-  for (const auto& outcome : shard.outcomes) {
+  out.program_fingerprint = shard.fingerprint;
+  const std::size_t ni = shard.input_texts.size();
+  const std::size_t nj = ni == 0 ? 0 : shard.runs.size() / ni;
+  out.outcomes.reserve(ni);
+  for (std::size_t i = 0; i < ni; ++i) {
     StoredOutcome stored;
-    stored.input_index = outcome.input_index;
-    stored.program_name = outcome.program_name;
-    stored.input_text = outcome.input_text;
-    stored.runs = outcome.runs;
+    stored.input_index = static_cast<int>(i);
+    stored.program_name = shard.program_name;
+    stored.input_text = shard.input_texts[i];
+    stored.runs.assign(shard.runs.begin() + static_cast<std::ptrdiff_t>(i * nj),
+                       shard.runs.begin() + static_cast<std::ptrdiff_t>((i + 1) * nj));
     out.outcomes.push_back(std::move(stored));
   }
   return out;
+}
+
+/// Rebuilds a SubShard from a journal record (already validated by the
+/// journal parse: outcomes slotted 0..n-1, one run per backend impl).
+SubShard from_stored(const StoredShard& stored) {
+  SubShard shard;
+  shard.regeneration_attempts = stored.regeneration_attempts;
+  shard.fingerprint = stored.program_fingerprint;
+  shard.input_texts.reserve(stored.outcomes.size());
+  for (const auto& outcome : stored.outcomes) {
+    if (shard.program_name.empty()) shard.program_name = outcome.program_name;
+    shard.input_texts.push_back(outcome.input_text);
+    shard.runs.insert(shard.runs.end(), outcome.runs.begin(), outcome.runs.end());
+  }
+  shard.done = true;
+  return shard;
 }
 
 }  // namespace
 
 std::uint64_t Campaign::checkpoint_key() const {
   const auto& g = config_.generator;
-  std::string material = "ompfuzz-campaign v1";
+  // v2 covers the backend split: sub-shard ownership is part of the journal
+  // contract, so a re-split campaign starts a fresh journal instead of
+  // restoring records to the wrong backend.
+  std::string material = "ompfuzz-campaign v2";
   material += ";seed=" + std::to_string(config_.seed);
   material += ";inputs_per_program=" + std::to_string(config_.inputs_per_program);
   material += ";gen=" + std::to_string(g.max_expression_size) + "," +
@@ -297,15 +361,36 @@ std::uint64_t Campaign::checkpoint_key() const {
               "," + format_double(g.p_openmp_block) + "," +
               format_double(g.p_reduction) + "," + format_double(g.p_critical) +
               "," + format_double(g.p_parallel_in_loop);
-  for (const auto& name : executor_.implementations()) {
-    material += ";impl=" + name + "=" + executor_.impl_identity(name);
+  for (const auto& backend : backends_) {
+    material += ";backend=" + backend.name;
+    for (const auto& name : backend.executor->implementations()) {
+      material += ";impl=" + name + "=" + backend.executor->impl_identity(name);
+    }
   }
   return fnv1a64(material);
 }
 
 CampaignResult Campaign::run(const ProgressFn& progress) {
+  const std::size_t nb = backends_.size();
+  const auto np = static_cast<std::size_t>(config_.num_programs);
+  const auto ni = static_cast<std::size_t>(config_.inputs_per_program);
+
+  // Implementation layout: backends in order, implementations in executor
+  // order within each — the canonical column order of every merged outcome.
+  std::vector<std::vector<std::string>> backend_impls(nb);
+  std::vector<std::vector<std::string>> backend_identities(nb);
   CampaignResult result;
-  result.impl_names = executor_.implementations();
+  bool identities_known = true;
+  for (std::size_t b = 0; b < nb; ++b) {
+    backend_impls[b] = backends_[b].executor->implementations();
+    backend_identities[b].reserve(backend_impls[b].size());
+    for (const auto& name : backend_impls[b]) {
+      backend_identities[b].push_back(store_impl_identity(
+          name, backends_[b].executor->impl_identity(name)));
+      if (backend_identities[b].back().empty()) identities_known = false;
+      result.impl_names.push_back(name);
+    }
+  }
   for (const auto& name : result.impl_names) result.per_impl[name];
 
   core::OutlierParams params;
@@ -314,144 +399,214 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   params.min_time_us = static_cast<double>(config_.min_time_us);
   const core::OutlierDetector detector(params);
 
-  std::mutex exec_serialize;
-  std::mutex* exec_mutex = executor_.thread_safe() ? nullptr : &exec_serialize;
-
-  std::vector<std::string> identities(result.impl_names.size());
-  bool identities_known = true;
-  for (std::size_t j = 0; j < result.impl_names.size(); ++j) {
-    identities[j] = store_impl_identity(
-        result.impl_names[j], executor_.impl_identity(result.impl_names[j]));
-    if (identities[j].empty()) identities_known = false;
+  // Per-backend serialization for executors that are not thread-safe; other
+  // backends' units keep running in parallel around them.
+  std::vector<std::unique_ptr<std::mutex>> exec_mutexes(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (!backends_[b].executor->thread_safe()) {
+      exec_mutexes[b] = std::make_unique<std::mutex>();
+    }
   }
 
-  // Phase 0: restore completed shards from the checkpoint journal. Verdicts
-  // and divergence are recomputed from the stored raw runs by the same
-  // deterministic pass a cold run uses.
-  std::vector<ProgramShard> shards(static_cast<std::size_t>(config_.num_programs));
-  std::vector<char> done(static_cast<std::size_t>(config_.num_programs), 0);
+  // Phase 0: restore completed sub-shards from the checkpoint journal.
+  // Verdicts and divergence are recomputed from the stored raw runs by the
+  // same deterministic pass a cold run uses.
+  std::vector<std::vector<SubShard>> grid(np);
+  for (auto& row : grid) row.resize(nb);
   resumed_programs_ = 0;
   if (journal_ != nullptr) {
     // Resuming needs every implementation's cache identity: checkpoint_key()
     // cannot otherwise detect that an identity-less executor was
-    // reconfigured between runs, and stale shards would masquerade as
+    // reconfigured between runs, and stale sub-shards would masquerade as
     // results of the new configuration. Such campaigns still journal (the
     // records describe this run faithfully) — they just never restore.
-    const auto loaded = journal_->open(checkpoint_key(), result.impl_names,
+    std::vector<JournalBackend> journal_backends;
+    journal_backends.reserve(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      journal_backends.push_back({backends_[b].name, backend_impls[b]});
+    }
+    const auto loaded = journal_->open(checkpoint_key(), journal_backends,
                                        resume_ && identities_known);
     for (const auto& stored : loaded) {
       const int p = stored.program_index;
       if (p < 0 || p >= config_.num_programs) continue;
-      if (stored.outcomes.size() !=
-          static_cast<std::size_t>(config_.inputs_per_program)) {
-        continue;
-      }
-      ProgramShard shard;
-      shard.regeneration_attempts = stored.regeneration_attempts;
-      shard.program_fingerprint = stored.program_fingerprint;
-      bool ok = true;
-      for (const auto& stored_outcome : stored.outcomes) {
-        if (stored_outcome.runs.size() != result.impl_names.size()) {
-          ok = false;
-          break;
-        }
-        TestOutcome outcome;
-        outcome.program_index = p;
-        outcome.input_index = stored_outcome.input_index;
-        outcome.program_name = stored_outcome.program_name;
-        outcome.input_text = stored_outcome.input_text;
-        outcome.runs = stored_outcome.runs;
-        classify_outcome(outcome, detector);
-        shard.outcomes.push_back(std::move(outcome));
-      }
-      if (!ok) continue;
-      // The journal stores raw runs, not the AST, so a restored shard with a
-      // divergence regenerates its test case (deterministic, and only for
-      // divergent shards — the common non-divergent shard restores without
-      // touching the generator). The journaled fingerprint guards the
-      // regeneration: if the generator algorithm changed since the journal
-      // was written (same config, so checkpoint_key still matches),
-      // make_test_case would produce a different program than the one the
-      // stored runs observed — retaining it would pair a new source with
-      // old verdicts, so such triples are dropped instead.
-      if (std::any_of(shard.outcomes.begin(), shard.outcomes.end(),
-                      [](const TestOutcome& o) {
-                        return outcome_class(o).divergent();
-                      })) {
-        const TestCase test = make_test_case(p);
-        if (test.program.fingerprint() == stored.program_fingerprint) {
-          collect_divergent(shard, test, p);
+      if (stored.outcomes.size() != ni) continue;
+      // Later records win: a sub-shard re-executed after a merge-time
+      // staleness repair appends a fresh record for the same unit.
+      grid[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+          stored.backend_index)] = from_stored(stored);
+    }
+    // Cross-backend consistency: restored sub-shards of one program must
+    // describe the same generated program (fingerprint, name, input
+    // serializations). Disagreement means at least one record predates a
+    // generator change — re-execute all of them rather than merge rows from
+    // two different programs.
+    for (auto& row : grid) {
+      const SubShard* reference = nullptr;
+      bool consistent = true;
+      for (const auto& sub : row) {
+        if (!sub.done) continue;
+        if (reference == nullptr) {
+          reference = &sub;
+        } else if (sub.fingerprint != reference->fingerprint ||
+                   sub.program_name != reference->program_name ||
+                   sub.input_texts != reference->input_texts) {
+          consistent = false;
         }
       }
-      if (!done[static_cast<std::size_t>(p)]) ++resumed_programs_;
-      done[static_cast<std::size_t>(p)] = 1;
-      shards[static_cast<std::size_t>(p)] = std::move(shard);
+      if (!consistent) {
+        for (auto& sub : row) sub = SubShard{};
+      }
+    }
+    for (const auto& row : grid) {
+      if (std::all_of(row.begin(), row.end(),
+                      [](const SubShard& s) { return s.done; })) {
+        ++resumed_programs_;
+      }
     }
   }
 
-  // Phase 1: run the remaining shards — one per program, deterministic in
-  // isolation thanks to the per-program RandomEngine::fork streams in
-  // make_test_case. Each completed shard is journaled durably before it
-  // counts as progress, so a kill can only lose in-flight shards.
-  const auto finish_shard = [&](int p, ProgramShard&& shard) {
-    // A shard tainted by a harness failure (compile/spawn infrastructure
-    // error) is not checkpointed: resuming must re-execute it rather than
-    // replay the transient failure as an observation.
-    const bool tainted = std::any_of(
-        shard.outcomes.begin(), shard.outcomes.end(), [](const TestOutcome& o) {
-          return std::any_of(o.runs.begin(), o.runs.end(),
-                             [](const core::RunResult& r) {
-                               return r.harness_failure;
-                             });
-        });
-    if (journal_ != nullptr && !tainted) journal_->append(to_stored(shard, p));
-    shards[static_cast<std::size_t>(p)] = std::move(shard);
-  };
-  const int remaining = config_.num_programs - resumed_programs_;
-  const std::size_t workers =
-      std::min(resolve_thread_count(config_.threads),
-               static_cast<std::size_t>(std::max(remaining, 1)));
+  // Phase 1: schedule the remaining units — one per (program, backend),
+  // deterministic in isolation thanks to the per-program RandomEngine::fork
+  // streams in make_test_case. Each completed unit is journaled durably
+  // before it counts as progress, so a kill can only lose in-flight units.
+  std::vector<std::vector<int>> pending(nb);
+  std::vector<std::atomic<int>> remaining(np);
+  for (std::size_t p = 0; p < np; ++p) {
+    int left = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (!grid[p][b].done) {
+        pending[b].push_back(static_cast<int>(p));
+        ++left;
+      }
+    }
+    remaining[p].store(left, std::memory_order_relaxed);
+  }
+
   int completed = resumed_programs_;
   if (progress && completed > 0) progress(completed, config_.num_programs);
-  if (workers <= 1) {
-    for (int p = 0; p < config_.num_programs; ++p) {
-      if (done[static_cast<std::size_t>(p)]) continue;
-      finish_shard(p, run_program_shard(*this, executor_, nullptr, detector,
-                                        result.impl_names, identities, store_, p));
-      if (progress) progress(++completed, config_.num_programs);
-    }
-  } else {
-    ThreadPool pool(workers);
-    std::mutex progress_mutex;
-    parallel_for(pool, config_.num_programs, [&](int p) {
-      if (done[static_cast<std::size_t>(p)]) return;
-      ProgramShard shard =
-          run_program_shard(*this, executor_, exec_mutex, detector,
-                            result.impl_names, identities, store_, p);
-      finish_shard(p, std::move(shard));
-      if (progress) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        progress(++completed, config_.num_programs);
-      }
-    });
-  }
+  std::mutex progress_mutex;
 
-  // Phase 2: ordered aggregation. Every count is derived from the shard
-  // outcomes in program order, so the result does not depend on the thread
-  // count or on shard completion order. When the store is size-bounded and a
-  // journal is attached, the journaled shards' RunKeys are collected here as
-  // GC pins (before the outcomes are moved into the result).
+  const auto run_unit = [&](const ShardUnit& unit) {
+    const auto p = static_cast<std::size_t>(unit.program_index);
+    const std::size_t b = unit.backend;
+    SubShard shard = run_shard_unit(
+        *this, *backends_[b].executor, exec_mutexes[b].get(), backend_impls[b],
+        backend_identities[b], store_, unit.program_index);
+    // A sub-shard tainted by a harness failure (compile/spawn infrastructure
+    // error) is not checkpointed: resuming must re-execute it rather than
+    // replay the transient failure as an observation.
+    if (journal_ != nullptr && !shard.tainted) {
+      journal_->append(
+          to_stored(shard, unit.program_index, static_cast<int>(b)));
+    }
+    grid[p][b] = std::move(shard);
+    if (remaining[p].fetch_sub(1, std::memory_order_acq_rel) == 1 && progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(++completed, config_.num_programs);
+    }
+  };
+
+  const ShardScheduler scheduler(nb, scheduler_,
+                                 resolve_thread_count(config_.threads));
+  scheduler_stats_ = scheduler.run(pending, run_unit);
+
+  // Phase 2: ordered merge + aggregation. Every program's sub-shards are
+  // joined — backend columns concatenated per input row — classified, and
+  // counted in program order, so the result does not depend on the thread
+  // count, the batch size, the steal schedule, or sub-shard completion
+  // order. When the store is size-bounded and a journal is attached, the
+  // shards' RunKeys are collected here as GC pins.
   const bool want_gc = store_ != nullptr && store_->config().max_bytes > 0;
   std::vector<std::array<std::uint64_t, 2>> pins;
-  for (auto& shard : shards) {
+  for (std::size_t p = 0; p < np; ++p) {
+    auto& row = grid[p];
+    // Merge-time staleness repair: a live sub-shard regenerated its program,
+    // so a restored sub-shard that disagrees with it predates a generator
+    // change (checkpoint_key cannot see the algorithm itself). Re-execute
+    // the stale minority serially against the current program rather than
+    // merge columns from two different programs; the fresh record supersedes
+    // the stale one in the journal (later records win on restore).
+    const bool mismatched = std::any_of(
+        row.begin(), row.end(), [&](const SubShard& sub) {
+          return sub.fingerprint != row[0].fingerprint ||
+                 sub.input_texts != row[0].input_texts;
+        });
+    if (mismatched) {
+      const TestCase truth = make_test_case(static_cast<int>(p));
+      const std::uint64_t live_fp = truth.program.fingerprint();
+      std::vector<std::string> truth_inputs(ni);
+      for (std::size_t i = 0; i < ni; ++i) {
+        truth_inputs[i] = truth.inputs[i].to_string();
+      }
+      for (std::size_t b = 0; b < nb; ++b) {
+        // A row is current only if BOTH the program and the input
+        // serializations match what the generator produces today — a changed
+        // input generator leaves the fingerprint intact but would otherwise
+        // pair this row's runs with other backends' runs of different input
+        // values.
+        if (row[b].fingerprint == live_fp && row[b].input_texts == truth_inputs) {
+          continue;
+        }
+        row[b] = run_shard_unit(*this, *backends_[b].executor,
+                                exec_mutexes[b].get(), backend_impls[b],
+                                backend_identities[b], store_,
+                                static_cast<int>(p));
+        if (journal_ != nullptr && !row[b].tainted) {
+          journal_->append(to_stored(row[b], static_cast<int>(p),
+                                     static_cast<int>(b)));
+        }
+      }
+    }
+
+    MergedShard shard;
+    shard.program_fingerprint = row[0].fingerprint;
+    shard.regeneration_attempts = row[0].regeneration_attempts;
+    shard.outcomes.reserve(ni);
+    for (std::size_t i = 0; i < ni; ++i) {
+      TestOutcome outcome;
+      outcome.program_index = static_cast<int>(p);
+      outcome.input_index = static_cast<int>(i);
+      outcome.program_name = row[0].program_name;
+      outcome.input_text = row[0].input_texts[i];
+      for (std::size_t b = 0; b < nb; ++b) {
+        const std::size_t nj = backend_impls[b].size();
+        const auto begin =
+            row[b].runs.begin() + static_cast<std::ptrdiff_t>(i * nj);
+        outcome.runs.insert(outcome.runs.end(), std::make_move_iterator(begin),
+                            std::make_move_iterator(
+                                begin + static_cast<std::ptrdiff_t>(nj)));
+      }
+      classify_outcome(outcome, detector);
+      shard.outcomes.push_back(std::move(outcome));
+    }
+
+    // Divergent triples need the AST, which no sub-shard retains — the merge
+    // regenerates the test case, but only for divergent programs (the common
+    // non-divergent program merges without touching the generator). The
+    // fingerprint guards the regeneration exactly as on the resume path: a
+    // changed generator would pair a new source with old verdicts, so such
+    // triples are dropped instead.
+    if (std::any_of(shard.outcomes.begin(), shard.outcomes.end(),
+                    [](const TestOutcome& o) {
+                      return outcome_class(o).divergent();
+                    })) {
+      const TestCase test = make_test_case(static_cast<int>(p));
+      if (test.program.fingerprint() == shard.program_fingerprint) {
+        collect_divergent(shard, test, static_cast<int>(p));
+      }
+    }
+
     result.regenerated_programs += shard.regeneration_attempts > 0 ? 1 : 0;
     if (want_gc && journal_ != nullptr) {
       for (const auto& outcome : shard.outcomes) {
-        for (std::size_t j = 0; j < identities.size(); ++j) {
-          if (identities[j].empty()) continue;
-          pins.push_back(RunKey{shard.program_fingerprint, outcome.input_text,
-                                identities[j]}
-                             .digest());
+        for (std::size_t b = 0; b < nb; ++b) {
+          for (const auto& identity : backend_identities[b]) {
+            if (identity.empty()) continue;
+            pins.push_back(RunKey{shard.program_fingerprint,
+                                  outcome.input_text, identity}
+                               .digest());
+          }
         }
       }
     }

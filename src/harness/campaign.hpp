@@ -19,6 +19,7 @@
 #include "core/generator.hpp"
 #include "core/outlier.hpp"
 #include "harness/executor.hpp"
+#include "harness/scheduler.hpp"
 #include "support/config.hpp"
 #include "support/result_store.hpp"
 
@@ -89,14 +90,28 @@ using ProgressFn = std::function<void(int, int)>;
 
 class Campaign {
  public:
+  /// Single-backend campaign: every implementation of `executor` runs under
+  /// one backend named "default", with the default scheduler (batch_size 1).
   Campaign(CampaignConfig config, Executor& executor);
 
+  /// Multi-backend campaign: each backend executes its executor's
+  /// implementation subset for every program, and the per-backend runs merge
+  /// — in backend order, implementations in executor order within each — into
+  /// one CampaignResult. Implementation names must be unique across backends
+  /// and backend names unique and non-empty. `scheduler` supplies batching
+  /// and work-stealing (SchedulerConfig::backends is a config-file/demo
+  /// concern and is ignored here — the split is whatever `backends` says).
+  Campaign(CampaignConfig config, std::vector<CampaignBackend> backends,
+           SchedulerConfig scheduler = {});
+
   /// Runs the whole campaign. Deterministic given the config seed and the
-  /// executor (SimExecutor is fully deterministic): programs are sharded
-  /// across `config.threads` workers and aggregated in program order, so the
-  /// result is identical for every thread count — and, with a result store
-  /// or checkpoint attached, identical whether each run was executed,
-  /// cached, or resumed (verdicts are recomputed from the raw runs).
+  /// executors (SimExecutor is fully deterministic): program sub-shards are
+  /// scheduled across `config.threads` workers in batches (with idle workers
+  /// stealing from straggler batches) and aggregated in program order, so
+  /// the result is bit-identical for every thread count, backend split,
+  /// batch size, and steal schedule — and, with a result store or checkpoint
+  /// attached, identical whether each run was executed, cached, or resumed
+  /// (verdicts are recomputed from the raw runs).
   [[nodiscard]] CampaignResult run(const ProgressFn& progress = nullptr);
 
   /// Generates the i-th test case of this campaign (exposed so benches can
@@ -124,23 +139,39 @@ class Campaign {
     resume_ = resume;
   }
 
-  /// Hash of everything that determines shard contents: seed, per-program
-  /// input count, the full generator config, and each implementation's name
-  /// and cache identity. num_programs is deliberately excluded — program i
-  /// does not depend on it, so a grown campaign resumes its prefix.
+  /// Hash of everything that determines sub-shard contents and ownership:
+  /// seed, per-program input count, the full generator config, and the
+  /// backend split — each backend's name plus its implementations' names and
+  /// cache identities. num_programs is deliberately excluded — program i
+  /// does not depend on it, so a grown campaign resumes its prefix. A
+  /// changed split is a different key: journaled sub-shards are pinned to
+  /// the backend that owns their implementation columns.
   [[nodiscard]] std::uint64_t checkpoint_key() const;
 
-  /// Shards restored from the journal by the last run() (0 without resume).
+  /// Shards restored from the journal by the last run() (0 without resume;
+  /// a program counts once all of its backends restored).
   [[nodiscard]] int resumed_programs() const noexcept { return resumed_programs_; }
+
+  /// What the shard scheduler did during the last run() (batches formed,
+  /// units stolen, ...). Bookkeeping only — results never depend on it.
+  [[nodiscard]] const SchedulerStats& scheduler_stats() const noexcept {
+    return scheduler_stats_;
+  }
+
+  [[nodiscard]] const std::vector<CampaignBackend>& backends() const noexcept {
+    return backends_;
+  }
 
  private:
   CampaignConfig config_;
-  Executor& executor_;
+  std::vector<CampaignBackend> backends_;
+  SchedulerConfig scheduler_;
   core::ProgramGenerator generator_;
   ResultStore* store_ = nullptr;
   CheckpointJournal* journal_ = nullptr;
   bool resume_ = false;
   int resumed_programs_ = 0;
+  SchedulerStats scheduler_stats_;
 };
 
 /// Finds the analyzable outcome where `impl` is flagged with `kind`,

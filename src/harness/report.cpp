@@ -94,6 +94,24 @@ std::string render_outlier_list(const CampaignResult& result,
   return out;
 }
 
+std::string render_scheduler_summary(
+    const std::vector<CampaignBackend>& backends, const SchedulerStats& stats) {
+  std::string out = "scheduler: " + std::to_string(stats.units) +
+                    " sub-shards in " + std::to_string(stats.batches) +
+                    " batches, " + std::to_string(stats.stolen_units) +
+                    " stolen by idle workers\n";
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    out += "  backend " + backends[b].name + ": ";
+    const auto impls = backends[b].executor->implementations();
+    out += join(impls, ", ");
+    const std::uint64_t units = b < stats.units_per_backend.size()
+                                    ? stats.units_per_backend[b]
+                                    : 0;
+    out += " (" + std::to_string(units) + " sub-shards)\n";
+  }
+  return out;
+}
+
 std::string to_json(const CampaignResult& result) {
   JsonWriter json;
   json.begin_object();

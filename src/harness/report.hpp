@@ -24,6 +24,15 @@ namespace ompfuzz::harness {
                                               std::size_t max_rows = 20);
 
 /// Full JSON dump (config-independent; every outcome with runs and verdict).
+/// Deliberately free of backend/scheduler structure: the report of a
+/// multi-backend campaign is byte-identical to its single-backend baseline,
+/// which is how the CI equivalence check diffs them.
 [[nodiscard]] std::string to_json(const CampaignResult& result);
+
+/// One line per backend (name, implementations, units executed) plus the
+/// batch/steal counters of the last run. Throughput bookkeeping only — kept
+/// out of to_json so backend splits stay report-invisible.
+[[nodiscard]] std::string render_scheduler_summary(
+    const std::vector<CampaignBackend>& backends, const SchedulerStats& stats);
 
 }  // namespace ompfuzz::harness

@@ -1,6 +1,7 @@
 #include "harness/subprocess_executor.hpp"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -115,6 +116,10 @@ SubprocessExecutor::ensure_binary(const TestCase& test,
                            "_" + fp_hex + "_" + impl.name;
   const std::string src = stem + ".cpp";
   const std::string bin = stem + ".bin";
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    artifact_stems_[key] = stem;
+  }
   // Any failure from here on must poison the cached promise, or every later
   // requester of this key would block forever on a future nobody fulfills.
   try {
@@ -267,6 +272,37 @@ core::RunResult SubprocessExecutor::run(const TestCase& test,
                                         std::size_t input_index,
                                         const std::string& impl_name) {
   return run_batch(test, {input_index}, {impl_name}).front();
+}
+
+void SubprocessExecutor::reclaim_artifacts(std::uint64_t program_fingerprint) {
+  // Collect under the cache mutex, unlink outside it (unlink can hit disk).
+  // Only finished compiles are reclaimed: a pending future's submitter will
+  // still read it, and its files are about to be written — the next
+  // reclaim_artifacts call for this program picks those up.
+  std::vector<std::string> stems;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = binary_cache_.lower_bound({program_fingerprint, std::string()});
+    while (it != binary_cache_.end() && it->first.first == program_fingerprint) {
+      if (it->second.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++it;
+        continue;
+      }
+      if (const auto stem = artifact_stems_.find(it->first);
+          stem != artifact_stems_.end()) {
+        stems.push_back(stem->second);
+        artifact_stems_.erase(stem);
+      }
+      it = binary_cache_.erase(it);
+    }
+  }
+  for (const auto& stem : stems) {
+    // Best-effort: a compile that never produced the binary (rejection,
+    // harness failure) simply has nothing to unlink.
+    (void)::unlink((stem + ".cpp").c_str());
+    (void)::unlink((stem + ".bin").c_str());
+  }
 }
 
 }  // namespace ompfuzz::harness

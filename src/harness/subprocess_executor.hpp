@@ -79,6 +79,13 @@ class SubprocessExecutor final : public Executor {
   [[nodiscard]] std::string impl_identity(
       const std::string& impl_name) const override;
 
+  /// Unlinks the program's emitted source and compiled binary for every
+  /// implementation and drops the binary-cache futures, so a reduction that
+  /// stores each candidate's verdict can bound work_dir to the candidates
+  /// still in flight. Entries whose compile has not finished are left alone
+  /// (their submitter still awaits the future).
+  void reclaim_artifacts(std::uint64_t program_fingerprint) override;
+
   /// The binary cache hands out per-key futures behind a short-lived mutex;
   /// child processes are independent, so concurrent calls are safe.
   [[nodiscard]] bool thread_safe() const noexcept override { return true; }
@@ -116,6 +123,10 @@ class SubprocessExecutor final : public Executor {
   std::map<std::pair<std::uint64_t, std::string>,
            std::shared_future<CompileOutcome>>
       binary_cache_;
+  /// (program fingerprint, impl) -> work_dir file stem ("<stem>.cpp" /
+  /// "<stem>.bin"), recorded at submission so reclaim_artifacts can unlink
+  /// without re-deriving paths.
+  std::map<std::pair<std::uint64_t, std::string>, std::string> artifact_stems_;
   AsyncProcessPool pool_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/config.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -13,6 +14,7 @@ namespace {
 /// serially after a parallel dispatch (no contended counters).
 struct OneResult {
   InterestingnessOracle::Classification classification;
+  std::uint64_t fingerprint = 0;
   std::uint64_t executed = 0;
   std::uint64_t cached = 0;
   std::uint64_t failures = 0;
@@ -33,6 +35,11 @@ InterestingnessOracle::InterestingnessOracle(harness::Executor& executor,
     impl_identities_.push_back(
         store_impl_identity(name, executor_.impl_identity(name)));
   }
+  // Candidate artifacts can only be reclaimed when every implementation's
+  // runs land in the memo — an identity-less implementation is never
+  // memoized, so its artifacts stay until the executor dies.
+  can_reclaim_ = std::none_of(impl_identities_.begin(), impl_identities_.end(),
+                              [](const std::string& id) { return id.empty(); });
 }
 
 std::vector<InterestingnessOracle::Classification>
@@ -48,6 +55,7 @@ InterestingnessOracle::classify(std::span<const Request> requests) {
     const std::string input_text = request.input->to_string();
 
     OneResult out;
+    out.fingerprint = fingerprint;
     std::vector<core::RunResult> runs(nj);
     std::vector<std::string> missing;
     std::vector<std::size_t> missing_ids;
@@ -152,6 +160,17 @@ InterestingnessOracle::classify(std::span<const Request> requests) {
     stats_.executed_runs += partial.executed;
     stats_.cached_runs += partial.cached;
     stats_.harness_failures += partial.failures;
+    // With every implementation's verdict now replayable from the memo (and
+    // the store, when attached), the candidate's on-disk artifacts — one
+    // source + binary per impl under a subprocess backend — are dead weight:
+    // reclaim them. Deferred to this post-dispatch loop so a duplicate
+    // candidate elsewhere in the generation can never race a reclaim against
+    // its own in-flight children. Candidates with a fabricated (harness
+    // failure) or unclassifiable run keep their artifacts: nothing was
+    // memoized for them, so a revisit would otherwise pay a full recompile.
+    if (can_reclaim_ && partial.failures == 0) {
+      executor_.reclaim_artifacts(partial.fingerprint);
+    }
     results.push_back(std::move(partial.classification));
   }
   return results;

@@ -20,11 +20,14 @@
 // candidate and the executor (threads only change timing, never results), so
 // the reducer on top of it is deterministic too.
 //
-// Scale caveat: with a subprocess backend every distinct candidate leaves a
-// source + binary per implementation in the executor's work_dir (and an
-// entry in its binary cache) — bounded by ReduceOptions::max_candidates but
-// not reclaimed until the executor dies. Work-dir eviction is a ROADMAP
-// item; very long reductions should use a disposable work_dir.
+// Work-dir bound: with a subprocess backend every distinct candidate emits a
+// source + binary per implementation into the executor's work_dir (and an
+// entry in its binary cache). Once a classify() batch completes and every
+// implementation's verdict is memoized (all identities known, no harness
+// failure), the oracle reclaims those artifacts via
+// Executor::reclaim_artifacts — so a full reduction leaves the work_dir
+// bounded by the candidates of the batch in flight, not by the thousands of
+// candidates visited.
 #pragma once
 
 #include <cstdint>
@@ -105,6 +108,11 @@ class InterestingnessOracle {
   /// Store identities (store_impl_identity), empty when the executor cannot
   /// vouch for caching — same convention as the campaign.
   std::vector<std::string> impl_identities_;
+  /// Every identity known: candidate artifacts are reclaimed from the
+  /// executor once a classify() batch has memoized their verdicts (the
+  /// subprocess work_dir eviction — a long reduction would otherwise leave
+  /// one source+binary per candidate per impl on disk).
+  bool can_reclaim_ = false;
   /// In-process run memo keyed by RunKey::canonical(), consulted before the
   /// store (and before the executor when no store is attached): ddmin
   /// generations and later passes revisit overlapping candidates constantly,

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "support/error.hpp"
 #include "support/string_utils.hpp"
@@ -215,6 +216,20 @@ void ExecutorConfig::validate() const {
   }
 }
 
+SchedulerConfig SchedulerConfig::from_config(const ConfigFile& file) {
+  SchedulerConfig s;
+  s.backends = get_config_int(file, "scheduler.backends", s.backends);
+  s.batch_size = get_config_int(file, "scheduler.batch_size", s.batch_size);
+  s.steal = file.get_bool("scheduler.steal", s.steal);
+  s.validate();
+  return s;
+}
+
+void SchedulerConfig::validate() const {
+  if (backends < 1) throw ConfigError("scheduler.backends must be >= 1");
+  if (batch_size < 1) throw ConfigError("scheduler.batch_size must be >= 1");
+}
+
 StoreConfig StoreConfig::from_config(const ConfigFile& file) {
   StoreConfig s;
   s.enabled = file.get_bool("store.enabled", s.enabled);
@@ -273,6 +288,16 @@ void CampaignConfig::validate() const {
   if (min_time_us < 0) throw ConfigError("min_time_us must be >= 0");
   if (hang_timeout_us <= 0) throw ConfigError("hang_timeout_us must be > 0");
   if (threads < 0) throw ConfigError("threads must be >= 0 (0 = hardware concurrency)");
+}
+
+std::size_t hardware_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_thread_count(int requested) noexcept {
+  return requested > 0 ? static_cast<std::size_t>(requested)
+                       : hardware_thread_count();
 }
 
 }  // namespace ompfuzz

@@ -114,6 +114,27 @@ struct ExecutorConfig {
   void validate() const;
 };
 
+/// Knobs for the campaign shard scheduler (the [scheduler] section):
+/// how one campaign's program shards are split across execution backends
+/// and grouped into batches, and whether idle workers steal.
+struct SchedulerConfig {
+  /// Execution backends the implementation list is split across (contiguous,
+  /// as-equal-as-possible groups, each homogeneous in backend kind). 1 =
+  /// single backend, the pre-scheduler behavior.
+  int backends = 1;
+  /// Program shards grouped into one scheduler batch. Batches amortize pool
+  /// overhead when num_programs >> threads; 1 = one batch per shard.
+  int batch_size = 1;
+  /// Idle workers claim unstarted shards from in-progress batches, so a
+  /// hang-heavy shard cannot strand the rest of its batch on one worker.
+  bool steal = true;
+
+  /// Reads the [scheduler] section; unspecified keys keep their defaults.
+  static SchedulerConfig from_config(const ConfigFile& file);
+  /// Validates ranges; throws ConfigError otherwise.
+  void validate() const;
+};
+
 /// Knobs for the persistent result store and checkpoint journal (the
 /// [store] section). Consumed by support/result_store.hpp and the campaign.
 struct StoreConfig {
@@ -154,5 +175,17 @@ struct CampaignConfig {
   static CampaignConfig from_config(const ConfigFile& file);
   void validate() const;
 };
+
+/// std::thread::hardware_concurrency(), promoted to at least 1 (the standard
+/// allows it to report 0 when the hint is unavailable).
+[[nodiscard]] std::size_t hardware_thread_count() noexcept;
+
+/// Resolves a `threads`-style config knob: any value <= 0 means "use
+/// hardware concurrency" (at least 1); positive values are taken literally.
+/// The single definition of that convention — campaign.threads, the
+/// reduction oracle's worker count, and the scheduler all route through it,
+/// so the edge cases (0, negative, hardware_concurrency() == 0) cannot
+/// resolve differently at different sites.
+[[nodiscard]] std::size_t resolve_thread_count(int requested) noexcept;
 
 }  // namespace ompfuzz

@@ -386,19 +386,32 @@ ResultStore::GcStats ResultStore::gc(
 namespace {
 
 std::string header_payload(std::uint64_t campaign_key,
-                           const std::vector<std::string>& impl_names) {
-  // v2 added the per-shard program fingerprint; a v1 journal's header no
-  // longer matches, so old journals start fresh instead of resuming.
-  std::string out = "ompfuzz-journal v2\n";
+                           const std::vector<JournalBackend>& backends) {
+  // v3 splits the implementation list into per-backend groups and stamps
+  // each shard record with its owning backend; v2 (and v1) headers no
+  // longer match, so old journals start fresh instead of resuming. The
+  // header is compared verbatim against the expected bytes — any layout
+  // difference (backend order, names, implementation grouping) is a
+  // different campaign.
+  std::string out = "ompfuzz-journal v3\n";
   out += "campaign " + hex64(campaign_key) + "\n";
-  out += "impls " + std::to_string(impl_names.size()) + "\n";
-  for (const auto& name : impl_names) out += "impl " + name + "\n";
+  out += "backends " + std::to_string(backends.size()) + "\n";
+  for (const auto& backend : backends) {
+    out += "backend " + backend.name + " " +
+           std::to_string(backend.impl_names.size()) + "\n";
+    for (const auto& name : backend.impl_names) out += "impl " + name + "\n";
+  }
   return out;
 }
 
 std::string shard_payload(const StoredShard& shard,
-                          std::size_t num_impls) {
+                          const std::vector<JournalBackend>& backends) {
+  const auto b = static_cast<std::size_t>(shard.backend_index);
+  OMPFUZZ_CHECK(shard.backend_index >= 0 && b < backends.size(),
+                "shard backend index out of range");
+  const std::size_t num_impls = backends[b].impl_names.size();
   std::string out = "shard " + std::to_string(shard.program_index) + " " +
+                    std::to_string(shard.backend_index) + " " +
                     std::to_string(shard.regeneration_attempts) + " " +
                     hex64(shard.program_fingerprint) + " " +
                     std::to_string(shard.outcomes.size()) + "\n";
@@ -419,29 +432,50 @@ std::string shard_payload(const StoredShard& shard,
   return out;
 }
 
-/// Parses one shard payload. Returns nullopt on any malformation (the
+/// Parses one sub-shard payload. Returns nullopt on any malformation (the
 /// truncated / corrupt final record of a crashed campaign).
 std::optional<StoredShard> parse_shard_payload(
-    std::string_view payload, const std::vector<std::string>& impl_names) {
+    std::string_view payload, const std::vector<JournalBackend>& backends) {
   LineCursor cursor(payload);
   const auto head = cursor.tagged("shard ");
   if (!head) return std::nullopt;
-  std::int64_t program_index = 0, regen = 0, n_outcomes = 0;
+  std::int64_t program_index = 0, backend_index = 0, regen = 0, n_outcomes = 0;
   std::uint64_t fingerprint = 0;
   {
     const auto fields = split(*head, ' ');
-    if (fields.size() != 4 || !parse_i64(fields[0], program_index) ||
-        !parse_i64(fields[1], regen) || !parse_hex64(fields[2], fingerprint) ||
-        !parse_i64(fields[3], n_outcomes)) {
+    if (fields.size() != 5 || !parse_i64(fields[0], program_index) ||
+        !parse_i64(fields[1], backend_index) || !parse_i64(fields[2], regen) ||
+        !parse_hex64(fields[3], fingerprint) ||
+        !parse_i64(fields[4], n_outcomes)) {
       return std::nullopt;
     }
   }
   if (program_index < 0 || regen < 0 || n_outcomes < 0) return std::nullopt;
+  // Bound the untrusted count before allocating for it: every outcome needs
+  // at least a "name"/"index"/"input" line in the payload, so a count beyond
+  // the payload size can only come from a corrupt record — reject it rather
+  // than let resize() throw out of open().
+  if (static_cast<std::uint64_t>(n_outcomes) > payload.size()) {
+    return std::nullopt;
+  }
+  if (backend_index < 0 ||
+      backend_index >= static_cast<std::int64_t>(backends.size())) {
+    return std::nullopt;
+  }
+  const auto& impl_names =
+      backends[static_cast<std::size_t>(backend_index)].impl_names;
 
   StoredShard shard;
   shard.program_index = static_cast<int>(program_index);
+  shard.backend_index = static_cast<int>(backend_index);
   shard.regeneration_attempts = static_cast<int>(regen);
   shard.program_fingerprint = fingerprint;
+  // One outcome per input, slotted by input_index: the indices must form a
+  // permutation of 0..n-1, so the campaign can address restored runs by
+  // input row when it merges backends. Anything else can only come from a
+  // corrupt or hand-edited journal — reject the record.
+  shard.outcomes.resize(static_cast<std::size_t>(n_outcomes));
+  std::vector<char> seen(static_cast<std::size_t>(n_outcomes), 0);
   for (std::int64_t i = 0; i < n_outcomes; ++i) {
     StoredOutcome outcome;
     const auto name = cursor.tagged("name ");
@@ -450,11 +484,11 @@ std::optional<StoredShard> parse_shard_payload(
     const auto index = cursor.tagged("index ");
     std::int64_t input_index = 0;
     if (!index || !parse_i64(*index, input_index)) return std::nullopt;
-    // One outcome per input: an index outside [0, n_outcomes) can only come
-    // from a corrupt or hand-edited journal, and the campaign indexes its
-    // regenerated inputs with it — reject the record rather than hand an
-    // out-of-range index downstream.
-    if (input_index < 0 || input_index >= n_outcomes) return std::nullopt;
+    if (input_index < 0 || input_index >= n_outcomes ||
+        seen[static_cast<std::size_t>(input_index)]) {
+      return std::nullopt;
+    }
+    seen[static_cast<std::size_t>(input_index)] = 1;
     outcome.input_index = static_cast<int>(input_index);
     const auto input = cursor.tagged("input ");
     if (!input) return std::nullopt;
@@ -478,7 +512,7 @@ std::optional<StoredShard> parse_shard_payload(
       run.output = std::bit_cast<double>(output_bits);
       outcome.runs.push_back(std::move(run));
     }
-    shard.outcomes.push_back(std::move(outcome));
+    shard.outcomes[static_cast<std::size_t>(input_index)] = std::move(outcome);
   }
   return shard;
 }
@@ -522,9 +556,8 @@ CheckpointJournal::~CheckpointJournal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void CheckpointJournal::start_fresh(
-    std::uint64_t campaign_key, const std::vector<std::string>& impl_names) {
-  write_file_atomic(path_, frame_record(header_payload(campaign_key, impl_names)));
+void CheckpointJournal::start_fresh(std::uint64_t campaign_key) {
+  write_file_atomic(path_, frame_record(header_payload(campaign_key, backends_)));
   fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
   if (fd_ < 0) throw Error("checkpoint journal: cannot open " + path_);
 }
@@ -532,12 +565,19 @@ void CheckpointJournal::start_fresh(
 std::vector<StoredShard> CheckpointJournal::open(
     std::uint64_t campaign_key, const std::vector<std::string>& impl_names,
     bool resume) {
+  const std::vector<JournalBackend> backends = {{"default", impl_names}};
+  return open(campaign_key, backends, resume);
+}
+
+std::vector<StoredShard> CheckpointJournal::open(
+    std::uint64_t campaign_key, std::span<const JournalBackend> backends,
+    bool resume) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
-  impl_names_ = impl_names;
+  backends_.assign(backends.begin(), backends.end());
 
   std::vector<StoredShard> shards;
   std::string file;
@@ -555,21 +595,21 @@ std::vector<StoredShard> CheckpointJournal::open(
   if (!file.empty()) {
     std::string_view payload;
     if (read_record(file, pos, payload) &&
-        payload == header_payload(campaign_key, impl_names)) {
+        payload == header_payload(campaign_key, backends_)) {
       header_ok = true;
     }
   }
   if (!header_ok) {
     // Fresh start: no file, resume declined, or the journal belongs to a
-    // different campaign configuration.
-    start_fresh(campaign_key, impl_names);
+    // different campaign configuration / backend layout.
+    start_fresh(campaign_key);
     return shards;
   }
 
   std::size_t good_end = pos;  // end of the last well-formed record
   std::string_view payload;
   while (read_record(file, pos, payload)) {
-    auto shard = parse_shard_payload(payload, impl_names);
+    auto shard = parse_shard_payload(payload, backends_);
     if (!shard) break;  // corrupt record: stop at the last good shard
     shards.push_back(std::move(*shard));
     good_end = pos;
@@ -605,7 +645,7 @@ void CheckpointJournal::append_record(const std::string& payload) {
 
 void CheckpointJournal::append(const StoredShard& shard) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  append_record(shard_payload(shard, impl_names_.size()));
+  append_record(shard_payload(shard, backends_));
 }
 
 }  // namespace ompfuzz

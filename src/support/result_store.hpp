@@ -145,23 +145,42 @@ struct StoredOutcome {
   std::vector<core::RunResult> runs;  ///< one per implementation, impl order
 };
 
-/// Everything one completed program shard contributes to a CampaignResult.
+/// Everything one completed program sub-shard contributes to a
+/// CampaignResult: one program's runs under ONE backend's implementation
+/// set. Single-backend campaigns have exactly one sub-shard per program
+/// (backend_index 0), so "shard" and "sub-shard" coincide there.
 struct StoredShard {
   int program_index = 0;
+  /// Which execution backend owned this shard (index into the backend list
+  /// the journal was opened with). Journaled so a multi-backend resume
+  /// re-pins each record to the backend whose implementation subset it
+  /// covers — a record restored to the wrong backend would pair runs with
+  /// the wrong implementation columns.
+  int backend_index = 0;
   int regeneration_attempts = 0;
   /// Structural fingerprint of the shard's program. Lets the campaign
   /// compute the RunKeys a restored shard references (journal pins for the
   /// store's size-bounded GC) without regenerating the program.
   std::uint64_t program_fingerprint = 0;
+  /// One outcome per input, sorted by input_index (open() rejects records
+  /// whose indices are not a permutation of 0..n-1).
   std::vector<StoredOutcome> outcomes;
+};
+
+/// One execution backend as seen by the checkpoint journal: a stable name
+/// plus the implementation names it owns, in campaign order.
+struct JournalBackend {
+  std::string name;
+  std::vector<std::string> impl_names;
 };
 
 /// Append-only, crash-safe journal of completed shards.
 ///
 /// The file starts with a header record naming the campaign key (a hash of
 /// everything that determines shard contents: seed, generator config,
-/// implementation identities) and the implementation name list; each
-/// completed shard appends one record. Records are framed as
+/// implementation identities, backend split) and the per-backend
+/// implementation name lists; each completed sub-shard appends one record
+/// stamped with its owning backend. Records are framed as
 /// `REC <payload-bytes> <fnv1a64-of-payload>` followed by the payload, and
 /// every append is fsync'd, so a SIGKILL can lose at most the record being
 /// written — which the next open() detects (short payload or checksum
@@ -174,12 +193,19 @@ class CheckpointJournal {
   CheckpointJournal(const CheckpointJournal&) = delete;
   CheckpointJournal& operator=(const CheckpointJournal&) = delete;
 
-  /// Opens the journal for one campaign run and returns the shards that can
-  /// be resumed. With `resume` false, or when the existing file's campaign
-  /// key / implementation list does not match, the journal starts fresh
+  /// Opens the journal for one campaign run and returns the sub-shards that
+  /// can be resumed. With `resume` false, or when the existing file's
+  /// campaign key / backend layout does not match, the journal starts fresh
   /// (atomically replacing any previous file). With `resume` true and a
-  /// matching header, returns every durably recorded shard and truncates the
-  /// file after the last valid record so subsequent appends are well-formed.
+  /// matching header, returns every durably recorded sub-shard and truncates
+  /// the file after the last valid record so subsequent appends are
+  /// well-formed.
+  [[nodiscard]] std::vector<StoredShard> open(
+      std::uint64_t campaign_key, std::span<const JournalBackend> backends,
+      bool resume);
+
+  /// Single-backend convenience: one backend named "default" owning
+  /// `impl_names`. Every returned shard has backend_index 0.
   [[nodiscard]] std::vector<StoredShard> open(
       std::uint64_t campaign_key, const std::vector<std::string>& impl_names,
       bool resume);
@@ -190,14 +216,13 @@ class CheckpointJournal {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
-  void start_fresh(std::uint64_t campaign_key,
-                   const std::vector<std::string>& impl_names);
+  void start_fresh(std::uint64_t campaign_key);
   void append_record(const std::string& payload);
 
   std::string path_;
   std::mutex mutex_;
   int fd_ = -1;
-  std::vector<std::string> impl_names_;
+  std::vector<JournalBackend> backends_;
 };
 
 }  // namespace ompfuzz

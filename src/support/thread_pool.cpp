@@ -5,12 +5,6 @@
 
 namespace ompfuzz {
 
-std::size_t resolve_thread_count(int requested) noexcept {
-  if (requested > 0) return static_cast<std::size_t>(requested);
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
-}
-
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);

@@ -17,10 +17,6 @@
 
 namespace ompfuzz {
 
-/// Resolves a `threads` config knob: 0 means "use hardware concurrency"
-/// (at least 1), any positive value is taken literally.
-[[nodiscard]] std::size_t resolve_thread_count(int requested) noexcept;
-
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 is promoted to 1).

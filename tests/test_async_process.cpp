@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -88,6 +89,53 @@ bool overlaps(const Interval& a, const Interval& b) {
 }
 
 // ----------------------------------------------------------- pool basics ---
+
+TEST(AsyncProcessPool, ClampsInflightAgainstFdLimit) {
+  struct rlimit saved {};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &saved), 0);
+  // Lower only the soft limit: each in-flight child holds pipe fds, so an
+  // unclamped max_inflight of 100000 would exhaust the table mid-batch.
+  struct rlimit lowered = saved;
+  lowered.rlim_cur = 256;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &lowered), 0);
+  {
+    const AsyncProcessPool pool(100'000);
+    // (256 - 64 reserved) / 3 fds per child = 64.
+    EXPECT_EQ(pool.max_inflight(), 64u);
+  }
+  {
+    // A request under the cap passes through untouched.
+    const AsyncProcessPool pool(8);
+    EXPECT_EQ(pool.max_inflight(), 8u);
+  }
+  {
+    // The budget is process-wide: a second live pool only gets what the
+    // first one's reservation left, so several pools (one per toolchain in
+    // a multi-backend campaign) cannot jointly exhaust the fd table.
+    const AsyncProcessPool first(32);   // reserves 96 of the 192-fd budget
+    EXPECT_EQ(first.max_inflight(), 32u);
+    const AsyncProcessPool second(100'000);
+    EXPECT_EQ(second.max_inflight(), 32u);  // (192 - 96) / 3
+  }
+  {
+    // Destroying the pools released their reservations.
+    const AsyncProcessPool pool(100'000);
+    EXPECT_EQ(pool.max_inflight(), 64u);
+  }
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &saved), 0);
+  // The default (0 = 2x hardware concurrency) is never clamped to zero even
+  // when the limit leaves almost no child budget. 96 (not lower) keeps the
+  // pool's own wake pipe constructible with the fds the test process
+  // already holds open (gtest logs, TSan internals).
+  lowered.rlim_cur = 96;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &lowered), 0);
+  {
+    const AsyncProcessPool pool(0);
+    EXPECT_GE(pool.max_inflight(), 1u);
+    EXPECT_LE(pool.max_inflight(), 10u);  // (96 - 64) / 3
+  }
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &saved), 0);
+}
 
 TEST(AsyncProcessPool, CompletesManyJobsBeyondInflight) {
   AsyncProcessPool pool(3);

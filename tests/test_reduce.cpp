@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -278,6 +279,42 @@ TEST(Reducer, ReducesToEmptyKernelWhenDivergenceIsUnconditional) {
   EXPECT_TRUE(result.program.params().empty());
   EXPECT_TRUE(result.input.values.empty());
   EXPECT_GT(result.stats.candidates_tried, 0u);
+}
+
+TEST(Reducer, WorkDirIsBoundedAfterFullReduction) {
+  const std::string dir = temp_dir();
+  std::vector<ImplementationSpec> impls = {
+      {"alpha", make_const_compiler(dir, "alpha", "7") + " {src} {bin}", ""},
+      {"beta", make_const_compiler(dir, "beta", "42") + " {src} {bin}", ""},
+  };
+  harness::SubprocessOptions opt;
+  opt.work_dir = dir + "/work";
+  opt.concurrent_runs = true;
+  harness::SubprocessExecutor executor(impls, opt);
+
+  StoreConfig store_cfg;
+  store_cfg.enabled = true;
+  store_cfg.dir = dir + "/store";
+  ResultStore store(store_cfg);
+
+  const Fixture f;
+  InterestingnessOracle oracle(executor);
+  oracle.set_result_store(&store);
+  Reducer reducer(oracle);
+  const ReduceResult result = reducer.reduce(f.prog, f.input());
+  ASSERT_TRUE(result.reproduced);
+  ASSERT_GT(oracle.stats().candidates, 5u);
+  EXPECT_GT(store.stats().puts, 0u);
+
+  // Every candidate's verdict is in the result store (and the oracle memo),
+  // so no per-candidate source or binary may survive the reduction — a long
+  // reduction previously left one of each per candidate per implementation.
+  std::vector<std::string> leftovers;
+  for (const auto& entry : std::filesystem::directory_iterator(opt.work_dir)) {
+    leftovers.push_back(entry.path().filename().string());
+  }
+  EXPECT_TRUE(leftovers.empty())
+      << leftovers.size() << " artifacts leaked, e.g. " << leftovers.front();
 }
 
 TEST(Reducer, NonDivergentTripleIsReportedNotReduced) {

@@ -277,6 +277,37 @@ TEST(Config, StoreSectionParsesAndValidates) {
   EXPECT_THROW(bad.validate(), ConfigError);
 }
 
+TEST(Config, SchedulerSectionParsesAndValidates) {
+  const auto defaults = SchedulerConfig::from_config(ConfigFile::parse(""));
+  EXPECT_EQ(defaults.backends, 1);
+  EXPECT_EQ(defaults.batch_size, 1);
+  EXPECT_TRUE(defaults.steal);
+
+  const auto cfg = SchedulerConfig::from_config(ConfigFile::parse(
+      "[scheduler]\nbackends = 3\nbatch_size = 16\nsteal = off\n"));
+  EXPECT_EQ(cfg.backends, 3);
+  EXPECT_EQ(cfg.batch_size, 16);
+  EXPECT_FALSE(cfg.steal);
+
+  EXPECT_THROW(SchedulerConfig::from_config(
+                   ConfigFile::parse("[scheduler]\nbackends = 0\n")),
+               ConfigError);
+  EXPECT_THROW(SchedulerConfig::from_config(
+                   ConfigFile::parse("[scheduler]\nbatch_size = -4\n")),
+               ConfigError);
+}
+
+TEST(Config, ThreadCountResolution) {
+  // One helper for every `threads`-style knob: 0 (and anything negative,
+  // should a caller skip validation) resolves to hardware concurrency, at
+  // least 1; positive values pass through.
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+  EXPECT_EQ(resolve_thread_count(0), hardware_thread_count());
+  EXPECT_EQ(resolve_thread_count(-3), hardware_thread_count());
+  EXPECT_GE(hardware_thread_count(), 1u);
+}
+
 TEST(Config, GeneratorConfigFromFileAndValidation) {
   const auto file = ConfigFile::parse(
       "[generator]\nmax_expression_size = 9\narray_size = 64\n");
