@@ -1,0 +1,142 @@
+// Static-analyzer throughput vs simulated execution.
+//
+// The MHP analyzer gates every draft the generator produces, so it must be
+// dramatically cheaper than actually running a program — otherwise the
+// campaign would validate faster by just executing everything. This driver
+// generates a campaign-scale program set, then measures
+//
+//   * analyze_races() throughput over the whole set (several repetitions,
+//     wall-clocked as programs/sec), and
+//   * interpreter throughput over the same set with campaign-sized inputs
+//     (trip counts in [25, 100], the regions' own 32-thread teams).
+//
+// The gate requires the analyzer to be >= 10x faster per program than one
+// simulated execution; the measured curve lands in BENCH_analysis.json.
+//
+//   $ ./bench_analysis [num_programs] [analysis_reps]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "analysis/race_analyzer.hpp"
+#include "core/generator.hpp"
+#include "fp/input_gen.hpp"
+#include "interp/interp.hpp"
+#include "support/json_writer.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ompfuzz;
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+               Clock::now() - start)
+        .count();
+  };
+
+  const int num_programs = argc > 1 ? std::atoi(argv[1]) : 200;
+  const int analysis_reps = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  GeneratorConfig gcfg;  // campaign defaults: 32-thread regions
+  gcfg.max_loop_trip_count = 100;
+  const core::ProgramGenerator generator(gcfg);
+
+  std::vector<ast::Program> programs;
+  programs.reserve(static_cast<std::size_t>(num_programs));
+  for (int n = 0; n < num_programs; ++n) {
+    programs.push_back(
+        generator.generate("bench_" + std::to_string(n), hash_combine(0xbe, n)));
+  }
+
+  fp::InputGenOptions in_opt;
+  in_opt.min_trip_count = 25;
+  in_opt.max_trip_count = 100;
+  const fp::InputGenerator input_gen(in_opt);
+  RandomEngine rng(0xa11a);
+  std::vector<fp::InputSet> inputs;
+  inputs.reserve(programs.size());
+  for (const auto& prog : programs) {
+    inputs.push_back(input_gen.generate(prog.signature(), rng));
+  }
+
+  std::printf("analyzer throughput vs simulated execution\n");
+  std::printf("  %d programs, trip counts in [25, 100], 32-thread regions\n\n",
+              num_programs);
+
+  // Static analysis: repeat the whole set so the total is well above timer
+  // resolution; fold the findings count into a checksum the optimizer
+  // cannot discard.
+  std::size_t findings_checksum = 0;
+  const auto analysis_start = Clock::now();
+  for (int rep = 0; rep < analysis_reps; ++rep) {
+    for (const auto& prog : programs) {
+      findings_checksum += analysis::analyze_races(prog).findings.size();
+    }
+  }
+  const double analysis_ms = ms_since(analysis_start);
+  const double analysis_per_sec =
+      1e3 * static_cast<double>(num_programs) * analysis_reps / analysis_ms;
+
+  // Simulated execution: one campaign-sized run per program.
+  std::uint64_t steps = 0;
+  int executed = 0;
+  const auto exec_start = Clock::now();
+  for (std::size_t n = 0; n < programs.size(); ++n) {
+    const auto r = interp::execute(programs[n], inputs[n]);
+    steps += r.steps;
+    executed += r.ok ? 1 : 0;
+  }
+  const double exec_ms = ms_since(exec_start);
+  const double exec_per_sec =
+      1e3 * static_cast<double>(num_programs) / exec_ms;
+
+  const double speedup = analysis_per_sec / exec_per_sec;
+  std::printf("  %-12s %12s %16s\n", "stage", "total_ms", "programs/sec");
+  std::printf("  %-12s %12.1f %16.0f\n", "analysis",
+              analysis_ms / analysis_reps, analysis_per_sec);
+  std::printf("  %-12s %12.1f %16.0f\n", "execution", exec_ms, exec_per_sec);
+  std::printf("\n  analyzer speedup over execution: %.1fx (gate: >= 10x)\n",
+              speedup);
+  std::printf("  executed ok: %d/%d, %llu interpreter steps, "
+              "findings checksum %zu\n",
+              executed, num_programs, static_cast<unsigned long long>(steps),
+              findings_checksum);
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("workload").begin_object();
+  json.key("num_programs").value(num_programs);
+  json.key("analysis_reps").value(analysis_reps);
+  json.key("min_trip_count").value(25);
+  json.key("max_trip_count").value(100);
+  json.key("num_threads").value(gcfg.num_threads);
+  json.end_object();
+  json.key("analysis").begin_object();
+  json.key("total_ms").value(analysis_ms);
+  json.key("programs_per_sec").value(analysis_per_sec);
+  json.end_object();
+  json.key("execution").begin_object();
+  json.key("total_ms").value(exec_ms);
+  json.key("programs_per_sec").value(exec_per_sec);
+  json.key("executed_ok").value(executed);
+  json.key("interp_steps").value(static_cast<std::int64_t>(steps));
+  json.end_object();
+  json.key("speedup").value(speedup);
+  json.key("gate_10x").value(speedup >= 10.0);
+  json.end_object();
+  {
+    std::ofstream out("BENCH_analysis.json");
+    out << json.str() << "\n";
+  }
+  std::printf("  wrote BENCH_analysis.json\n");
+
+  if (speedup < 10.0) {
+    std::printf("\n  WARNING: analyzer only %.1fx faster than execution "
+                "(gate: 10x)\n",
+                speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -227,6 +227,10 @@ int main(int argc, char** argv) {
               harness::render_scheduler_summary(campaign.backends(),
                                                 campaign.scheduler_stats())
                   .c_str());
+  std::printf("%s\n",
+              harness::render_analysis_summary(result,
+                                               campaign.analysis_seconds())
+                  .c_str());
   std::printf("%s\n", harness::render_outlier_list(result, 10).c_str());
 
   if (reduce_divergent) {

@@ -1,0 +1,330 @@
+#include "analysis/access_set.hpp"
+
+#include <optional>
+
+namespace ompfuzz::analysis {
+
+const char* to_string(SubscriptClass c) noexcept {
+  switch (c) {
+    case SubscriptClass::ThreadIdAffine: return "thread-id-affine";
+    case SubscriptClass::WorksharedAffine: return "workshared-affine";
+    case SubscriptClass::LoopInvariant: return "loop-invariant";
+    case SubscriptClass::Other: return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+// Exact linear form coeff * base + offset + sym, with at most one symbolic
+// (loop-invariant) variable carried at coefficient 1.
+struct Lin {
+  enum class Base : std::uint8_t { None, Tid, Ws };
+  Base base = Base::None;
+  std::int64_t coeff = 0;
+  std::int64_t offset = 0;
+  ast::VarId sym = ast::kInvalidVar;
+};
+
+std::optional<Lin> eval_lin(const ast::Expr& e, ast::VarId ws_index,
+                            const std::set<ast::VarId>& varying) {
+  using Kind = ast::Expr::Kind;
+  switch (e.kind()) {
+    case Kind::IntConst:
+      return Lin{Lin::Base::None, 0, e.int_value(), ast::kInvalidVar};
+    case Kind::ThreadId:
+      return Lin{Lin::Base::Tid, 1, 0, ast::kInvalidVar};
+    case Kind::VarRef: {
+      const ast::VarId id = e.var_id();
+      if (id == ws_index) return Lin{Lin::Base::Ws, 1, 0, ast::kInvalidVar};
+      if (varying.count(id) != 0) return std::nullopt;
+      return Lin{Lin::Base::None, 0, 0, id};
+    }
+    case Kind::Binary: {
+      auto l = eval_lin(e.lhs(), ws_index, varying);
+      auto r = eval_lin(e.rhs(), ws_index, varying);
+      if (!l || !r) return std::nullopt;
+      const bool l_const = l->base == Lin::Base::None && l->sym == ast::kInvalidVar;
+      const bool r_const = r->base == Lin::Base::None && r->sym == ast::kInvalidVar;
+      switch (e.bin_op()) {
+        case ast::BinOp::Add:
+        case ast::BinOp::Sub: {
+          if (e.bin_op() == ast::BinOp::Sub) {
+            if (r->sym != ast::kInvalidVar) return std::nullopt;  // -sym not representable
+            r->coeff = -r->coeff;
+            r->offset = -r->offset;
+          }
+          if (l->base != Lin::Base::None && r->base != Lin::Base::None &&
+              l->base != r->base) {
+            return std::nullopt;
+          }
+          if (l->sym != ast::kInvalidVar && r->sym != ast::kInvalidVar) {
+            return std::nullopt;  // sym + sym (even 2x) not representable
+          }
+          Lin out;
+          out.base = l->base != Lin::Base::None ? l->base : r->base;
+          out.coeff = l->coeff + r->coeff;
+          out.offset = l->offset + r->offset;
+          out.sym = l->sym != ast::kInvalidVar ? l->sym : r->sym;
+          return out;
+        }
+        case ast::BinOp::Mul: {
+          if (!l_const && !r_const) return std::nullopt;
+          const std::int64_t k = l_const ? l->offset : r->offset;
+          Lin o = l_const ? *r : *l;
+          if (k == 0) return Lin{Lin::Base::None, 0, 0, ast::kInvalidVar};
+          if (o.sym != ast::kInvalidVar && k != 1) return std::nullopt;
+          o.coeff *= k;
+          o.offset *= k;
+          return o;
+        }
+        case ast::BinOp::Div:
+        case ast::BinOp::Mod: {
+          // Fold only constant / constant; anything else loses linearity.
+          if (!l_const || !r_const || r->offset == 0) return std::nullopt;
+          if (l->offset == INT64_MIN && r->offset == -1) return std::nullopt;
+          const std::int64_t v = e.bin_op() == ast::BinOp::Div
+                                     ? l->offset / r->offset
+                                     : l->offset % r->offset;
+          return Lin{Lin::Base::None, 0, v, ast::kInvalidVar};
+        }
+      }
+      return std::nullopt;
+    }
+    case Kind::FpConst:
+    case Kind::ArrayRef:  // reads shared memory: not invariant
+    case Kind::Call:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SubscriptInfo classify_subscript(const ast::Expr& subscript, ast::VarId ws_index,
+                                 const ast::Stmt* ws_loop,
+                                 const std::set<ast::VarId>& varying) {
+  // Screen for leaves that make the whole expression thread-varying or
+  // memory-dependent: any such leaf caps the result at Other even when the
+  // linear evaluation fails for representability reasons only.
+  bool has_base = false;     // ThreadId or the workshared index
+  bool has_varying = false;  // privates, loop indices, written scalars
+  bool has_memory = false;   // array loads / fp constants / calls
+  subscript.walk([&](const ast::Expr& e) {
+    switch (e.kind()) {
+      case ast::Expr::Kind::ThreadId: has_base = true; break;
+      case ast::Expr::Kind::VarRef:
+        if (e.var_id() == ws_index) has_base = true;
+        else if (varying.count(e.var_id()) != 0) has_varying = true;
+        break;
+      case ast::Expr::Kind::ArrayRef:
+      case ast::Expr::Kind::Call:
+      case ast::Expr::Kind::FpConst: has_memory = true; break;
+      default: break;
+    }
+  });
+
+  SubscriptInfo info;
+  if (has_varying || has_memory) {
+    info.cls = SubscriptClass::Other;
+    return info;
+  }
+
+  auto lin = eval_lin(subscript, ws_index, varying);
+  if (!lin || (lin->base != Lin::Base::None && lin->coeff == 0)) {
+    // Not exactly linear (or the base cancelled out). Without a varying
+    // leaf the value is still the same for every thread and iteration.
+    info.cls = has_base ? SubscriptClass::Other : SubscriptClass::LoopInvariant;
+    return info;
+  }
+  info.coeff = lin->coeff;
+  info.offset = lin->offset;
+  info.offset_sym = lin->sym;
+  switch (lin->base) {
+    case Lin::Base::Tid:
+      info.cls = SubscriptClass::ThreadIdAffine;
+      break;
+    case Lin::Base::Ws:
+      info.cls = SubscriptClass::WorksharedAffine;
+      info.workshared_loop = ws_loop;
+      break;
+    case Lin::Base::None:
+      info.cls = SubscriptClass::LoopInvariant;
+      info.has_const_value = lin->sym == ast::kInvalidVar;
+      break;
+  }
+  return info;
+}
+
+bool provably_disjoint(const SubscriptInfo& a, const SubscriptInfo& b) noexcept {
+  if (a.cls != b.cls) return false;
+  switch (a.cls) {
+    case SubscriptClass::ThreadIdAffine:
+      // c*t + d with identical (c != 0, d): distinct threads, distinct slots.
+      return a.coeff == b.coeff && a.coeff != 0 && a.offset == b.offset &&
+             a.offset_sym == b.offset_sym;
+    case SubscriptClass::WorksharedAffine:
+      // Same loop, identical form: distinct threads own distinct iterations.
+      return a.workshared_loop == b.workshared_loop &&
+             a.workshared_loop != nullptr && a.coeff == b.coeff &&
+             a.coeff != 0 && a.offset == b.offset &&
+             a.offset_sym == b.offset_sym;
+    case SubscriptClass::LoopInvariant:
+      // Two known constants addressing different elements.
+      return a.has_const_value && b.has_const_value && a.offset != b.offset;
+    case SubscriptClass::Other:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+class AccessWalk {
+ public:
+  AccessWalk(const ast::Program& program, const ast::Stmt& region)
+      : program_(program) {
+    out_.region = &region;
+    out_.num_phases = count_phases(region);
+
+    for (ast::VarId v : region.clauses.privates) out_.thread_private.insert(v);
+    for (ast::VarId v : region.clauses.firstprivates)
+      out_.thread_private.insert(v);
+    if (region.clauses.reduction.has_value() &&
+        program.comp() != ast::kInvalidVar) {
+      out_.thread_private.insert(program.comp());
+    }
+    for (ast::VarId v = 0; v < program.var_count(); ++v) {
+      if (program.var(v).role == ast::VarRole::LoopIndex)
+        out_.thread_private.insert(v);
+    }
+    ast::walk_stmts(region.body, [&](const ast::Stmt& s) {
+      if (s.kind == ast::Stmt::Kind::Decl) out_.thread_private.insert(s.target.var);
+      if (s.kind == ast::Stmt::Kind::For) out_.thread_private.insert(s.loop_var);
+      if (s.kind == ast::Stmt::Kind::Assign && !s.target.is_array_element()) {
+        varying_.insert(s.target.var);
+      }
+    });
+    // Everything thread-private varies across threads too.
+    varying_.insert(out_.thread_private.begin(), out_.thread_private.end());
+  }
+
+  RegionAccessSet run() {
+    visit_block(out_.region->body, /*top_level=*/true, /*mutexes=*/0,
+                ast::kInvalidVar, nullptr);
+    return std::move(out_);
+  }
+
+ private:
+  void record_scalar(ast::VarId id, bool is_write, std::uint8_t mutexes) {
+    if (out_.thread_private.count(id) != 0) return;
+    if (program_.var(id).kind == ast::VarKind::FpArray) return;
+    Access a;
+    a.var = id;
+    a.is_write = is_write;
+    a.phase = phase_;
+    a.mutexes = mutexes;
+    out_.accesses[id].push_back(a);
+  }
+
+  void record_array(ast::VarId id, const ast::Expr& index, bool is_write,
+                    std::uint8_t mutexes, ast::VarId ws_index,
+                    const ast::Stmt* ws_loop) {
+    Access a;
+    a.var = id;
+    a.is_write = is_write;
+    a.is_array = true;
+    a.phase = phase_;
+    a.mutexes = mutexes;
+    a.subscript = classify_subscript(index, ws_index, ws_loop, varying_);
+    out_.accesses[id].push_back(a);
+  }
+
+  /// Records every read in an expression tree, subscript expressions
+  /// included (an a[b[i]] load reads both arrays and i).
+  void record_reads(const ast::Expr& e, std::uint8_t mutexes,
+                    ast::VarId ws_index, const ast::Stmt* ws_loop) {
+    e.walk([&](const ast::Expr& n) {
+      if (n.kind() == ast::Expr::Kind::VarRef) {
+        record_scalar(n.var_id(), /*is_write=*/false, mutexes);
+      } else if (n.kind() == ast::Expr::Kind::ArrayRef) {
+        record_array(n.var_id(), n.index(), /*is_write=*/false, mutexes,
+                     ws_index, ws_loop);
+      }
+    });
+  }
+
+  void visit_block(const ast::Block& block, bool top_level,
+                   std::uint8_t mutexes, ast::VarId ws_index,
+                   const ast::Stmt* ws_loop) {
+    for (const auto& sp : block.stmts) {
+      const ast::Stmt& s = *sp;
+      switch (s.kind) {
+        case ast::Stmt::Kind::Assign:
+          record_reads(*s.value, mutexes, ws_index, ws_loop);
+          if (s.target.is_array_element()) {
+            record_reads(*s.target.index, mutexes, ws_index, ws_loop);
+            if (s.assign_op != ast::AssignOp::Assign) {
+              record_array(s.target.var, *s.target.index, /*is_write=*/false,
+                           mutexes, ws_index, ws_loop);
+            }
+            record_array(s.target.var, *s.target.index, /*is_write=*/true,
+                         mutexes, ws_index, ws_loop);
+          } else {
+            if (s.assign_op != ast::AssignOp::Assign) {
+              record_scalar(s.target.var, /*is_write=*/false, mutexes);
+            }
+            record_scalar(s.target.var, /*is_write=*/true, mutexes);
+          }
+          break;
+        case ast::Stmt::Kind::Decl:
+          // Target is region-local (thread-private); only the init reads.
+          record_reads(*s.value, mutexes, ws_index, ws_loop);
+          break;
+        case ast::Stmt::Kind::If:
+          record_scalar(s.cond.lhs, /*is_write=*/false, mutexes);
+          record_reads(*s.cond.rhs, mutexes, ws_index, ws_loop);
+          visit_block(s.body, /*top_level=*/false, mutexes, ws_index, ws_loop);
+          break;
+        case ast::Stmt::Kind::For:
+          record_reads(*s.loop_bound, mutexes, ws_index, ws_loop);
+          if (s.omp_for) {
+            // The loop body executes in the current phase with the loop's
+            // iteration split; a serial loop keeps any enclosing split.
+            visit_block(s.body, /*top_level=*/false, mutexes, s.loop_var,
+                        &s);
+            // Only a top-level omp-for's barrier is guaranteed
+            // (phase_model.hpp); elsewhere the phase stays put.
+            if (top_level) ++phase_;
+          } else {
+            visit_block(s.body, /*top_level=*/false, mutexes, ws_index,
+                        ws_loop);
+          }
+          break;
+        case ast::Stmt::Kind::OmpCritical:
+          visit_block(s.body, /*top_level=*/false,
+                      static_cast<std::uint8_t>(mutexes | kMutexCritical),
+                      ws_index, ws_loop);
+          break;
+        case ast::Stmt::Kind::OmpParallel:
+          // A nested region is analyzed on its own; its body's accesses
+          // belong to that analysis, not this one.
+          break;
+      }
+    }
+  }
+
+  const ast::Program& program_;
+  RegionAccessSet out_;
+  std::set<ast::VarId> varying_;
+  PhaseId phase_ = 0;
+};
+
+}  // namespace
+
+RegionAccessSet collect_accesses(const ast::Program& program,
+                                 const ast::Stmt& region) {
+  return AccessWalk(program, region).run();
+}
+
+}  // namespace ompfuzz::analysis

@@ -1,0 +1,96 @@
+// Access-set dataflow over one parallel region.
+//
+// The pass walks a region once and produces, per shared variable, the set of
+// read/write accesses annotated with everything the dependence test needs:
+// the MHP phase (see phase_model.hpp), the mutual-exclusion bits held, and
+// — for array accesses — a classified subscript.
+//
+// Subscript classes (paper Section III-G generalized):
+//   ThreadIdAffine    c * omp_get_thread_num() + d   — partitioned by thread
+//   WorksharedAffine  c * i + d, i the enclosing omp-for index — partitioned
+//                     by the static schedule's iteration split
+//   LoopInvariant     no thread-varying term; constant or a symbolic value
+//                     that every thread observes identically
+//   Other             anything else (serial loop indices, values read from
+//                     shared memory, non-linear forms)
+//
+// Two accesses are *provably disjoint* only when their subscripts pin
+// different elements for every pair of distinct threads: equal nonzero
+// affine forms over the same base (distinct threads/iterations then hit
+// distinct elements), or loop-invariant constants with different values.
+// Everything else is assumed to overlap — the conservative direction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/phase_model.hpp"
+#include "ast/program.hpp"
+
+namespace ompfuzz::analysis {
+
+enum class SubscriptClass : std::uint8_t {
+  ThreadIdAffine,
+  WorksharedAffine,
+  LoopInvariant,
+  Other,
+};
+
+[[nodiscard]] const char* to_string(SubscriptClass c) noexcept;
+
+struct SubscriptInfo {
+  SubscriptClass cls = SubscriptClass::Other;
+  std::int64_t coeff = 0;        ///< affine: coefficient of the base term
+  std::int64_t offset = 0;       ///< affine constant offset / invariant value
+  ast::VarId offset_sym = ast::kInvalidVar;  ///< symbolic invariant summand
+  bool has_const_value = false;  ///< LoopInvariant folded to a known constant
+  /// WorksharedAffine: identity of the omp-for loop (its Stmt node). Two
+  /// iteration-affine subscripts partition consistently only within the
+  /// same work-shared loop.
+  const ast::Stmt* workshared_loop = nullptr;
+};
+
+/// One read or write of a shared variable inside the region.
+struct Access {
+  ast::VarId var = ast::kInvalidVar;
+  bool is_write = false;
+  bool is_array = false;
+  PhaseId phase = 0;
+  std::uint8_t mutexes = 0;    ///< MutexBit set held at the access
+  SubscriptInfo subscript;     ///< meaningful when is_array
+};
+
+/// Everything the dependence test consumes for one region.
+struct RegionAccessSet {
+  const ast::Stmt* region = nullptr;
+  PhaseId num_phases = 1;
+  /// Accesses grouped per variable, in visitation order.
+  std::map<ast::VarId, std::vector<Access>> accesses;
+  /// Variables thread-private in this region (clauses, region locals, loop
+  /// indices, comp under reduction) — their scalar accesses are not
+  /// recorded. Arrays are recorded unconditionally: the generated language
+  /// never privatizes arrays, so a clause naming one is treated as shared.
+  std::set<ast::VarId> thread_private;
+};
+
+/// Classifies one subscript expression in the given context. `ws_index` is
+/// the innermost enclosing omp-for's loop variable (kInvalidVar outside);
+/// `varying` holds every variable whose value may differ across threads or
+/// change during the region (privates, locals, loop indices, scalars the
+/// region writes).
+[[nodiscard]] SubscriptInfo classify_subscript(
+    const ast::Expr& subscript, ast::VarId ws_index,
+    const ast::Stmt* ws_loop, const std::set<ast::VarId>& varying);
+
+/// True when the two subscripts can never address the same element from two
+/// distinct threads (see the class table above).
+[[nodiscard]] bool provably_disjoint(const SubscriptInfo& a,
+                                     const SubscriptInfo& b) noexcept;
+
+/// Runs the access-set walk over one parallel region.
+[[nodiscard]] RegionAccessSet collect_accesses(const ast::Program& program,
+                                               const ast::Stmt& region);
+
+}  // namespace ompfuzz::analysis

@@ -1,0 +1,66 @@
+// Differential self-validation of the static race analyzer.
+//
+// For each program, the static verdict (analyze_races) is compared with the
+// interpreter's dynamic shared-access trace (interp/trace.hpp) over several
+// generated input sets:
+//
+//   static racy,  dynamic conflict  — true positive (counts toward precision)
+//   static racy,  no conflict       — unconfirmed positive: possibly an
+//                                     analyzer over-approximation, possibly
+//                                     inputs that never exercised the race
+//   static clean, dynamic conflict  — UNSOUND: the analyzer declared
+//                                     race-free a program whose trace holds a
+//                                     conflicting pair. Hard failure.
+//
+// The sweep driver in tests/test_analysis.cpp feeds thousands of generator
+// outputs (and race-seeded mutants of them) through validate_program; the
+// zero-unsound invariant is the acceptance gate for every analyzer change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/race_analyzer.hpp"
+#include "ast/program.hpp"
+
+namespace ompfuzz::analysis {
+
+struct DifferentialOptions {
+  /// Independent input sets executed per program.
+  int runs_per_program = 2;
+  /// Team size forced on every region (more threads, more collision
+  /// opportunities per trace).
+  int num_threads = 4;
+  /// Trip-count cap for generated inputs; small trips keep the sweep cheap.
+  int max_trip_count = 16;
+  std::uint64_t max_steps = 2'000'000;
+  /// Salt mixed with the program fingerprint to seed input generation.
+  std::uint64_t seed = 0x0d1f'f5ee'dull;
+};
+
+struct DifferentialStats {
+  std::uint64_t programs = 0;
+  std::uint64_t static_racy = 0;
+  std::uint64_t static_clean = 0;
+  std::uint64_t confirmed_racy = 0;  ///< static racy with a dynamic conflict
+  std::uint64_t unsound = 0;         ///< static clean with a dynamic conflict
+  std::uint64_t skipped_runs = 0;    ///< budget-exhausted or erroring runs
+  std::vector<std::string> unsound_examples;  ///< rendered, capped at 8
+
+  /// Share of static positives confirmed by at least one dynamic conflict.
+  [[nodiscard]] double precision() const noexcept {
+    return static_racy == 0
+               ? 1.0
+               : static_cast<double>(confirmed_racy) /
+                     static_cast<double>(static_racy);
+  }
+};
+
+/// Runs one program through the static-vs-dynamic comparison, folding the
+/// outcome into `stats`. Returns true when the program is dynamically racy.
+bool validate_program(const ast::Program& program,
+                      const DifferentialOptions& options,
+                      DifferentialStats& stats);
+
+}  // namespace ompfuzz::analysis

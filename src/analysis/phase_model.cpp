@@ -1,0 +1,42 @@
+#include "analysis/phase_model.hpp"
+
+namespace ompfuzz::analysis {
+
+namespace {
+
+void find_regions(const ast::Block& block, std::vector<const ast::Stmt*>& out) {
+  for (const auto& s : block.stmts) {
+    switch (s->kind) {
+      case ast::Stmt::Kind::OmpParallel:
+        out.push_back(s.get());
+        find_regions(s->body, out);  // non-conforming nested regions
+        break;
+      case ast::Stmt::Kind::If:
+      case ast::Stmt::Kind::For:
+      case ast::Stmt::Kind::OmpCritical:
+        find_regions(s->body, out);
+        break;
+      case ast::Stmt::Kind::Assign:
+      case ast::Stmt::Kind::Decl:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const ast::Stmt*> collect_regions(const ast::Block& body) {
+  std::vector<const ast::Stmt*> regions;
+  find_regions(body, regions);
+  return regions;
+}
+
+PhaseId count_phases(const ast::Stmt& region) {
+  PhaseId phases = 1;
+  for (const auto& s : region.body.stmts) {
+    if (s->kind == ast::Stmt::Kind::For && s->omp_for) ++phases;
+  }
+  return phases;
+}
+
+}  // namespace ompfuzz::analysis

@@ -1,0 +1,62 @@
+// MHP phase decomposition of a parallel region (LLOV-style).
+//
+// Within one execution of a parallel region, two statements may happen in
+// parallel (MHP) unless a barrier every thread is guaranteed to pass
+// separates them. The generated language has two barrier sources: the
+// implicit barrier at the end of a "#pragma omp for" loop and the implicit
+// join barrier at region end. PhaseModel numbers the intervals between
+// guaranteed barriers: accesses in different phases of the same region
+// execution cannot race, however the threads interleave.
+//
+// A barrier is only *guaranteed* when its omp-for sits directly in the
+// region's top-level block. An omp-for nested under an if or a serial loop
+// is non-conforming (threads could reach different barrier counts, which is
+// undefined behavior in OpenMP); the model stays sound by simply not
+// advancing the phase there, so everything around the conditional barrier
+// remains MHP. The serial-loop back edge needs the same treatment: phases
+// opened inside a loop iteration close again at the next iteration, so a
+// barrier inside a loop body never separates the body from itself.
+//
+// Mutual exclusion is modeled separately as a bitset per access:
+// critical (the generated language's single anonymous lock) today, with
+// bits reserved for single/master once the grammar grows them. Two accesses
+// holding a common mutex bit cannot overlap even within one phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/stmt.hpp"
+
+namespace ompfuzz::analysis {
+
+/// Phase number within one parallel region; phase 0 starts at region entry.
+using PhaseId = std::uint32_t;
+
+/// Mutual-exclusion context of an access, as a bitset.
+enum MutexBit : std::uint8_t {
+  kMutexCritical = 1u << 0,  ///< inside "#pragma omp critical" (anonymous lock)
+  kMutexSingle = 1u << 1,    ///< reserved: inside "#pragma omp single"
+  kMutexMaster = 1u << 2,    ///< reserved: inside "#pragma omp master"
+};
+
+/// Two accesses can overlap in time iff they are in the same phase and do
+/// not share a mutual-exclusion bit.
+[[nodiscard]] constexpr bool may_happen_in_parallel(
+    PhaseId phase_a, std::uint8_t mutexes_a, PhaseId phase_b,
+    std::uint8_t mutexes_b) noexcept {
+  return phase_a == phase_b && (mutexes_a & mutexes_b) == 0;
+}
+
+/// The parallel regions of a program, in pre-order. Nested regions (a
+/// conformance violation the reducer can produce transiently) are listed
+/// too, each analyzed as its own region.
+[[nodiscard]] std::vector<const ast::Stmt*> collect_regions(
+    const ast::Block& body);
+
+/// Phase count of one region: 1 + the number of guaranteed barriers, i.e.
+/// top-level omp-for statements of the region body. Exposed for tests; the
+/// access-set walk tracks the running phase itself.
+[[nodiscard]] PhaseId count_phases(const ast::Stmt& region);
+
+}  // namespace ompfuzz::analysis

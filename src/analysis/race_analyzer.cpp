@@ -1,0 +1,139 @@
+#include "analysis/race_analyzer.hpp"
+
+#include <string>
+
+#include "analysis/phase_model.hpp"
+#include "analysis/reaching_defs.hpp"
+
+namespace ompfuzz::analysis {
+
+const char* to_string(RaceKind k) noexcept {
+  switch (k) {
+    case RaceKind::CompUnprotected: return "comp-unprotected";
+    case RaceKind::SharedScalarWrite: return "shared-scalar-write";
+    case RaceKind::SharedScalarMixed: return "shared-scalar-mixed";
+    case RaceKind::ArrayUnsafeWrite: return "array-unsafe-write";
+    case RaceKind::ArrayMixedAccess: return "array-mixed-access";
+    case RaceKind::UninitializedPrivate: return "uninitialized-private";
+  }
+  return "?";
+}
+
+bool accesses_conflict(const Access& a, const Access& b) noexcept {
+  if (!a.is_write && !b.is_write) return false;
+  if (!may_happen_in_parallel(a.phase, a.mutexes, b.phase, b.mutexes))
+    return false;
+  if (a.is_array && b.is_array && provably_disjoint(a.subscript, b.subscript))
+    return false;
+  return true;
+}
+
+std::vector<Conflict> find_region_conflicts(const RegionAccessSet& accesses) {
+  std::vector<Conflict> conflicts;
+  for (const auto& [var, list] : accesses.accesses) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      // Self-pairs included: every region statement runs on many threads,
+      // so one access site can race with itself (unless its own mutex or
+      // subscript partitioning rules that out).
+      for (std::size_t j = i; j < list.size(); ++j) {
+        if (accesses_conflict(list[i], list[j])) {
+          conflicts.push_back({list[i], list[j]});
+        }
+      }
+    }
+  }
+  return conflicts;
+}
+
+namespace {
+
+bool uncritical_write(const Access& a) {
+  return a.is_write && (a.mutexes & kMutexCritical) == 0;
+}
+
+std::string phase_suffix(const Conflict& c) {
+  return " (phase " + std::to_string(c.first.phase) + ")";
+}
+
+void report_region(const ast::Program& program, const ast::Stmt& region,
+                   RaceReport& out) {
+  for (ast::VarId v : find_uninitialized_privates(program, region)) {
+    out.findings.push_back({RaceKind::UninitializedPrivate,
+                            program.var(v).name,
+                            "read before assignment in region"});
+  }
+
+  const RegionAccessSet accesses = collect_accesses(program, region);
+  const std::vector<Conflict> conflicts = find_region_conflicts(accesses);
+
+  // Fold the conflict list into one finding per variable: scalars first,
+  // then arrays, each in VarId order (the conflict list is already
+  // VarId-major).
+  for (const bool arrays : {false, true}) {
+    ast::VarId reported = ast::kInvalidVar;
+    for (const Conflict& c : conflicts) {
+      if (c.first.is_array != arrays) continue;
+      const ast::VarId var = c.first.var;
+      if (var == reported) continue;
+
+      // Scan this variable's conflicts once to pick kind and detail.
+      const Conflict* uncrit = nullptr;   // a conflict with an uncritical write
+      const Conflict* unsafe_sub = nullptr;  // ... whose subscript partitions nothing
+      for (const Conflict& k : conflicts) {
+        if (k.first.var != var) continue;
+        for (const Access* a : {&k.first, &k.second}) {
+          if (!uncritical_write(*a)) continue;
+          if (uncrit == nullptr) uncrit = &k;
+          if (arrays && unsafe_sub == nullptr &&
+              (a->subscript.cls == SubscriptClass::LoopInvariant ||
+               a->subscript.cls == SubscriptClass::Other)) {
+            unsafe_sub = &k;
+          }
+        }
+      }
+
+      RaceFinding f;
+      f.variable = program.var(var).name;
+      if (!arrays) {
+        if (var == program.comp()) {
+          f.kind = RaceKind::CompUnprotected;
+          f.detail = "comp accumulated without reduction or critical" +
+                     phase_suffix(c);
+        } else if (uncrit != nullptr) {
+          f.kind = RaceKind::SharedScalarWrite;
+          f.detail = "shared scalar written outside critical" +
+                     phase_suffix(*uncrit);
+        } else {
+          f.kind = RaceKind::SharedScalarMixed;
+          f.detail = "critical writes mixed with uncritical accesses" +
+                     phase_suffix(c);
+        }
+      } else {
+        if (unsafe_sub != nullptr) {
+          f.kind = RaceKind::ArrayUnsafeWrite;
+          f.detail = "uncritical write with non-partitioning subscript" +
+                     phase_suffix(*unsafe_sub);
+        } else {
+          f.kind = RaceKind::ArrayMixedAccess;
+          f.detail = std::string("conflicting subscript disciplines: ") +
+                     to_string(c.first.subscript.cls) + " vs " +
+                     to_string(c.second.subscript.cls) + phase_suffix(c);
+        }
+      }
+      out.findings.push_back(std::move(f));
+      reported = var;
+    }
+  }
+}
+
+}  // namespace
+
+RaceReport analyze_races(const ast::Program& program) {
+  RaceReport report;
+  for (const ast::Stmt* region : collect_regions(program.body())) {
+    report_region(program, *region, report);
+  }
+  return report;
+}
+
+}  // namespace ompfuzz::analysis

@@ -1,0 +1,44 @@
+// MHP-based static race analyzer (tentpole of the analysis subsystem).
+//
+// Pipeline per parallel region:
+//   1. reaching-definitions pass  → UninitializedPrivate findings
+//   2. access-set dataflow pass   → per-variable accesses with phase,
+//      mutex set, and classified subscript (access_set.hpp)
+//   3. dependence test: every pair of accesses to the same variable
+//      (unordered, self-pairs included — one site executed by many threads
+//      races with itself) conflicts when at least one side writes, the two
+//      may happen in parallel (phase_model.hpp), and — for arrays — the
+//      subscripts are not provably disjoint.
+// Conflicts are then folded into the stable RaceKind vocabulary
+// (findings.hpp) so every consumer of check_races sees the same report
+// shape the pattern-rule checker produced.
+//
+// Finding order is deterministic: regions in pre-order; per region the
+// uninitialized-private findings (first-read order), then scalar conflicts
+// by VarId, then array conflicts by VarId.
+#pragma once
+
+#include "analysis/access_set.hpp"
+#include "analysis/findings.hpp"
+#include "ast/program.hpp"
+
+namespace ompfuzz::analysis {
+
+/// One conflicting access pair surfaced by the dependence test.
+struct Conflict {
+  Access first;
+  Access second;
+};
+
+/// Dependence test between two accesses to the same variable.
+[[nodiscard]] bool accesses_conflict(const Access& a, const Access& b) noexcept;
+
+/// All conflicts of one region's access set, per-variable in VarId order.
+[[nodiscard]] std::vector<Conflict> find_region_conflicts(
+    const RegionAccessSet& accesses);
+
+/// Full static analysis of a program: every parallel region through the
+/// reaching-defs + access-set + dependence-test pipeline.
+[[nodiscard]] RaceReport analyze_races(const ast::Program& program);
+
+}  // namespace ompfuzz::analysis

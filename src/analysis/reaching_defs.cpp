@@ -1,0 +1,87 @@
+#include "analysis/reaching_defs.hpp"
+
+#include <set>
+
+namespace ompfuzz::analysis {
+
+namespace {
+
+class DefiniteAssignment {
+ public:
+  explicit DefiniteAssignment(const ast::Stmt& region) {
+    for (ast::VarId v : region.clauses.privates) tracked_.insert(v);
+  }
+
+  std::vector<ast::VarId> run(const ast::Block& body) {
+    std::set<ast::VarId> assigned;
+    visit_block(body, assigned);
+    return std::move(flagged_);
+  }
+
+ private:
+  void check_read(ast::VarId id, const std::set<ast::VarId>& assigned) {
+    if (tracked_.count(id) == 0 || assigned.count(id) != 0) return;
+    if (reported_.insert(id).second) flagged_.push_back(id);
+  }
+
+  void check_expr(const ast::Expr& e, const std::set<ast::VarId>& assigned) {
+    e.walk([&](const ast::Expr& n) {
+      if (n.kind() == ast::Expr::Kind::VarRef) check_read(n.var_id(), assigned);
+    });
+  }
+
+  void visit_block(const ast::Block& block, std::set<ast::VarId>& assigned) {
+    for (const auto& sp : block.stmts) {
+      const ast::Stmt& s = *sp;
+      switch (s.kind) {
+        case ast::Stmt::Kind::Assign:
+          check_expr(*s.value, assigned);
+          if (s.target.is_array_element()) {
+            check_expr(*s.target.index, assigned);
+          } else {
+            // A compound assignment reads its target first.
+            if (s.assign_op != ast::AssignOp::Assign)
+              check_read(s.target.var, assigned);
+            assigned.insert(s.target.var);
+          }
+          break;
+        case ast::Stmt::Kind::Decl:
+          check_expr(*s.value, assigned);
+          assigned.insert(s.target.var);
+          break;
+        case ast::Stmt::Kind::If: {
+          check_read(s.cond.lhs, assigned);
+          check_expr(*s.cond.rhs, assigned);
+          std::set<ast::VarId> branch = assigned;  // body may not execute
+          visit_block(s.body, branch);
+          break;
+        }
+        case ast::Stmt::Kind::For: {
+          check_expr(*s.loop_bound, assigned);
+          std::set<ast::VarId> iter = assigned;  // zero-trip conservative
+          iter.insert(s.loop_var);
+          visit_block(s.body, iter);
+          break;
+        }
+        case ast::Stmt::Kind::OmpCritical:
+          visit_block(s.body, assigned);  // sequential within a thread
+          break;
+        case ast::Stmt::Kind::OmpParallel:
+          break;  // nested region: analyzed as its own region
+      }
+    }
+  }
+
+  std::set<ast::VarId> tracked_;
+  std::set<ast::VarId> reported_;
+  std::vector<ast::VarId> flagged_;
+};
+
+}  // namespace
+
+std::vector<ast::VarId> find_uninitialized_privates(const ast::Program&,
+                                                    const ast::Stmt& region) {
+  return DefiniteAssignment(region).run(region.body);
+}
+
+}  // namespace ompfuzz::analysis

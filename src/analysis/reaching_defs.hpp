@@ -1,0 +1,25 @@
+// Definite-assignment (reaching definitions collapsed to one bit per
+// variable) over a parallel region's private variables.
+//
+// A variable in a private clause enters the region with an indeterminate
+// value in every thread; reading it before a definite assignment is the
+// UninitializedPrivate race family. Firstprivates are copy-initialized at
+// region entry and need no checking. The pass is flow-sensitive and
+// conservative in the usual directions: an if body may not run (state after
+// the if is the state before it), a loop may run zero times (the body is
+// analyzed against the entry state, and the loop contributes no definitions
+// to what follows), and a critical section is sequential straight-line code.
+#pragma once
+
+#include <vector>
+
+#include "ast/program.hpp"
+
+namespace ompfuzz::analysis {
+
+/// Private variables of `region` that some path reads before any definite
+/// assignment, one entry per variable, ordered by first offending read.
+[[nodiscard]] std::vector<ast::VarId> find_uninitialized_privates(
+    const ast::Program& program, const ast::Stmt& region);
+
+}  // namespace ompfuzz::analysis

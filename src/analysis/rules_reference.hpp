@@ -1,0 +1,23 @@
+// The original pattern-rule race checker, kept verbatim as a reference
+// implementation (paper Section III-G).
+//
+// The rules encode the generator's construction discipline directly:
+// comp needs reduction or criticals, shared scalars must not be written
+// uncritically, written arrays must subscript with omp_get_thread_num() or
+// the enclosing work-shared loop index consistently. The MHP analyzer
+// (race_analyzer.hpp) subsumes these rules; this copy exists so the
+// differential test suite can cross-check the two on every generator
+// output — any program where the rules find a race but the MHP analyzer
+// does not (or vice versa, beyond the documented precision improvements)
+// is a regression signal.
+#pragma once
+
+#include "analysis/findings.hpp"
+#include "ast/program.hpp"
+
+namespace ompfuzz::analysis {
+
+/// Analyzes every parallel region of the program with the pattern rules.
+[[nodiscard]] RaceReport check_races_rules(const ast::Program& program);
+
+}  // namespace ompfuzz::analysis

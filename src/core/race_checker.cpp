@@ -1,296 +1,11 @@
 #include "core/race_checker.hpp"
 
-#include <functional>
-#include <map>
-#include <set>
+#include "analysis/race_analyzer.hpp"
 
 namespace ompfuzz::core {
 
-namespace {
-
-using ast::Block;
-using ast::Expr;
-using ast::Program;
-using ast::Stmt;
-using ast::VarId;
-using ast::VarKind;
-using ast::VarRole;
-
-/// Subscript discipline of one array access.
-enum class IndexForm { ThreadId, OmpForIndex, Other };
-
-/// Everything the checker records about accesses to one shared variable
-/// within one parallel region.
-struct AccessSummary {
-  bool read_uncritical = false;
-  bool read_critical = false;
-  bool write_uncritical = false;
-  bool write_critical = false;
-  // Arrays: subscript forms seen on uncritical accesses.
-  bool saw_tid_index = false;
-  bool saw_ompfor_index = false;
-  bool saw_other_index = false;
-  bool uncritical_write_other_index = false;
-};
-
-class RegionAnalyzer {
- public:
-  RegionAnalyzer(const Program& program, const Stmt& region,
-                 std::vector<RaceFinding>& out)
-      : program_(program), region_(region), out_(out) {
-    for (VarId v : region.clauses.privates) privates_.insert(v);
-    for (VarId v : region.clauses.firstprivates) firstprivates_.insert(v);
-  }
-
-  void run() {
-    scan_preamble();
-    visit_block(region_.body, /*in_critical=*/false, /*in_omp_for=*/false);
-    report();
-  }
-
- private:
-  [[nodiscard]] bool is_thread_private(VarId v) const {
-    if (privates_.contains(v) || firstprivates_.contains(v)) return true;
-    if (region_locals_.contains(v)) return true;
-    const auto& d = program_.var(v);
-    // Loop indices are declared inside the region (serial loops) or made
-    // private by the work-sharing construct (omp for), so never shared here.
-    return d.role == VarRole::LoopIndex;
-  }
-
-  /// Records which privates are definitely assigned by the straight-line
-  /// preamble (statements before the region's loop), then flags reads of
-  /// still-uninitialized privates anywhere in the region.
-  void scan_preamble() {
-    std::set<VarId> assigned = firstprivates_;  // firstprivate carries a value in
-    for (const auto& s : region_.body.stmts) {
-      if (s->kind == Stmt::Kind::Decl) {
-        assigned.insert(s->target.var);
-        check_uninit_expr(*s->value, assigned);
-        continue;
-      }
-      if (s->kind != Stmt::Kind::Assign) break;  // straight-line prefix only
-      check_uninit_expr(*s->value, assigned);
-      if (!s->target.is_array_element()) assigned.insert(s->target.var);
-    }
-    initialized_ = std::move(assigned);
-  }
-
-  void check_uninit_expr(const Expr& e, const std::set<VarId>& assigned) {
-    e.walk([&](const Expr& node) {
-      if (node.kind() != Expr::Kind::VarRef) return;
-      const VarId v = node.var_id();
-      if (privates_.contains(v) && !assigned.contains(v)) {
-        out_.push_back({RaceKind::UninitializedPrivate, program_.var(v).name,
-                        "private variable read before initialization"});
-      }
-    });
-  }
-
-  void record_expr_reads(const Expr& e, bool in_critical, bool in_omp_for) {
-    e.walk([&](const Expr& node) {
-      if (node.kind() == Expr::Kind::VarRef) {
-        record_scalar(node.var_id(), /*is_write=*/false, in_critical);
-        if (privates_.contains(node.var_id()) &&
-            !initialized_.contains(node.var_id())) {
-          out_.push_back({RaceKind::UninitializedPrivate,
-                          program_.var(node.var_id()).name,
-                          "private variable read before initialization"});
-        }
-      } else if (node.kind() == Expr::Kind::ArrayRef) {
-        record_array(node.var_id(), node.index(), /*is_write=*/false,
-                     in_critical, in_omp_for);
-      }
-    });
-  }
-
-  void record_scalar(VarId v, bool is_write, bool in_critical) {
-    if (is_thread_private(v)) return;
-    if (program_.var(v).kind == VarKind::FpArray) return;  // handled separately
-    AccessSummary& a = scalars_[v];
-    if (is_write) {
-      (in_critical ? a.write_critical : a.write_uncritical) = true;
-    } else {
-      (in_critical ? a.read_critical : a.read_uncritical) = true;
-    }
-  }
-
-  [[nodiscard]] IndexForm classify_index(const Expr& idx, bool in_omp_for) const {
-    if (idx.kind() == Expr::Kind::ThreadId) return IndexForm::ThreadId;
-    if (in_omp_for && idx.kind() == Expr::Kind::VarRef &&
-        idx.var_id() == omp_for_index_) {
-      return IndexForm::OmpForIndex;
-    }
-    return IndexForm::Other;
-  }
-
-  void record_array(VarId v, const Expr& idx, bool is_write, bool in_critical,
-                    bool in_omp_for) {
-    AccessSummary& a = arrays_[v];
-    if (is_write) {
-      (in_critical ? a.write_critical : a.write_uncritical) = true;
-    } else {
-      (in_critical ? a.read_critical : a.read_uncritical) = true;
-    }
-    if (!in_critical) {
-      switch (classify_index(idx, in_omp_for)) {
-        case IndexForm::ThreadId: a.saw_tid_index = true; break;
-        case IndexForm::OmpForIndex: a.saw_ompfor_index = true; break;
-        case IndexForm::Other:
-          a.saw_other_index = true;
-          if (is_write) a.uncritical_write_other_index = true;
-          break;
-      }
-    }
-  }
-
-  void visit_block(const Block& block, bool in_critical, bool in_omp_for) {
-    for (const auto& s : block.stmts) {
-      switch (s->kind) {
-        case Stmt::Kind::Assign: {
-          record_expr_reads(*s->value, in_critical, in_omp_for);
-          if (s->target.is_array_element()) {
-            record_expr_reads(*s->target.index, in_critical, in_omp_for);
-            record_array(s->target.var, *s->target.index, /*is_write=*/true,
-                         in_critical, in_omp_for);
-          } else {
-            record_scalar(s->target.var, /*is_write=*/true, in_critical);
-            // A compound assignment also reads the target.
-            if (s->assign_op != ast::AssignOp::Assign) {
-              record_scalar(s->target.var, /*is_write=*/false, in_critical);
-            }
-          }
-          break;
-        }
-        case Stmt::Kind::Decl:
-          region_locals_.insert(s->target.var);
-          initialized_.insert(s->target.var);
-          record_expr_reads(*s->value, in_critical, in_omp_for);
-          break;
-        case Stmt::Kind::If:
-          if (s->cond.rhs) record_expr_reads(*s->cond.rhs, in_critical, in_omp_for);
-          record_scalar(s->cond.lhs, /*is_write=*/false, in_critical);
-          visit_block(s->body, in_critical, in_omp_for);
-          break;
-        case Stmt::Kind::For: {
-          if (s->loop_bound->kind() == Expr::Kind::VarRef) {
-            record_scalar(s->loop_bound->var_id(), /*is_write=*/false, in_critical);
-          }
-          const bool enter_omp_for = s->omp_for;
-          if (enter_omp_for) omp_for_index_ = s->loop_var;
-          region_locals_.insert(s->loop_var);
-          visit_block(s->body, in_critical, in_omp_for || enter_omp_for);
-          break;
-        }
-        case Stmt::Kind::OmpParallel:
-          // Nested regions are a conformance violation (R4); analyzed as
-          // their own region by the top-level driver, skipped here.
-          break;
-        case Stmt::Kind::OmpCritical:
-          visit_block(s->body, /*in_critical=*/true, in_omp_for);
-          break;
-      }
-    }
-  }
-
-  void report() {
-    const VarId comp = program_.comp();
-    for (const auto& [v, a] : scalars_) {
-      const std::string& name = program_.var(v).name;
-      if (v == comp) {
-        if (region_.clauses.reduction) continue;  // private copy per thread
-        if (a.write_uncritical || a.read_uncritical) {
-          out_.push_back({RaceKind::CompUnprotected, name,
-                          "comp accessed outside critical without reduction"});
-        }
-        continue;
-      }
-      const bool written = a.write_uncritical || a.write_critical;
-      if (!written) continue;
-      if (a.write_uncritical) {
-        out_.push_back({RaceKind::SharedScalarWrite, name,
-                        "shared scalar written outside a critical section"});
-      } else if (a.read_uncritical) {
-        out_.push_back({RaceKind::SharedScalarMixed, name,
-                        "scalar written in critical but read outside"});
-      }
-    }
-    for (const auto& [v, a] : arrays_) {
-      const std::string& name = program_.var(v).name;
-      const bool written = a.write_uncritical || a.write_critical;
-      if (!written) continue;
-      // All accesses inside criticals: serialized, safe.
-      if (!a.saw_tid_index && !a.saw_ompfor_index && !a.saw_other_index &&
-          !a.write_uncritical) {
-        continue;
-      }
-      if (a.uncritical_write_other_index) {
-        out_.push_back({RaceKind::ArrayUnsafeWrite, name,
-                        "array written with a non-partitioning subscript"});
-        continue;
-      }
-      // Discipline must be consistent: all tid, or all omp-for-index.
-      const int forms = (a.saw_tid_index ? 1 : 0) + (a.saw_ompfor_index ? 1 : 0) +
-                        (a.saw_other_index ? 1 : 0);
-      if (forms > 1 || (a.saw_other_index && (a.write_uncritical || a.write_critical))) {
-        out_.push_back({RaceKind::ArrayMixedAccess, name,
-                        "inconsistent subscript discipline on written array"});
-      }
-    }
-  }
-
-  const Program& program_;
-  const Stmt& region_;
-  std::vector<RaceFinding>& out_;
-  std::set<VarId> privates_;
-  std::set<VarId> firstprivates_;
-  std::set<VarId> region_locals_;
-  std::set<VarId> initialized_;
-  std::map<VarId, AccessSummary> scalars_;
-  std::map<VarId, AccessSummary> arrays_;
-  VarId omp_for_index_ = ast::kInvalidVar;
-};
-
-void find_regions(const Block& block, const Program& program,
-                  std::vector<RaceFinding>& out) {
-  for (const auto& s : block.stmts) {
-    switch (s->kind) {
-      case Stmt::Kind::OmpParallel: {
-        RegionAnalyzer(program, *s, out).run();
-        // Also look for (non-conformant) nested regions to analyze them too.
-        find_regions(s->body, program, out);
-        break;
-      }
-      case Stmt::Kind::If:
-      case Stmt::Kind::For:
-      case Stmt::Kind::OmpCritical:
-        find_regions(s->body, program, out);
-        break;
-      case Stmt::Kind::Assign:
-      case Stmt::Kind::Decl:
-        break;
-    }
-  }
-}
-
-}  // namespace
-
-const char* to_string(RaceKind k) noexcept {
-  switch (k) {
-    case RaceKind::CompUnprotected: return "comp-unprotected";
-    case RaceKind::SharedScalarWrite: return "shared-scalar-write";
-    case RaceKind::SharedScalarMixed: return "shared-scalar-mixed";
-    case RaceKind::ArrayUnsafeWrite: return "array-unsafe-write";
-    case RaceKind::ArrayMixedAccess: return "array-mixed-access";
-    case RaceKind::UninitializedPrivate: return "uninitialized-private";
-  }
-  return "?";
-}
-
 RaceReport check_races(const ast::Program& program) {
-  RaceReport report;
-  find_regions(program.body(), program, report.findings);
-  return report;
+  return analysis::analyze_races(program);
 }
 
 }  // namespace ompfuzz::core

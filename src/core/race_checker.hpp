@@ -1,59 +1,25 @@
-// Static data-race analysis of generated programs (paper Section III-G).
+// Static data-race oracle of generated programs (paper Section III-G).
 //
 // The paper's generator aims to be race-free by construction but admits (in
 // its Limitations) that some generated tests still raced and were filtered
-// manually. RaceChecker makes that oracle executable: it walks every parallel
-// region and verifies the construction rules, reporting each violation.
-//
-// Per parallel region, for every variable that is shared (not in a
-// private/firstprivate clause, not declared inside the region, not a loop
-// index private to the region):
-//
-//   comp       — safe if the region carries a reduction (each thread updates
-//                a private copy), or if every comp access is inside an
-//                omp critical; anything else is a race.
-//   fp scalar  — safe if never written in the region, or if every access
-//                (reads included) is inside criticals. A write outside a
-//                critical, or a critical write combined with an uncritical
-//                read, is a race.
-//   int scalar — same rule as fp scalars.
-//   array      — safe if never written; or if every access subscripts with
-//                omp_get_thread_num(); or if every access subscripts with the
-//                work-shared loop index inside the omp-for body; or if every
-//                access is inside criticals. Mixed or other-index writes race.
-//
-// Additionally, a private variable read before any assignment in the region's
-// straight-line preamble is flagged as an uninitialized-read hazard.
+// manually. check_races makes that oracle executable. Since the analysis
+// subsystem landed, the implementation is the MHP/phase dataflow analyzer
+// in src/analysis/ (race_analyzer.hpp); the original pattern-rule checker
+// survives as analysis/rules_reference.hpp for differential testing. This
+// header re-exports the finding vocabulary so the generator filter, the
+// reducer's static-rejection path, and the campaign keep their call sites
+// unchanged.
 #pragma once
 
-#include <string>
-#include <vector>
-
+#include "analysis/findings.hpp"
 #include "ast/program.hpp"
 
 namespace ompfuzz::core {
 
-enum class RaceKind {
-  CompUnprotected,       ///< comp accessed without reduction or critical
-  SharedScalarWrite,     ///< shared scalar written outside a critical
-  SharedScalarMixed,     ///< critical writes mixed with uncritical accesses
-  ArrayUnsafeWrite,      ///< shared array written with a non-partitioning index
-  ArrayMixedAccess,      ///< inconsistent subscript discipline on a shared array
-  UninitializedPrivate,  ///< private read before initialization
-};
-
-[[nodiscard]] const char* to_string(RaceKind k) noexcept;
-
-struct RaceFinding {
-  RaceKind kind;
-  std::string variable;  ///< name of the racing variable
-  std::string detail;
-};
-
-struct RaceReport {
-  std::vector<RaceFinding> findings;
-  [[nodiscard]] bool race_free() const noexcept { return findings.empty(); }
-};
+using analysis::RaceFinding;
+using analysis::RaceKind;
+using analysis::RaceReport;
+using analysis::to_string;
 
 /// Analyzes every parallel region of the program.
 [[nodiscard]] RaceReport check_races(const ast::Program& program);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -69,7 +70,15 @@ TestCase Campaign::make_test_case(int program_index) const {
     const std::uint64_t seed = hash_combine(test.seed, attempt);
     ast::Program candidate = generator_.generate(
         "test_" + std::to_string(program_index), seed);
-    if (core::check_races(candidate).race_free()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool race_free = core::check_races(candidate).race_free();
+    analysis_nanos_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+    if (race_free) {
       test.program = std::move(candidate);
       test.regeneration_attempts = attempt;
       break;
@@ -598,6 +607,24 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
     }
 
     result.regenerated_programs += shard.regeneration_attempts > 0 ? 1 : 0;
+    // Static-analysis accounting, derived from the journaled regeneration
+    // count alone so it is identical whether this program was executed,
+    // cached, or restored. The discarded drafts are re-derived from the same
+    // seed stream make_test_case used; only filtered programs pay the
+    // regeneration cost.
+    result.analysis.programs_checked += shard.regeneration_attempts + 1;
+    result.analysis.programs_filtered += shard.regeneration_attempts;
+    if (shard.regeneration_attempts > 0) {
+      RandomEngine campaign_rng(config_.seed);
+      const std::uint64_t draft_seed = campaign_rng.fork(p).next_u64();
+      for (int attempt = 0; attempt < shard.regeneration_attempts; ++attempt) {
+        const ast::Program draft = generator_.generate(
+            "test_" + std::to_string(p), hash_combine(draft_seed, attempt));
+        for (const auto& finding : core::check_races(draft).findings) {
+          ++result.analysis.findings_by_kind[static_cast<int>(finding.kind)];
+        }
+      }
+    }
     if (want_gc && journal_ != nullptr) {
       for (const auto& outcome : shard.outcomes) {
         for (std::size_t b = 0; b < nb; ++b) {

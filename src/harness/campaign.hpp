@@ -10,11 +10,14 @@
 //       differ; aggregate per-implementation counts (Table I).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/findings.hpp"
 #include "core/differ.hpp"
 #include "core/generator.hpp"
 #include "core/outlier.hpp"
@@ -65,6 +68,18 @@ struct DivergentTriple {
   core::VerdictClass verdict_class;  ///< the class a reduction must preserve
 };
 
+/// Static-analysis accounting of the generation phase. Split-invariant by
+/// construction: computed during the ordered merge from each program's
+/// journaled regeneration count by deterministically re-deriving the
+/// discarded drafts, so the numbers are bit-identical across thread counts,
+/// backend splits, and resumes — they can live in the report JSON.
+struct StaticAnalysisStats {
+  int programs_checked = 0;   ///< drafts run through check_races
+  int programs_filtered = 0;  ///< racy drafts discarded and regenerated
+  /// Findings across filtered drafts, indexed by analysis::RaceKind.
+  std::array<int, analysis::kNumRaceKinds> findings_by_kind{};
+};
+
 struct CampaignResult {
   std::vector<std::string> impl_names;
   std::vector<TestOutcome> outcomes;
@@ -78,6 +93,7 @@ struct CampaignResult {
   int analyzable_tests = 0;  ///< passed the minimum-time filter
   int skipped_runs = 0;      ///< interpreter budget exceeded
   int regenerated_programs = 0;  ///< racy drafts discarded during generation
+  StaticAnalysisStats analysis;  ///< generation-phase race-filter accounting
 
   [[nodiscard]] int outlier_runs() const;
   [[nodiscard]] double outlier_rate() const;  ///< outlier runs / total runs
@@ -158,6 +174,15 @@ class Campaign {
     return scheduler_stats_;
   }
 
+  /// Wall time spent inside check_races across every draft this campaign
+  /// generated (workers included). Timing bookkeeping only — kept out of
+  /// CampaignResult and the JSON so reports stay deterministic.
+  [[nodiscard]] double analysis_seconds() const noexcept {
+    return static_cast<double>(
+               analysis_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
   [[nodiscard]] const std::vector<CampaignBackend>& backends() const noexcept {
     return backends_;
   }
@@ -172,6 +197,8 @@ class Campaign {
   bool resume_ = false;
   int resumed_programs_ = 0;
   SchedulerStats scheduler_stats_;
+  /// Accumulated by make_test_case, which is const and runs on workers.
+  mutable std::atomic<std::uint64_t> analysis_nanos_{0};
 };
 
 /// Finds the analyzable outcome where `impl` is flagged with `kind`,

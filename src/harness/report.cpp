@@ -112,6 +112,34 @@ std::string render_scheduler_summary(
   return out;
 }
 
+std::string render_analysis_summary(const CampaignResult& result,
+                                    double analysis_seconds) {
+  const StaticAnalysisStats& a = result.analysis;
+  std::string out = "static analysis: " + std::to_string(a.programs_checked) +
+                    " drafts checked, " + std::to_string(a.programs_filtered) +
+                    " filtered as racy\n";
+  for (int k = 0; k < analysis::kNumRaceKinds; ++k) {
+    if (a.findings_by_kind[static_cast<std::size_t>(k)] == 0) continue;
+    out += "  " + std::string(analysis::to_string(static_cast<analysis::RaceKind>(k))) +
+           ": " +
+           std::to_string(a.findings_by_kind[static_cast<std::size_t>(k)]) +
+           "\n";
+  }
+  if (analysis_seconds >= 0.0) {
+    out += "  analysis wall time: " + format_fixed(analysis_seconds * 1e3, 1) +
+           " ms";
+    if (analysis_seconds > 0.0 && a.programs_checked > 0) {
+      out += " (" +
+             format_fixed(static_cast<double>(a.programs_checked) /
+                              analysis_seconds,
+                          0) +
+             " programs/sec)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 std::string to_json(const CampaignResult& result) {
   JsonWriter json;
   json.begin_object();
@@ -120,6 +148,22 @@ std::string to_json(const CampaignResult& result) {
   json.key("analyzable_tests")
       .value(static_cast<std::int64_t>(result.analyzable_tests));
   json.key("outlier_rate").value(result.outlier_rate());
+
+  // Split-invariant by construction (see StaticAnalysisStats): safe to keep
+  // in the JSON without breaking the multi-backend byte-for-byte diff.
+  json.key("static_analysis").begin_object();
+  json.key("programs_checked")
+      .value(static_cast<std::int64_t>(result.analysis.programs_checked));
+  json.key("programs_filtered")
+      .value(static_cast<std::int64_t>(result.analysis.programs_filtered));
+  json.key("findings_by_kind").begin_object();
+  for (int k = 0; k < analysis::kNumRaceKinds; ++k) {
+    json.key(analysis::to_string(static_cast<analysis::RaceKind>(k)))
+        .value(static_cast<std::int64_t>(
+            result.analysis.findings_by_kind[static_cast<std::size_t>(k)]));
+  }
+  json.end_object();
+  json.end_object();
 
   json.key("per_impl").begin_object();
   for (const auto& name : result.impl_names) {

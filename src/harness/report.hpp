@@ -35,4 +35,13 @@ namespace ompfuzz::harness {
 [[nodiscard]] std::string render_scheduler_summary(
     const std::vector<CampaignBackend>& backends, const SchedulerStats& stats);
 
+/// Generation-phase race-filter summary: drafts checked/filtered, findings
+/// histogram, and — wall time being nondeterministic — the analysis timing,
+/// which therefore stays out of to_json (the counts themselves are in the
+/// JSON's split-invariant `static_analysis` block). Pass
+/// Campaign::analysis_seconds() as `analysis_seconds`, or a negative value
+/// to omit the timing line.
+[[nodiscard]] std::string render_analysis_summary(const CampaignResult& result,
+                                                  double analysis_seconds);
+
 }  // namespace ompfuzz::harness

@@ -142,9 +142,19 @@ class Engine {
     return frame_ != nullptr && frame_->is_private[id] != 0;
   }
 
+  /// Appends to the shared-access trace (trace.hpp); a no-op outside
+  /// parallel regions or when tracing is off.
+  void record_access(VarId id, std::int32_t elem, bool is_write) {
+    if (opt_.trace == nullptr || frame_ == nullptr) return;
+    opt_.trace->accesses.push_back({trace_region_, trace_phase_, id, elem,
+                                    static_cast<std::uint16_t>(frame_->tid),
+                                    is_write, in_critical_});
+  }
+
   Value read_scalar(VarId id) {
     ++ev_.scalar_loads;
     if (frame_private(id)) return frame_->locals[id];
+    record_access(id, /*elem=*/-1, /*is_write=*/false);
     return globals_[id];
   }
 
@@ -153,6 +163,7 @@ class Engine {
     if (frame_private(id)) {
       frame_->locals[id] = v;
     } else {
+      record_access(id, /*elem=*/-1, /*is_write=*/true);
       globals_[id] = v;
     }
   }
@@ -197,6 +208,8 @@ class Engine {
         const auto& decl = prog_.var(e.var_id());
         const std::size_t i = eval_index(e.index(), decl.array_size);
         ++ev_.array_loads;
+        record_access(e.var_id(), static_cast<std::int32_t>(i),
+                      /*is_write=*/false);
         const double stored = array_storage(e.var_id())[i];
         return decl.width == FpWidth::F32
                    ? Value::make_f32(static_cast<float>(stored))
@@ -334,6 +347,8 @@ class Engine {
         result = flush64(combine<double>(s.assign_op, old_value, rhs.as_double()));
       }
       ++ev_.array_stores;
+      record_access(s.target.var, static_cast<std::int32_t>(i),
+                    /*is_write=*/true);
       storage[i] = result;
       return;
     }
@@ -417,12 +432,14 @@ class Engine {
     }
     if (s.omp_for && frame_ != nullptr) {
       ++ev_.barriers;  // this thread arriving at the work-shared loop barrier
+      ++trace_phase_;
     }
   }
 
   void exec_parallel(const Stmt& s) {
     OMPFUZZ_CHECK(frame_ == nullptr, "nested parallel regions are not supported");
     ++ev_.parallel_regions;
+    ++trace_region_;  // each execution of a region is its own trace instance
     const int team = opt_.num_threads_override > 0 ? opt_.num_threads_override
                                                    : s.clauses.num_threads;
 
@@ -456,6 +473,7 @@ class Engine {
       }
       frame.tid = tid;
       frame_ = &frame;
+      trace_phase_ = 0;  // per-thread barrier count within this region
       exec_block(s.body);
       frame_ = nullptr;
       if (has_reduction) {
@@ -503,6 +521,8 @@ class Engine {
   std::vector<std::vector<double>> arrays_;
   Frame* frame_ = nullptr;
   bool in_critical_ = false;
+  std::uint32_t trace_region_ = 0;  ///< parallel-region execution counter
+  std::uint32_t trace_phase_ = 0;   ///< current thread's barrier count
   EventCounts ev_;
   std::uint64_t steps_ = 0;
 };

@@ -25,6 +25,7 @@
 #include "ast/program.hpp"
 #include "fp/input_gen.hpp"
 #include "interp/events.hpp"
+#include "interp/trace.hpp"
 #include "interp/value.hpp"
 
 namespace ompfuzz::interp {
@@ -35,6 +36,10 @@ struct InterpOptions {
   int num_threads_override = 0;
   /// Hard budget on executed statements + loop iterations.
   std::uint64_t max_steps = 50'000'000;
+  /// When set, every shared access inside a parallel region is appended
+  /// here (see trace.hpp). Off by default: tracing grows memory linearly
+  /// with executed accesses.
+  AccessTrace* trace = nullptr;
 };
 
 struct InterpResult {

@@ -1,0 +1,70 @@
+#include "interp/trace.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace ompfuzz::interp {
+
+namespace {
+
+/// Accesses of one (region, phase, var, elem) location, bucketed by
+/// (write, critical). Each bucket keeps at most two representatives with
+/// distinct thread ids — enough to decide every conflict form.
+struct Location {
+  std::vector<SharedAccess> bucket[4];
+
+  static int index(const SharedAccess& a) {
+    return (a.is_write ? 2 : 0) + (a.in_critical ? 1 : 0);
+  }
+
+  void add(const SharedAccess& a) {
+    auto& b = bucket[index(a)];
+    if (b.empty() || (b.size() == 1 && b[0].tid != a.tid)) b.push_back(a);
+  }
+};
+
+constexpr int kUncritRead = 0;
+constexpr int kCritRead = 1;
+constexpr int kUncritWrite = 2;
+constexpr int kCritWrite = 3;
+
+bool cross_tid_pair(const std::vector<SharedAccess>& a,
+                    const std::vector<SharedAccess>& b, AccessConflict& out) {
+  for (const SharedAccess& x : a) {
+    for (const SharedAccess& y : b) {
+      if (x.tid != y.tid) {
+        out = {x, y};
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<AccessConflict> find_conflicts(const AccessTrace& trace) {
+  using Key = std::tuple<std::uint32_t, std::uint32_t, ast::VarId, std::int32_t>;
+  std::map<Key, Location> locations;
+  for (const SharedAccess& a : trace.accesses) {
+    locations[{a.region, a.phase, a.var, a.elem}].add(a);
+  }
+
+  std::vector<AccessConflict> conflicts;
+  for (auto& [key, loc] : locations) {
+    AccessConflict c;
+    // An uncritical write conflicts with any other-thread access; a critical
+    // write additionally conflicts with uncritical reads. Everything else
+    // (read/read, critical/critical) is ordered or harmless.
+    const bool found =
+        cross_tid_pair(loc.bucket[kUncritWrite], loc.bucket[kUncritWrite], c) ||
+        cross_tid_pair(loc.bucket[kUncritWrite], loc.bucket[kCritWrite], c) ||
+        cross_tid_pair(loc.bucket[kUncritWrite], loc.bucket[kUncritRead], c) ||
+        cross_tid_pair(loc.bucket[kUncritWrite], loc.bucket[kCritRead], c) ||
+        cross_tid_pair(loc.bucket[kCritWrite], loc.bucket[kUncritRead], c);
+    if (found) conflicts.push_back(c);
+  }
+  return conflicts;
+}
+
+}  // namespace ompfuzz::interp

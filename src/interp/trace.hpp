@@ -1,0 +1,52 @@
+// Dynamic shared-access trace of one interpreter execution.
+//
+// When InterpOptions::trace is set, the engine records every access to a
+// variable that is shared at the access point inside a parallel region:
+// scalar loads/stores that reach the globals, and every array element
+// load/store (the generated language never privatizes arrays). Each record
+// carries the region execution instance, the thread's barrier phase within
+// it, and whether the access ran under the critical lock.
+//
+// find_conflicts applies the happens-before structure the interpreter's
+// sequential schedule cannot express directly: two accesses to the same
+// location by different threads in the same region instance and phase, at
+// least one a write, not both under the critical lock, could overlap in a
+// real parallel execution. This is the dynamic half of the differential
+// validation — a statically-race-free program whose trace contains a
+// conflict means the static analyzer (or the generator) is unsound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/types.hpp"
+
+namespace ompfuzz::interp {
+
+/// One shared-memory access inside a parallel region.
+struct SharedAccess {
+  std::uint32_t region = 0;  ///< region execution instance (1-based)
+  std::uint32_t phase = 0;   ///< barriers this thread had passed in the region
+  ast::VarId var = ast::kInvalidVar;
+  std::int32_t elem = -1;    ///< array element, -1 for scalars
+  std::uint16_t tid = 0;
+  bool is_write = false;
+  bool in_critical = false;
+};
+
+/// A pair of accesses that may overlap in a real parallel schedule.
+struct AccessConflict {
+  SharedAccess first;
+  SharedAccess second;
+};
+
+struct AccessTrace {
+  std::vector<SharedAccess> accesses;
+  void clear() { accesses.clear(); }
+};
+
+/// At most one conflict per (region, phase, variable, element) location.
+[[nodiscard]] std::vector<AccessConflict> find_conflicts(
+    const AccessTrace& trace);
+
+}  // namespace ompfuzz::interp

@@ -104,4 +104,27 @@ std::string HangReport::render_groups() const {
   return out;
 }
 
+namespace {
+
+std::string render_access(const interp::SharedAccess& a,
+                          const std::string& var_name) {
+  std::string out = "  thread " + std::to_string(a.tid) + ": " +
+                    (a.is_write ? "write" : "read") + " of " + var_name;
+  if (a.elem >= 0) out += "[" + std::to_string(a.elem) + "]";
+  if (a.in_critical) out += " (in critical)";
+  return out;
+}
+
+}  // namespace
+
+std::string render_access_conflict(const interp::AccessConflict& conflict,
+                                   const std::string& var_name) {
+  std::string out = "conflicting accesses on " + var_name + " (region " +
+                    std::to_string(conflict.first.region) + ", phase " +
+                    std::to_string(conflict.first.phase) + "):\n";
+  out += render_access(conflict.first, var_name) + "\n";
+  out += render_access(conflict.second, var_name) + "\n";
+  return out;
+}
+
 }  // namespace ompfuzz::prof

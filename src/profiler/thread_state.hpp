@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "interp/trace.hpp"
 #include "runtime/impl_profile.hpp"
 
 namespace ompfuzz::prof {
@@ -50,5 +51,10 @@ struct HangReport {
 [[nodiscard]] HangReport analyze_hang(const rt::OmpImplProfile& profile,
                                       int threads, std::uint64_t hang_seed,
                                       const std::string& test_file);
+
+/// TSan-style two-line rendering of a dynamic conflicting-access pair from
+/// the interpreter trace, used by the differential-validation diagnostics.
+[[nodiscard]] std::string render_access_conflict(
+    const interp::AccessConflict& conflict, const std::string& var_name);
 
 }  // namespace ompfuzz::prof

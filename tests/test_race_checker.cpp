@@ -2,6 +2,10 @@
 // pattern and accept each safe pattern of Section III-G.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/race_checker.hpp"
 
 namespace ompfuzz::core {
@@ -264,6 +268,144 @@ TEST(RaceChecker, RegionLocalDeclIsThreadPrivate) {
   clauses.privates.push_back(f.shared_x);
   f.add_region(std::move(loop), std::move(clauses));
   EXPECT_TRUE(check_races(f.prog).race_free());
+}
+
+// ---------------------------------------------------------------------------
+// Golden-finding corpus: one minimal program per RaceKind, pinned to the
+// exact (kind, variable) findings in their deterministic order. Any analyzer
+// change that alters a verdict, a variable attribution, or the ordering
+// contract (uninitialized first, then scalars by VarId, then arrays) fails
+// here before it can shift a campaign's program stream.
+// ---------------------------------------------------------------------------
+
+using KindVar = std::pair<RaceKind, std::string>;
+
+std::vector<KindVar> finding_pairs(const Program& prog) {
+  std::vector<KindVar> out;
+  for (const auto& f : check_races(prog).findings) {
+    out.emplace_back(f.kind, f.variable);
+  }
+  return out;
+}
+
+TEST(GoldenCorpus, CompUnprotected) {
+  Fixture f;
+  Block loop;
+  loop.stmts.push_back(Stmt::assign(LValue{f.comp, nullptr}, AssignOp::AddAssign,
+                                    Expr::fp_const(1.0)));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.add_region(std::move(loop), std::move(clauses));
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::CompUnprotected, "comp"}}));
+}
+
+TEST(GoldenCorpus, SharedScalarWrite) {
+  Fixture f;
+  Block loop;
+  loop.stmts.push_back(Stmt::assign(LValue{f.shared_x, nullptr},
+                                    AssignOp::AddAssign, Expr::fp_const(1.0)));
+  f.add_region(std::move(loop));  // x stays shared: preamble write races too
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::SharedScalarWrite, "var_1"}}));
+}
+
+TEST(GoldenCorpus, SharedScalarMixed) {
+  Fixture f;
+  const VarId y =
+      f.prog.add_var({"var_9", VarKind::FpScalar, VarRole::Param, FpWidth::F64, 0});
+  f.prog.add_param(y);
+  Block crit;
+  crit.stmts.push_back(
+      Stmt::assign(LValue{y, nullptr}, AssignOp::AddAssign, Expr::fp_const(1.0)));
+  Block loop;
+  loop.stmts.push_back(Stmt::omp_critical(std::move(crit)));
+  loop.stmts.push_back(
+      Stmt::assign(LValue{f.shared_x, nullptr}, AssignOp::Assign, Expr::var(y)));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.add_region(std::move(loop), std::move(clauses));
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::SharedScalarMixed, "var_9"}}));
+}
+
+TEST(GoldenCorpus, ArrayUnsafeWrite) {
+  Fixture f;
+  Block loop;
+  loop.stmts.push_back(Stmt::assign(LValue{f.arr, Expr::int_const(3)},
+                                    AssignOp::Assign, Expr::fp_const(1.0)));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.add_region(std::move(loop), std::move(clauses));
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::ArrayUnsafeWrite, "var_2"}}));
+}
+
+TEST(GoldenCorpus, ArrayMixedAccess) {
+  Fixture f;
+  Block loop;
+  loop.stmts.push_back(Stmt::assign(LValue{f.arr, Expr::thread_id()},
+                                    AssignOp::Assign, Expr::fp_const(1.0)));
+  loop.stmts.push_back(Stmt::assign(LValue{f.shared_x, nullptr}, AssignOp::Assign,
+                                    Expr::array(f.arr, Expr::var(f.i))));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.add_region(std::move(loop), std::move(clauses));
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::ArrayMixedAccess, "var_2"}}));
+}
+
+TEST(GoldenCorpus, UninitializedPrivate) {
+  Fixture f;
+  Block loop;
+  loop.stmts.push_back(Stmt::assign(LValue{f.comp, nullptr}, AssignOp::AddAssign,
+                                    Expr::var(f.shared_x)));
+  Block region;
+  region.stmts.push_back(
+      Stmt::for_loop(f.i, Expr::int_const(4), std::move(loop), true));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  clauses.reduction = ReductionOp::Sum;
+  f.prog.body().stmts.push_back(
+      Stmt::omp_parallel(std::move(clauses), std::move(region)));
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::UninitializedPrivate, "var_1"}}));
+}
+
+TEST(GoldenCorpus, FindingOrderIsUninitThenScalarsThenArrays) {
+  Fixture f;
+  // One region racing on comp (VarId 0), shared_x (VarId 1), and the array
+  // (VarId 2): scalars come first in VarId order, then the array.
+  Block loop;
+  loop.stmts.push_back(Stmt::assign(LValue{f.comp, nullptr}, AssignOp::AddAssign,
+                                    Expr::var(f.shared_x)));
+  loop.stmts.push_back(Stmt::assign(LValue{f.arr, Expr::int_const(3)},
+                                    AssignOp::Assign, Expr::fp_const(1.0)));
+  f.add_region(std::move(loop));  // shared_x stays shared: preamble write races
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::CompUnprotected, "comp"},
+                                  {RaceKind::SharedScalarWrite, "var_1"},
+                                  {RaceKind::ArrayUnsafeWrite, "var_2"}}));
+}
+
+TEST(GoldenCorpus, UninitializedFindingsLeadTheRegionReport) {
+  Fixture f;
+  const VarId p =
+      f.prog.add_var({"var_9", VarKind::FpScalar, VarRole::Param, FpWidth::F64, 0});
+  f.prog.add_param(p);
+  Block loop;
+  loop.stmts.push_back(
+      Stmt::assign(LValue{f.comp, nullptr}, AssignOp::AddAssign, Expr::var(p)));
+  Block region;
+  region.stmts.push_back(
+      Stmt::for_loop(f.i, Expr::int_const(4), std::move(loop), true));
+  OmpClauses clauses;
+  clauses.privates.push_back(p);  // read before assignment
+  f.prog.body().stmts.push_back(
+      Stmt::omp_parallel(std::move(clauses), std::move(region)));
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::UninitializedPrivate, "var_9"},
+                                  {RaceKind::CompUnprotected, "comp"}}));
 }
 
 TEST(RaceChecker, ToStringCoversAllKinds) {

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Layering lint for src/: fails when a module includes a higher layer.
+
+The dependency order of the library, lowest first:
+
+    support < fp < ast < {interp, emit, runtime} < profiler < analysis
+            < core < {harness, reduce}
+
+A file in module M may include headers from modules of rank <= rank(M);
+same-rank includes (within one module, or between modules sharing a rank)
+are fine. The inversion this guards against most directly: ast must never
+depend on fp's classification tables (fixed in PR 1), and fp must never
+grow an include of ast in return.
+
+tests/, bench/, and examples/ sit on top of everything and are exempt.
+
+Usage: tools/check_layering.py [repo_root]   (exits 1 on any violation)
+"""
+import re
+import sys
+from pathlib import Path
+
+RANK = {
+    "support": 0,
+    "fp": 1,
+    "ast": 2,
+    "interp": 3,
+    "emit": 3,
+    "runtime": 3,
+    "profiler": 4,
+    "analysis": 5,
+    "core": 6,
+    "harness": 7,
+    "reduce": 7,
+}
+
+# Grandfathered edges (includer-path, included-header), checked verbatim.
+# result_store's cache key reuses the outlier verdict vocabulary; inverting
+# that edge means moving the vocabulary, which is tracked on the roadmap.
+EXCEPTIONS = {
+    ("src/support/result_store.hpp", "core/outlier.hpp"),
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"check_layering: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    violations = []
+    checked = 0
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        module = path.relative_to(src).parts[0]
+        if module not in RANK:
+            violations.append(f"{rel}: unknown module '{module}' — add it to RANK")
+            continue
+        checked += 1
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            header = m.group(1)
+            target = header.split("/")[0]
+            if target not in RANK:
+                continue  # non-project include quoted by style
+            if (rel, header) in EXCEPTIONS:
+                continue
+            if RANK[target] > RANK[module]:
+                violations.append(
+                    f"{rel}:{lineno}: {module} (rank {RANK[module]}) includes "
+                    f'"{header}" ({target}, rank {RANK[target]})'
+                )
+            if module == "fp" and target == "ast":
+                # Redundant with the rank test, but stated explicitly: this
+                # is the PR 1 inversion and must never come back.
+                violations.append(f"{rel}:{lineno}: fp must not include ast")
+
+    if violations:
+        print(f"check_layering: {len(violations)} violation(s) in {checked} files:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print(f"check_layering: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
