@@ -2,6 +2,7 @@
 // an INI configuration file exactly like the paper's step (a).
 //
 //   $ ./campaign_demo [config.ini] [--resume] [--reduce] [--backends N]
+//                     [--inject-faults RATE]
 //
 // Without a config argument it uses a built-in 40-program configuration over
 // the simulated backend. Implementations whose value is a compile command
@@ -29,11 +30,20 @@
 // campaign_reductions.json. When the store is enabled the oracle shares it,
 // so a re-reduction replays candidate verdicts without executing anything.
 //
+// With `--inject-faults RATE` (or a `[faults]` config section) the harness's
+// own failure paths — batch dispatch, process-pool spawns, compiles, store
+// I/O — fail deterministically at the given per-site probability. Retries,
+// failover, and store degradation absorb transient faults completely, so the
+// JSON report written under injection is byte-identical to a fault-free
+// run's (the CI diffs exactly that); the retry/fault counters print to
+// stdout only.
+//
 // The report prints the Table I counts for the campaign plus the most
 // extreme outliers, and writes a machine-readable JSON report next to the
 // binary.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -44,6 +54,7 @@
 #include "harness/subprocess_executor.hpp"
 #include "reduce/campaign_reduce.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 #include "support/result_store.hpp"
 
 namespace {
@@ -83,6 +94,7 @@ int main(int argc, char** argv) {
   bool resume = false;
   bool reduce_divergent = false;
   int backends_override = 0;
+  double fault_rate_override = -1.0;
   std::string config_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--resume") == 0) {
@@ -96,6 +108,11 @@ int main(int argc, char** argv) {
       if (backends_override < 1) {
         throw ConfigError("--backends needs a positive count");
       }
+    } else if (std::strcmp(argv[a], "--inject-faults") == 0) {
+      fault_rate_override = a + 1 < argc ? std::atof(argv[++a]) : -1.0;
+      if (fault_rate_override < 0.0 || fault_rate_override > 1.0) {
+        throw ConfigError("--inject-faults needs a rate in [0, 1]");
+      }
     } else {
       config_path = argv[a];
     }
@@ -103,6 +120,19 @@ int main(int argc, char** argv) {
   const ConfigFile file = !config_path.empty() ? ConfigFile::load(config_path)
                                                : ConfigFile::parse(kDefaultConfig);
   const CampaignConfig cfg = CampaignConfig::from_config(file);
+
+  FaultConfig faults = FaultConfig::from_config(file);
+  if (fault_rate_override >= 0.0) {
+    faults.enabled = true;
+    faults.rate = fault_rate_override;
+  }
+  faults.validate();
+  if (faults.enabled) {
+    FaultInjector::instance().configure(faults);
+    std::printf("fault injection: rate=%.3f seed=%llu sites=%s\n", faults.rate,
+                static_cast<unsigned long long>(faults.seed),
+                faults.sites.empty() ? "all" : faults.sites.c_str());
+  }
   std::printf("campaign: %d programs x %d inputs, alpha=%.2f beta=%.2f, "
               "%zu implementations\n\n",
               cfg.num_programs, cfg.inputs_per_program, cfg.alpha, cfg.beta,
@@ -230,6 +260,10 @@ int main(int argc, char** argv) {
   std::printf("%s\n",
               harness::render_analysis_summary(result,
                                                campaign.analysis_seconds())
+                  .c_str());
+  std::printf("%s\n",
+              harness::render_robustness_summary(
+                  result, campaign.robustness_counters())
                   .c_str());
   std::printf("%s\n", harness::render_outlier_list(result, 10).c_str());
 

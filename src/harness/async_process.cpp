@@ -18,6 +18,7 @@
 
 #include "support/config.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 #include "support/string_utils.hpp"
 
 namespace ompfuzz::harness {
@@ -403,7 +404,23 @@ void AsyncProcessPool::event_loop() {
       child.exclusive = pending.job.exclusive;
       child.deadline = now + std::chrono::milliseconds(pending.job.timeout_ms);
       child.on_done = std::move(pending.on_done);
+      // Injected exec failures and deadline stalls complete the job with the
+      // same exit-127/no-output shape a real unspawnable child produces —
+      // executors classify that as a harness failure, never an observation.
+      if (inject_fault(FaultSite::PoolExec) ||
+          inject_fault(FaultSite::PoolStall)) {
+        ProcessResult r;
+        r.exit_code = 127;
+        if (child.on_done) child.on_done(std::move(r));
+        continue;
+      }
       try {
+        if (inject_fault(FaultSite::PoolPipe)) {
+          throw Error("injected fault: pipe2() failed");
+        }
+        if (inject_fault(FaultSite::PoolFork)) {
+          throw Error("injected fault: fork() failed");
+        }
         const SpawnedChild spawned = spawn_child(pending.job.argv);
         child.pid = spawned.pid;
         child.out_fd = spawned.out_fd;
@@ -448,7 +465,16 @@ void AsyncProcessPool::event_loop() {
       }
     }
     wait_ms = std::max<std::int64_t>(wait_ms, 0);
-    poll(fds.data(), fds.size(), static_cast<int>(wait_ms));
+    if (inject_fault(FaultSite::PoolPoll)) {
+      // Injected poll hiccup (EINTR/EAGAIN shape): skip the multiplexed wait
+      // for one iteration. The service pass below still drains pipes and
+      // reaps exits, so the loop tolerates a flaky poll without losing
+      // children — a brief nap keeps a 100% fault rate from busy-spinning.
+      poll(nullptr, 0, 1);
+      for (auto& fd : fds) fd.revents = 0;
+    } else {
+      poll(fds.data(), fds.size(), static_cast<int>(wait_ms));
+    }
 
     if (fds[0].revents & POLLIN) {
       char buf[64];

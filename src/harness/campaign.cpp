@@ -6,10 +6,12 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 
 #include "core/race_checker.hpp"
 #include "emit/codegen.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
 
@@ -188,12 +190,35 @@ void collect_divergent(MergedShard& shard, const TestCase& test, int p) {
   }
 }
 
+/// A fabricated "the harness could not run this triple" result: Crash with
+/// harness_failure set, the shape every other infrastructure-failure path
+/// (spawn failure, compile timeout) already produces. Analyzed like a Crash
+/// within this campaign, never persisted, and — once retries are exhausted —
+/// surfaced as a QuarantineRecord.
+core::RunResult fabricated_run(const std::string& impl_name) {
+  core::RunResult result;
+  result.impl = impl_name;
+  result.status = core::RunStatus::Crash;
+  result.harness_failure = true;
+  return result;
+}
+
 /// Generates program `p` and runs every (input, implementation) pair of ONE
 /// backend's implementation subset that is not already in the result store.
 /// Pure function of the campaign config, the backend's executor, and the
 /// store contents (the store only ever holds what the executor would have
 /// produced); `exec_mutex` serializes executor calls when the backend is not
 /// thread-safe.
+///
+/// Fault tolerance: a batch the executor cannot deliver (it threw, returned
+/// a short batch, or an injected dispatch fault fired) is fabricated as
+/// harness failures instead of aborting the campaign, and every failed
+/// (input, impl) triple is re-dispatched up to retry.max_attempts times with
+/// bounded exponential backoff. Genuine observations are kept across
+/// retries — only the failed triples go back to the executor — so a
+/// transient fault leaves no trace in the merged result. Retrying stops
+/// early when `backend_dead` flips: the campaign's failover/quarantine
+/// machinery takes over from there.
 ///
 /// Each unit regenerates its own TestCase, so an N-backend campaign runs the
 /// generator N times per program. Deliberate: batches are backend-major, so
@@ -205,7 +230,9 @@ SubShard run_shard_unit(const Campaign& campaign, Executor& executor,
                         std::mutex* exec_mutex,
                         const std::vector<std::string>& impl_names,
                         const std::vector<std::string>& impl_identities,
-                        ResultStore* store, int p) {
+                        ResultStore* store, int p,
+                        RobustnessCounterCells* counters = nullptr,
+                        const std::atomic<bool>* backend_dead = nullptr) {
   SubShard shard;
   const TestCase test = campaign.make_test_case(p);
   shard.regeneration_attempts = test.regeneration_attempts;
@@ -242,60 +269,119 @@ SubShard run_shard_unit(const Campaign& campaign, Executor& executor,
     }
   }
 
-  // Batch the remaining triples: implementations sharing the same missing
+  // `need` marks the triples the executor still owes after the cache
+  // consult; dispatch_pending fills `runs` for exactly those and the retry
+  // loop below narrows `need` to whatever came back as a harness failure.
+  std::vector<char> need(ni * nj, 0);
+  for (std::size_t idx = 0; idx < ni * nj; ++idx) need[idx] = !have[idx];
+
+  // Batch the needed triples: implementations sharing the same missing
   // input set go to the executor in one run_batch call (the pipelined
   // backend overlaps all of its children), in implementation order. A cold
   // or store-less unit therefore degenerates to one batched call covering
   // every (input, impl) pair of this backend — and a fully warm unit
   // dispatches nothing at all. The input-major result order is part of the
   // run_batch contract.
-  struct BatchGroup {
-    std::vector<std::size_t> missing_inputs;
-    std::vector<std::size_t> impl_ids;
-  };
-  std::vector<BatchGroup> groups;
-  for (std::size_t j = 0; j < nj; ++j) {
-    std::vector<std::size_t> missing;
-    for (std::size_t i = 0; i < ni; ++i) {
-      if (!have[i * nj + j]) missing.push_back(i);
-    }
-    if (missing.empty()) continue;
-    auto it = std::find_if(groups.begin(), groups.end(), [&](const BatchGroup& g) {
-      return g.missing_inputs == missing;
-    });
-    if (it == groups.end()) {
-      groups.push_back({std::move(missing), {j}});
-    } else {
-      it->impl_ids.push_back(j);
-    }
-  }
-
-  for (const auto& group : groups) {
-    std::vector<std::string> group_impls;
-    group_impls.reserve(group.impl_ids.size());
-    for (const std::size_t j : group.impl_ids) group_impls.push_back(impl_names[j]);
-
-    std::vector<core::RunResult> batch;
-    {
-      std::unique_lock<std::mutex> lock;
-      if (exec_mutex != nullptr) lock = std::unique_lock<std::mutex>(*exec_mutex);
-      batch = executor.run_batch(test, group.missing_inputs, group_impls);
-    }
-    OMPFUZZ_CHECK(batch.size() == group.missing_inputs.size() * group_impls.size(),
-                  "executor returned a short batch");
-
-    for (std::size_t ii = 0; ii < group.missing_inputs.size(); ++ii) {
-      for (std::size_t jj = 0; jj < group.impl_ids.size(); ++jj) {
-        const std::size_t i = group.missing_inputs[ii];
-        const std::size_t j = group.impl_ids[jj];
-        core::RunResult& result = batch[ii * group.impl_ids.size() + jj];
-        if (store != nullptr && !impl_identities[j].empty() &&
-            !result.harness_failure) {
-          store->put(key_for(i, j), result);
-        }
-        runs[i * nj + j] = std::move(result);
+  //
+  // A batch the executor cannot deliver — it threw, returned the wrong
+  // number of results, or an injected dispatch fault fired — is fabricated
+  // as harness failures for its whole group. A short batch used to be a
+  // fatal invariant violation; on a multi-backend campaign that let one
+  // misbehaving backend abort everyone else's work, so it degrades to the
+  // same quarantine path every other infrastructure failure takes.
+  const auto dispatch_pending = [&] {
+    struct BatchGroup {
+      std::vector<std::size_t> missing_inputs;
+      std::vector<std::size_t> impl_ids;
+    };
+    std::vector<BatchGroup> groups;
+    for (std::size_t j = 0; j < nj; ++j) {
+      std::vector<std::size_t> missing;
+      for (std::size_t i = 0; i < ni; ++i) {
+        if (need[i * nj + j]) missing.push_back(i);
+      }
+      if (missing.empty()) continue;
+      auto it = std::find_if(groups.begin(), groups.end(), [&](const BatchGroup& g) {
+        return g.missing_inputs == missing;
+      });
+      if (it == groups.end()) {
+        groups.push_back({std::move(missing), {j}});
+      } else {
+        it->impl_ids.push_back(j);
       }
     }
+
+    for (const auto& group : groups) {
+      std::vector<std::string> group_impls;
+      group_impls.reserve(group.impl_ids.size());
+      for (const std::size_t j : group.impl_ids) group_impls.push_back(impl_names[j]);
+
+      std::vector<core::RunResult> batch;
+      bool delivered = !inject_fault(FaultSite::Dispatch);
+      if (delivered) {
+        try {
+          std::unique_lock<std::mutex> lock;
+          if (exec_mutex != nullptr) lock = std::unique_lock<std::mutex>(*exec_mutex);
+          batch = executor.run_batch(test, group.missing_inputs, group_impls);
+        } catch (const std::exception&) {
+          delivered = false;
+        }
+        if (delivered &&
+            batch.size() != group.missing_inputs.size() * group_impls.size()) {
+          delivered = false;  // short batch — see the note above
+        }
+      }
+      if (!delivered) {
+        for (const std::size_t i : group.missing_inputs) {
+          for (const std::size_t j : group.impl_ids) {
+            runs[i * nj + j] = fabricated_run(impl_names[j]);
+          }
+        }
+        continue;
+      }
+
+      for (std::size_t ii = 0; ii < group.missing_inputs.size(); ++ii) {
+        for (std::size_t jj = 0; jj < group.impl_ids.size(); ++jj) {
+          const std::size_t i = group.missing_inputs[ii];
+          const std::size_t j = group.impl_ids[jj];
+          core::RunResult& result = batch[ii * group.impl_ids.size() + jj];
+          if (store != nullptr && !impl_identities[j].empty() &&
+              !result.harness_failure) {
+            store->put(key_for(i, j), result);
+          }
+          runs[i * nj + j] = std::move(result);
+        }
+      }
+    }
+  };
+
+  dispatch_pending();
+
+  // Retry only the failed triples, with bounded exponential backoff. The
+  // re-dispatch is identical to the original (same TestCase, same RunKeys),
+  // so a triple that succeeds on any attempt is indistinguishable from one
+  // that succeeded immediately.
+  const RetryConfig& retry = campaign.config().retry;
+  std::int64_t delay_ms = std::min(retry.base_ms, retry.cap_ms);
+  for (int attempt = 1; attempt < retry.max_attempts; ++attempt) {
+    std::uint64_t failed = 0;
+    for (std::size_t idx = 0; idx < ni * nj; ++idx) {
+      need[idx] = need[idx] && runs[idx].harness_failure;
+      if (need[idx]) ++failed;
+    }
+    if (failed == 0) break;
+    if (backend_dead != nullptr && backend_dead->load(std::memory_order_acquire)) {
+      break;  // the campaign's failover/quarantine path takes over
+    }
+    if (counters != nullptr) {
+      counters->retry_rounds.fetch_add(1, std::memory_order_relaxed);
+      counters->retried_triples.fetch_add(failed, std::memory_order_relaxed);
+    }
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    delay_ms = std::min(retry.cap_ms, delay_ms * 2);
+    dispatch_pending();
   }
 
   shard.tainted = std::any_of(runs.begin(), runs.end(),
@@ -303,6 +389,35 @@ SubShard run_shard_unit(const Campaign& campaign, Executor& executor,
                                 return r.harness_failure;
                               });
   shard.runs = std::move(runs);
+  shard.done = true;
+  return shard;
+}
+
+/// Sub-shard of a dead backend with no compatible spare: every run is a
+/// fabricated harness failure, but the program metadata (name, fingerprint,
+/// input serializations, regeneration count) is still generated for real so
+/// the merge and the split-invariant static-analysis accounting see the same
+/// program every healthy backend sees. Always tainted — never journaled.
+SubShard fabricate_shard_unit(const Campaign& campaign,
+                              const std::vector<std::string>& impl_names,
+                              int p) {
+  SubShard shard;
+  const TestCase test = campaign.make_test_case(p);
+  shard.regeneration_attempts = test.regeneration_attempts;
+  shard.program_name = test.program.name();
+  shard.fingerprint = test.program.fingerprint();
+  const auto ni = static_cast<std::size_t>(campaign.config().inputs_per_program);
+  shard.input_texts.resize(ni);
+  for (std::size_t i = 0; i < ni; ++i) {
+    shard.input_texts[i] = test.inputs[i].to_string();
+  }
+  shard.runs.reserve(ni * impl_names.size());
+  for (std::size_t i = 0; i < ni; ++i) {
+    for (const auto& name : impl_names) {
+      shard.runs.push_back(fabricated_run(name));
+    }
+  }
+  shard.tainted = true;
   shard.done = true;
   return shard;
 }
@@ -347,6 +462,21 @@ SubShard from_stored(const StoredShard& stored) {
 }
 
 }  // namespace
+
+void Campaign::add_failover(Executor* spare) {
+  OMPFUZZ_CHECK(spare != nullptr, "failover spare needs an executor");
+  failover_.push_back(spare);
+}
+
+RobustnessCounters Campaign::robustness_counters() const noexcept {
+  RobustnessCounters c;
+  c.retried_triples = counters_.retried_triples.load(std::memory_order_relaxed);
+  c.retry_rounds = counters_.retry_rounds.load(std::memory_order_relaxed);
+  c.failover_units = counters_.failover_units.load(std::memory_order_relaxed);
+  c.fabricated_units = counters_.fabricated_units.load(std::memory_order_relaxed);
+  c.journal_failures = counters_.journal_failures.load(std::memory_order_relaxed);
+  return c;
+}
 
 std::uint64_t Campaign::checkpoint_key() const {
   const auto& g = config_.generator;
@@ -416,6 +546,103 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
       exec_mutexes[b] = std::make_unique<std::mutex>();
     }
   }
+
+  // Fresh robustness telemetry for this run.
+  counters_.retried_triples.store(0, std::memory_order_relaxed);
+  counters_.retry_rounds.store(0, std::memory_order_relaxed);
+  counters_.failover_units.store(0, std::memory_order_relaxed);
+  counters_.fabricated_units.store(0, std::memory_order_relaxed);
+  counters_.journal_failures.store(0, std::memory_order_relaxed);
+
+  // Backend health: a backend whose units keep coming back fully exhausted
+  // (tainted even after run_shard_unit's retries) is declared dead after
+  // `retry.backend_death_threshold` consecutive tainted sub-shards. From
+  // then on its units go to a matching failover spare — or, with no spare,
+  // are fabricated without touching the executor and surface as quarantined
+  // triples plus a lost_backends entry.
+  struct BackendHealth {
+    std::atomic<int> consecutive{0};
+    std::atomic<bool> dead{false};
+  };
+  std::vector<BackendHealth> health(nb);
+
+  // Spare assignment: each backend gets the first unclaimed spare whose
+  // implementation list and per-name cache identities match it exactly —
+  // the condition under which substitution is invisible in the merged
+  // result (identical RunKeys, identical report columns).
+  std::vector<int> spare_for(nb, -1);
+  std::vector<std::unique_ptr<std::mutex>> spare_mutexes(failover_.size());
+  {
+    std::vector<char> spare_taken(failover_.size(), 0);
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t s = 0; s < failover_.size(); ++s) {
+        if (spare_taken[s]) continue;
+        if (failover_[s]->implementations() != backend_impls[b]) continue;
+        bool identical = true;
+        for (std::size_t j = 0; j < backend_impls[b].size(); ++j) {
+          if (store_impl_identity(backend_impls[b][j],
+                                  failover_[s]->impl_identity(
+                                      backend_impls[b][j])) !=
+              backend_identities[b][j]) {
+            identical = false;
+            break;
+          }
+        }
+        if (!identical) continue;
+        spare_taken[s] = 1;
+        spare_for[b] = static_cast<int>(s);
+        if (!failover_[s]->thread_safe()) {
+          spare_mutexes[s] = std::make_unique<std::mutex>();
+        }
+        break;
+      }
+    }
+  }
+
+  // Executes one (program, backend) unit through whatever path the backend's
+  // health dictates, updating the health streak on the primary path. Shared
+  // by the scheduler's run_unit, the merge-time staleness repair, and the
+  // post-scheduler failover sweep.
+  const auto execute_unit = [&](std::size_t b, int p) -> SubShard {
+    if (health[b].dead.load(std::memory_order_acquire)) {
+      const int s = spare_for[b];
+      if (s >= 0) {
+        counters_.failover_units.fetch_add(1, std::memory_order_relaxed);
+        return run_shard_unit(*this, *failover_[static_cast<std::size_t>(s)],
+                              spare_mutexes[static_cast<std::size_t>(s)].get(),
+                              backend_impls[b], backend_identities[b], store_, p,
+                              &counters_, nullptr);
+      }
+      counters_.fabricated_units.fetch_add(1, std::memory_order_relaxed);
+      return fabricate_shard_unit(*this, backend_impls[b], p);
+    }
+    SubShard shard = run_shard_unit(*this, *backends_[b].executor,
+                                    exec_mutexes[b].get(), backend_impls[b],
+                                    backend_identities[b], store_, p,
+                                    &counters_, &health[b].dead);
+    if (shard.tainted) {
+      const int streak =
+          health[b].consecutive.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (streak >= config_.retry.backend_death_threshold) {
+        health[b].dead.store(true, std::memory_order_release);
+      }
+    } else {
+      health[b].consecutive.store(0, std::memory_order_relaxed);
+    }
+    return shard;
+  };
+
+  // Journal appends never abort the campaign: a failed append only means
+  // this unit re-executes on resume, which is strictly better than tearing
+  // the run down from a worker thread.
+  const auto journal_append = [&](const SubShard& shard, int p, std::size_t b) {
+    if (journal_ == nullptr || shard.tainted) return;
+    try {
+      journal_->append(to_stored(shard, p, static_cast<int>(b)));
+    } catch (const std::exception&) {
+      counters_.journal_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
 
   // Phase 0: restore completed sub-shards from the checkpoint journal.
   // Verdicts and divergence are recomputed from the stored raw runs by the
@@ -499,16 +726,11 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   const auto run_unit = [&](const ShardUnit& unit) {
     const auto p = static_cast<std::size_t>(unit.program_index);
     const std::size_t b = unit.backend;
-    SubShard shard = run_shard_unit(
-        *this, *backends_[b].executor, exec_mutexes[b].get(), backend_impls[b],
-        backend_identities[b], store_, unit.program_index);
+    SubShard shard = execute_unit(b, unit.program_index);
     // A sub-shard tainted by a harness failure (compile/spawn infrastructure
     // error) is not checkpointed: resuming must re-execute it rather than
     // replay the transient failure as an observation.
-    if (journal_ != nullptr && !shard.tainted) {
-      journal_->append(
-          to_stored(shard, unit.program_index, static_cast<int>(b)));
-    }
+    journal_append(shard, unit.program_index, b);
     grid[p][b] = std::move(shard);
     if (remaining[p].fetch_sub(1, std::memory_order_acq_rel) == 1 && progress) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
@@ -519,6 +741,25 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   const ShardScheduler scheduler(nb, scheduler_,
                                  resolve_thread_count(config_.threads));
   scheduler_stats_ = scheduler.run(pending, run_unit);
+
+  // Failover sweep: units of a dead backend that exhausted their retries
+  // BEFORE the death was detected (the streak that killed it) are re-run on
+  // its spare, restoring the exact runs a healthy campaign would have
+  // produced — a backend lost mid-campaign with a compatible spare leaves no
+  // trace in the merged result. Dead backends without a spare are reported
+  // as lost; their fabricated columns stay and become quarantine records.
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (!health[b].dead.load(std::memory_order_acquire)) continue;
+    if (spare_for[b] < 0) {
+      result.robustness.lost_backends.push_back(backends_[b].name);
+      continue;
+    }
+    for (std::size_t p = 0; p < np; ++p) {
+      if (!grid[p][b].tainted) continue;
+      grid[p][b] = execute_unit(b, static_cast<int>(p));
+      journal_append(grid[p][b], static_cast<int>(p), b);
+    }
+  }
 
   // Phase 2: ordered merge + aggregation. Every program's sub-shards are
   // joined — backend columns concatenated per input row — classified, and
@@ -557,14 +798,8 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
         if (row[b].fingerprint == live_fp && row[b].input_texts == truth_inputs) {
           continue;
         }
-        row[b] = run_shard_unit(*this, *backends_[b].executor,
-                                exec_mutexes[b].get(), backend_impls[b],
-                                backend_identities[b], store_,
-                                static_cast<int>(p));
-        if (journal_ != nullptr && !row[b].tainted) {
-          journal_->append(to_stored(row[b], static_cast<int>(p),
-                                     static_cast<int>(b)));
-        }
+        row[b] = execute_unit(b, static_cast<int>(p));
+        journal_append(row[b], static_cast<int>(p), b);
       }
     }
 
@@ -647,6 +882,14 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
         ++result.total_runs;
         if (outcome.runs[r].status == core::RunStatus::Skipped) {
           ++result.skipped_runs;
+        }
+        // A fabricated run surviving to the merge means retries and failover
+        // were both exhausted for this triple — quarantine it. The ordered
+        // merge makes the record list deterministic.
+        if (outcome.runs[r].harness_failure) {
+          result.robustness.quarantined.push_back(
+              {static_cast<int>(p), outcome.input_index, outcome.runs[r].impl,
+               outcome.program_name});
         }
         auto& counts = result.per_impl[outcome.runs[r].impl];
         switch (outcome.verdict.per_run[r]) {

@@ -80,6 +80,54 @@ struct StaticAnalysisStats {
   std::array<int, analysis::kNumRaceKinds> findings_by_kind{};
 };
 
+/// One (program, input, implementation) triple whose run could not be
+/// obtained even after retry and failover: the merged result carries a
+/// fabricated Crash run (harness_failure) in that column, and the report's
+/// `robustness` block lists the triple. Content and order are deterministic
+/// (programs in order, inputs in order, implementations in column order), so
+/// the block is split-invariant like the rest of the JSON.
+struct QuarantineRecord {
+  int program_index = 0;
+  int input_index = 0;
+  std::string impl;
+  std::string program_name;
+};
+
+/// Robustness accounting that is safe to keep in the report JSON. Under a
+/// fault-free campaign — and equally under transient injected faults that
+/// retries and failover fully absorb — both lists are empty, which is what
+/// keeps a fault-injected report byte-identical to the clean baseline. Only
+/// permanently lost work appears here.
+struct RobustnessStats {
+  std::vector<QuarantineRecord> quarantined;
+  /// Backends marked dead with no compatible failover spare: their remaining
+  /// columns are fabricated (and quarantined) from the death point on.
+  std::vector<std::string> lost_backends;
+};
+
+/// Stdout-only robustness telemetry of the last run(). These counters vary
+/// with fault timing and thread interleaving (how many retries fired, when a
+/// backend was declared dead), so — like Campaign::analysis_seconds() — they
+/// stay out of CampaignResult and the JSON; render_robustness_summary prints
+/// them next to the deterministic RobustnessStats.
+struct RobustnessCounters {
+  std::uint64_t retried_triples = 0;   ///< (input, impl) triples re-dispatched
+  std::uint64_t retry_rounds = 0;      ///< backoff rounds slept before retrying
+  std::uint64_t failover_units = 0;    ///< sub-shards executed by a spare
+  std::uint64_t fabricated_units = 0;  ///< sub-shards fabricated without dispatch
+  std::uint64_t journal_failures = 0;  ///< checkpoint appends that failed
+};
+
+/// Internal lock-free accumulators behind Campaign::robustness_counters();
+/// campaign workers bump them concurrently.
+struct RobustnessCounterCells {
+  std::atomic<std::uint64_t> retried_triples{0};
+  std::atomic<std::uint64_t> retry_rounds{0};
+  std::atomic<std::uint64_t> failover_units{0};
+  std::atomic<std::uint64_t> fabricated_units{0};
+  std::atomic<std::uint64_t> journal_failures{0};
+};
+
 struct CampaignResult {
   std::vector<std::string> impl_names;
   std::vector<TestOutcome> outcomes;
@@ -94,6 +142,7 @@ struct CampaignResult {
   int skipped_runs = 0;      ///< interpreter budget exceeded
   int regenerated_programs = 0;  ///< racy drafts discarded during generation
   StaticAnalysisStats analysis;  ///< generation-phase race-filter accounting
+  RobustnessStats robustness;    ///< quarantined triples + lost backends
 
   [[nodiscard]] int outlier_runs() const;
   [[nodiscard]] double outlier_rate() const;  ///< outlier runs / total runs
@@ -155,6 +204,21 @@ class Campaign {
     resume_ = resume;
   }
 
+  /// Registers a failover spare (not owned; callable any time before run()).
+  /// A spare stands in for the first backend that is declared dead (see
+  /// RetryConfig::backend_death_threshold) whose executor it matches exactly:
+  /// the same implementations() in the same order and the same
+  /// impl_identity() per name. The match makes substitution invisible — the
+  /// spare's runs carry identical RunKeys and merge into identical reports —
+  /// so a campaign that loses a backend mid-run still completes
+  /// byte-identically. Each spare replaces at most one backend; spares whose
+  /// identities match no dead backend are never touched.
+  void add_failover(Executor* spare);
+
+  /// Stdout-only retry/failover telemetry of the last run(); see
+  /// RobustnessCounters for why it stays out of CampaignResult.
+  [[nodiscard]] RobustnessCounters robustness_counters() const noexcept;
+
   /// Hash of everything that determines sub-shard contents and ownership:
   /// seed, per-program input count, the full generator config, and the
   /// backend split — each backend's name plus its implementations' names and
@@ -190,6 +254,7 @@ class Campaign {
  private:
   CampaignConfig config_;
   std::vector<CampaignBackend> backends_;
+  std::vector<Executor*> failover_;  ///< spares, in registration order
   SchedulerConfig scheduler_;
   core::ProgramGenerator generator_;
   ResultStore* store_ = nullptr;
@@ -199,6 +264,8 @@ class Campaign {
   SchedulerStats scheduler_stats_;
   /// Accumulated by make_test_case, which is const and runs on workers.
   mutable std::atomic<std::uint64_t> analysis_nanos_{0};
+  /// Retry/failover telemetry of the last run(); reset by run().
+  RobustnessCounterCells counters_;
 };
 
 /// Finds the analyzable outcome where `impl` is flagged with `kind`,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault_injection.hpp"
 #include "support/json_writer.hpp"
 #include "support/string_utils.hpp"
 #include "support/table.hpp"
@@ -140,6 +141,40 @@ std::string render_analysis_summary(const CampaignResult& result,
   return out;
 }
 
+std::string render_robustness_summary(const CampaignResult& result,
+                                      const RobustnessCounters& counters) {
+  std::string out = "robustness: " + std::to_string(counters.retried_triples) +
+                    " triples retried in " +
+                    std::to_string(counters.retry_rounds) + " rounds, " +
+                    std::to_string(counters.failover_units) +
+                    " sub-shards failed over, " +
+                    std::to_string(counters.fabricated_units) +
+                    " fabricated\n";
+  out += "  quarantined triples: " +
+         std::to_string(result.robustness.quarantined.size()) + "\n";
+  if (!result.robustness.lost_backends.empty()) {
+    out += "  lost backends: " + join(result.robustness.lost_backends, ", ") + "\n";
+  }
+  if (counters.journal_failures > 0) {
+    out += "  journal write failures: " +
+           std::to_string(counters.journal_failures) + "\n";
+  }
+  const FaultInjector& injector = FaultInjector::instance();
+  if (injector.enabled()) {
+    out += "  fault injection: " + std::to_string(injector.total_injected()) +
+           " faults injected\n";
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      const auto site = static_cast<FaultSite>(s);
+      const auto stats = injector.site_stats(site);
+      if (stats.checked == 0) continue;
+      out += "    " + std::string(to_string(site)) + ": " +
+             std::to_string(stats.injected) + "/" +
+             std::to_string(stats.checked) + " fired\n";
+    }
+  }
+  return out;
+}
+
 std::string to_json(const CampaignResult& result) {
   JsonWriter json;
   json.begin_object();
@@ -163,6 +198,28 @@ std::string to_json(const CampaignResult& result) {
             result.analysis.findings_by_kind[static_cast<std::size_t>(k)]));
   }
   json.end_object();
+  json.end_object();
+
+  // Split-invariant like static_analysis, and additionally empty whenever
+  // retries/failover absorbed every fault — which is how a fault-injected
+  // campaign's report diffs byte-identical against the clean baseline. Only
+  // permanently lost work (exhausted triples, dead backend with no spare)
+  // appears here; the variable how-hard-did-we-try counters are stdout-only
+  // (render_robustness_summary).
+  json.key("robustness").begin_object();
+  json.key("quarantined").begin_array();
+  for (const auto& q : result.robustness.quarantined) {
+    json.begin_object();
+    json.key("program").value(q.program_name);
+    json.key("program_index").value(static_cast<std::int64_t>(q.program_index));
+    json.key("input_index").value(static_cast<std::int64_t>(q.input_index));
+    json.key("impl").value(q.impl);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("lost_backends").begin_array();
+  for (const auto& name : result.robustness.lost_backends) json.value(name);
+  json.end_array();
   json.end_object();
 
   json.key("per_impl").begin_object();

@@ -44,4 +44,13 @@ namespace ompfuzz::harness {
 [[nodiscard]] std::string render_analysis_summary(const CampaignResult& result,
                                                   double analysis_seconds);
 
+/// Retry/failover/fault-injection summary: the deterministic RobustnessStats
+/// (quarantined triples, lost backends — also in the JSON's `robustness`
+/// block) next to the wall-clock-style counters (retries fired, sub-shards
+/// failed over, per-site fault-injection hits), which are nondeterministic
+/// and therefore stdout-only, exactly like the analysis timing above. Pass
+/// Campaign::robustness_counters() as `counters`.
+[[nodiscard]] std::string render_robustness_summary(
+    const CampaignResult& result, const RobustnessCounters& counters);
+
 }  // namespace ompfuzz::harness

@@ -12,6 +12,7 @@
 
 #include "emit/codegen.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 #include "support/string_utils.hpp"
 
 namespace ompfuzz::harness {
@@ -97,7 +98,23 @@ SubprocessExecutor::ensure_binary(const TestCase& test,
   {
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     if (const auto it = binary_cache_.find(key); it != binary_cache_.end()) {
-      return it->second;
+      // A cached compile that the HARNESS failed to run (spawn failure,
+      // compile timeout) must not satisfy later requests: the retry layer
+      // re-dispatches exactly such triples, and serving the stale failure
+      // would make every retry fail forever. Evict it and recompile.
+      // Genuine rejections (compiler diagnosed the program) stay cached.
+      bool stale_failure = false;
+      if (it->second.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        try {
+          stale_failure = it->second.get().harness_failure;
+        } catch (...) {
+          stale_failure = true;  // poisoned promise: retry the compile
+        }
+      }
+      if (!stale_failure) return it->second;
+      binary_cache_.erase(it);
+      artifact_stems_.erase(key);
     }
     // Insert the future before compiling: a second thread asking for the
     // same (program, impl) waits on it instead of clobbering the same
@@ -120,6 +137,16 @@ SubprocessExecutor::ensure_binary(const TestCase& test,
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     artifact_stems_[key] = stem;
   }
+  // Injected compile-spawn failure: the harness could not even launch the
+  // compiler. Same CompileOutcome shape as a real spawn failure, so the
+  // retry layer (which evicts harness-failed compiles above) exercises the
+  // exact recovery path a loaded machine would need.
+  if (inject_fault(FaultSite::CompileSpawn)) {
+    CompileOutcome outcome;
+    outcome.harness_failure = true;
+    promise->set_value(std::move(outcome));
+    return future;
+  }
   // Any failure from here on must poison the cached promise, or every later
   // requester of this key would block forever on a future nobody fulfills.
   try {
@@ -135,6 +162,9 @@ SubprocessExecutor::ensure_binary(const TestCase& test,
     job.timeout_ms = options_.compile_timeout_ms;
     pool_.submit(std::move(job), [promise, bin](ProcessResult compile) {
       CompileOutcome outcome;
+      // Injected compile deadline: a finished compile is reclassified as
+      // timed out (harness failure), exactly what a stalled machine does.
+      if (inject_fault(FaultSite::CompileTimeout)) compile.timed_out = true;
       if (!compile.timed_out && !compile.signaled && compile.exit_code == 0) {
         outcome.bin = bin;
       } else {

@@ -230,6 +230,28 @@ void SchedulerConfig::validate() const {
   if (batch_size < 1) throw ConfigError("scheduler.batch_size must be >= 1");
 }
 
+RetryConfig RetryConfig::from_config(const ConfigFile& file) {
+  RetryConfig r;
+  r.max_attempts = get_config_int(file, "retry.max_attempts", r.max_attempts);
+  r.base_ms = file.get_int("retry.base_ms", r.base_ms);
+  r.cap_ms = file.get_int("retry.cap_ms", r.cap_ms);
+  r.backend_death_threshold = get_config_int(
+      file, "retry.backend_death_threshold", r.backend_death_threshold);
+  r.validate();
+  return r;
+}
+
+void RetryConfig::validate() const {
+  if (max_attempts < 1) {
+    throw ConfigError("retry.max_attempts must be >= 1 (1 = no retries)");
+  }
+  if (base_ms < 0) throw ConfigError("retry.base_ms must be >= 0");
+  if (cap_ms < 0) throw ConfigError("retry.cap_ms must be >= 0");
+  if (backend_death_threshold < 1) {
+    throw ConfigError("retry.backend_death_threshold must be >= 1");
+  }
+}
+
 StoreConfig StoreConfig::from_config(const ConfigFile& file) {
   StoreConfig s;
   s.enabled = file.get_bool("store.enabled", s.enabled);
@@ -248,6 +270,7 @@ void StoreConfig::validate() const {
 CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {
   CampaignConfig c;
   c.generator = GeneratorConfig::from_config(file);
+  c.retry = RetryConfig::from_config(file);
   c.num_programs = get_config_int(file, "campaign.num_programs", c.num_programs);
   c.inputs_per_program =
       get_config_int(file, "campaign.inputs_per_program", c.inputs_per_program);
@@ -281,6 +304,7 @@ CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {
 
 void CampaignConfig::validate() const {
   generator.validate();
+  retry.validate();
   if (num_programs < 1) throw ConfigError("num_programs must be >= 1");
   if (inputs_per_program < 1) throw ConfigError("inputs_per_program must be >= 1");
   if (alpha <= 0.0) throw ConfigError("alpha must be > 0");

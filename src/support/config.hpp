@@ -155,9 +155,59 @@ struct StoreConfig {
   void validate() const;
 };
 
+/// Knobs for per-triple retry of harness failures (the [retry] section).
+/// A (program, input, implementation) triple whose run came back fabricated
+/// (harness_failure: fork/pipe exhaustion, compile timeout, dispatch error)
+/// is re-dispatched with bounded exponential backoff; a triple that exhausts
+/// its attempts is quarantined into a structured record instead of looping
+/// or aborting the campaign. Retried results are real executor results, so
+/// retries never change a campaign report — they only recover runs the
+/// infrastructure would otherwise have lost.
+struct RetryConfig {
+  /// Total dispatch attempts per triple (1 = no retries).
+  int max_attempts = 3;
+  /// Backoff before retry attempt k is base_ms * 2^(k-1), capped at cap_ms.
+  std::int64_t base_ms = 10;
+  std::int64_t cap_ms = 2000;
+  /// A backend whose workers complete this many CONSECUTIVE sub-shards that
+  /// still contain harness failures after retries is marked dead: its
+  /// pending sub-shards migrate to a registered failover executor with
+  /// identical implementation identities when one exists, and are fabricated
+  /// as quarantined losses otherwise.
+  int backend_death_threshold = 4;
+
+  /// Reads the [retry] section; unspecified keys keep their defaults.
+  static RetryConfig from_config(const ConfigFile& file);
+  /// Validates ranges; throws ConfigError otherwise.
+  void validate() const;
+};
+
+/// Knobs for deterministic fault injection (the [faults] section). Consumed
+/// by support/fault_injection.hpp; every injectable harness failure path
+/// (process-pool spawn/poll/deadline, compile spawn/timeout, store
+/// write/fsync/read) consults the process-wide FaultInjector.
+struct FaultConfig {
+  /// Off by default: production campaigns never self-sabotage.
+  bool enabled = false;
+  /// Probability that one consultation of an enabled site fails.
+  double rate = 0.0;
+  /// Seed of the deterministic decision stream (per-site ordinals hash
+  /// against it, so a serial run replays the same fault schedule).
+  std::uint64_t seed = 0xFA17;
+  /// Comma-separated site names to enable (see fault_injection.hpp);
+  /// empty = all sites.
+  std::string sites;
+
+  /// Reads the [faults] section; unspecified keys keep their defaults.
+  static FaultConfig from_config(const ConfigFile& file);
+  /// Validates ranges and site names; throws ConfigError otherwise.
+  void validate() const;
+};
+
 /// Campaign-level configuration (Fig. 1 steps (a)-(d); Section V-A).
 struct CampaignConfig {
   GeneratorConfig generator;
+  RetryConfig retry;
   std::vector<ImplementationSpec> implementations;
   int num_programs = 200;
   int inputs_per_program = 3;

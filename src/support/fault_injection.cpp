@@ -1,0 +1,144 @@
+#include "support/fault_injection.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
+
+namespace ompfuzz {
+
+namespace {
+
+constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
+    "dispatch",       "pool_pipe",      "pool_fork",  "pool_exec",
+    "pool_stall",     "pool_poll",      "compile_spawn", "compile_timeout",
+    "store_write",    "store_fsync",    "store_read_short",
+    "store_read_corrupt",
+};
+
+/// splitmix64 finalizer: full-avalanche integer mix, so consecutive ordinals
+/// decide independently (FNV over the raw bytes would correlate them).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(FaultSite site) noexcept {
+  const int i = static_cast<int>(site);
+  return i >= 0 && i < kNumFaultSites ? kSiteNames[static_cast<std::size_t>(i)]
+                                      : "?";
+}
+
+std::optional<FaultSite> fault_site_by_name(std::string_view name) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    if (name == kSiteNames[static_cast<std::size_t>(i)]) {
+      return static_cast<FaultSite>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+FaultConfig FaultConfig::from_config(const ConfigFile& file) {
+  FaultConfig f;
+  f.enabled = file.get_bool("faults.enabled", f.enabled);
+  f.rate = file.get_double("faults.rate", f.rate);
+  f.seed = static_cast<std::uint64_t>(
+      file.get_int("faults.seed", static_cast<std::int64_t>(f.seed)));
+  f.sites = file.get_or("faults.sites", f.sites);
+  f.validate();
+  return f;
+}
+
+void FaultConfig::validate() const {
+  if (rate < 0.0 || rate > 1.0) {
+    throw ConfigError("faults.rate must be in [0,1]");
+  }
+  for (const auto& token : split(sites, ',')) {
+    const auto name = trim(token);
+    if (name.empty()) continue;
+    if (!fault_site_by_name(name)) {
+      throw ConfigError("faults.sites names unknown site '" +
+                        std::string(name) + "'");
+    }
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const FaultConfig& config) {
+  config.validate();
+  disable();
+  if (!config.enabled || config.rate <= 0.0) return;
+
+  std::uint64_t mask = 0;
+  if (config.sites.empty()) {
+    mask = (std::uint64_t{1} << kNumFaultSites) - 1;
+  } else {
+    for (const auto& token : split(config.sites, ',')) {
+      const auto name = trim(token);
+      if (name.empty()) continue;
+      mask |= std::uint64_t{1}
+              << static_cast<int>(*fault_site_by_name(name));
+    }
+  }
+  // rate scaled to the full 64-bit hash range; rate == 1.0 must fire on
+  // every check, so saturate instead of rounding into 2^64 overflow.
+  const std::uint64_t threshold =
+      config.rate >= 1.0
+          ? ~std::uint64_t{0}
+          : static_cast<std::uint64_t>(
+                std::ldexp(config.rate, 64));
+  threshold_.store(threshold, std::memory_order_relaxed);
+  seed_.store(config.seed, std::memory_order_relaxed);
+  site_mask_.store(mask, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disable() {
+  enabled_.store(false, std::memory_order_release);
+  for (auto& c : checked_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fail(FaultSite site) {
+  if (!enabled_.load(std::memory_order_acquire)) return false;
+  const auto i = static_cast<std::size_t>(site);
+  if ((site_mask_.load(std::memory_order_relaxed) &
+       (std::uint64_t{1} << i)) == 0) {
+    return false;
+  }
+  // The ordinal doubles as the check counter: per-site, so one site's
+  // decision stream does not shift when another site gains callers.
+  const std::uint64_t ordinal =
+      checked_[i].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h =
+      mix64(hash_combine(seed_.load(std::memory_order_relaxed),
+                         hash_combine(static_cast<std::uint64_t>(i) + 1,
+                                      ordinal)));
+  const std::uint64_t threshold = threshold_.load(std::memory_order_relaxed);
+  const bool fire = threshold == ~std::uint64_t{0} || h < threshold;
+  if (fire) injected_[i].fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+FaultInjector::SiteStats FaultInjector::site_stats(FaultSite site) const {
+  const auto i = static_cast<std::size_t>(site);
+  return {checked_[i].load(std::memory_order_relaxed),
+          injected_[i].load(std::memory_order_relaxed)};
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& c : injected_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace ompfuzz

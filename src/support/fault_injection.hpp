@@ -1,0 +1,118 @@
+// Deterministic, seeded fault injection for the harness's own failure paths.
+//
+// At campaign scale (the ROADMAP's distributed-fleet target) transient
+// infrastructure failure — a fork that returns EAGAIN, a compile that times
+// out on a loaded machine, an fsync that hits ENOSPC — is the common case,
+// not the exception. Every such path fabricates a harness_failure result or
+// degrades a cache, and every one of them must be testable on demand instead
+// of waiting for the machine to misbehave. FaultInjector is that switch: a
+// process-wide, seeded decision source consulted at each injectable site
+// (`inject_fault(FaultSite::...)`). Decisions are a pure function of
+// (seed, site, per-site ordinal), so a serial run replays the same fault
+// stream every time; per-site counters report what fired.
+//
+// Injection is OFF by default and costs one relaxed atomic load per site
+// when disabled. The sites only ever simulate failures of the HARNESS
+// (results marked harness_failure, cache misses, lost writes) — never a
+// fake observation of a tested implementation — so with transient faults
+// and retries enabled the final campaign report stays byte-identical to a
+// fault-free run.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/config.hpp"
+
+namespace ompfuzz {
+
+/// Every injectable failure site in the harness. One enumerator per distinct
+/// code path that can fabricate a harness failure or degrade a cache.
+enum class FaultSite : int {
+  Dispatch = 0,      ///< campaign batch dispatch to an executor fails
+  PoolPipe,          ///< AsyncProcessPool: pipe2() fails while spawning
+  PoolFork,          ///< AsyncProcessPool: fork() fails while spawning
+  PoolExec,          ///< AsyncProcessPool: exec fails (child exits 127)
+  PoolStall,         ///< AsyncProcessPool: deadline machinery loses the child
+  PoolPoll,          ///< AsyncProcessPool: poll() hiccup (EINTR-like skip)
+  CompileSpawn,      ///< SubprocessExecutor: compile job cannot be spawned
+  CompileTimeout,    ///< SubprocessExecutor: compile deadline expires
+  StoreWrite,        ///< ResultStore: record write fails (e.g. ENOSPC)
+  StoreFsync,        ///< ResultStore: record fsync fails
+  StoreReadShort,    ///< ResultStore: record read returns a short buffer
+  StoreReadCorrupt,  ///< ResultStore: record read returns corrupt bytes
+};
+inline constexpr int kNumFaultSites = 12;
+
+[[nodiscard]] const char* to_string(FaultSite site) noexcept;
+/// Parses a site name as printed by to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<FaultSite> fault_site_by_name(std::string_view name);
+
+/// Process-wide fault-injection switch. Thread-safe: sites consult it from
+/// campaign workers, the process-pool event loop, and store callers alike.
+/// configure()/disable() must not race should_fail() from a live campaign —
+/// callers flip injection while the harness is idle (tests, demo startup).
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Installs `config` (validated) and resets every counter. With
+  /// config.enabled false this is equivalent to disable().
+  void configure(const FaultConfig& config);
+
+  /// Turns injection off and resets every counter.
+  void disable();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// One consultation at `site`: counts the check and returns true when the
+  /// site must fail now. Deterministic: the decision hashes (seed, site,
+  /// per-site ordinal), so the N-th check of one site always decides the
+  /// same way for one seed.
+  [[nodiscard]] bool should_fail(FaultSite site);
+
+  struct SiteStats {
+    std::uint64_t checked = 0;   ///< should_fail consultations
+    std::uint64_t injected = 0;  ///< consultations that returned true
+  };
+  [[nodiscard]] SiteStats site_stats(FaultSite site) const;
+  [[nodiscard]] std::uint64_t total_injected() const;
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> threshold_{0};  ///< rate scaled to 2^64
+  std::atomic<std::uint64_t> seed_{0};
+  std::atomic<std::uint64_t> site_mask_{0};  ///< bit per enabled FaultSite
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> checked_{};
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> injected_{};
+};
+
+/// Site-side convenience: `if (inject_fault(FaultSite::PoolFork)) ...`.
+[[nodiscard]] inline bool inject_fault(FaultSite site) {
+  FaultInjector& injector = FaultInjector::instance();
+  if (!injector.enabled()) return false;
+  return injector.should_fail(site);
+}
+
+/// Scoped injection for tests and the demo: configures on construction,
+/// disables (and clears counters) on destruction, so one test's fault stream
+/// cannot leak into the next.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config) {
+    FaultInjector::instance().configure(config);
+  }
+  ~ScopedFaultInjection() { FaultInjector::instance().disable(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace ompfuzz

@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
 
@@ -55,6 +56,11 @@ void write_file_atomic(const std::string& path, const std::string& content) {
       std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw Error("result store: cannot create " + tmp);
+  if (inject_fault(FaultSite::StoreWrite)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw Error("result store: injected write failure for " + tmp);
+  }
   std::size_t off = 0;
   while (off < content.size()) {
     const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
@@ -65,6 +71,11 @@ void write_file_atomic(const std::string& path, const std::string& content) {
       throw Error("result store: write failed for " + tmp);
     }
     off += static_cast<std::size_t>(n);
+  }
+  if (inject_fault(FaultSite::StoreFsync)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw Error("result store: injected fsync failure for " + tmp);
   }
   if (::fsync(fd) != 0 || ::close(fd) != 0) {
     ::unlink(tmp.c_str());
@@ -215,6 +226,16 @@ std::optional<core::RunResult> ResultStore::lookup(const RunKey& key) {
     buf << in.rdbuf();
     text = buf.str();
   }
+  // Injected read faults degrade the record into shapes the parser must
+  // reject as a miss: a short read loses trailing fields; a corrupt read
+  // clobbers the version magic (first line), which is guaranteed-detectable
+  // — flipping arbitrary payload bytes could corrupt a value line into
+  // something that still parses, and a wrong cached result is the one
+  // failure a cache must never produce, injected or not.
+  if (inject_fault(FaultSite::StoreReadShort)) text.resize(text.size() / 2);
+  if (inject_fault(FaultSite::StoreReadCorrupt) && !text.empty()) {
+    text[0] ^= 0x20;
+  }
 
   LineCursor cursor(text);
   std::string_view line;
@@ -269,12 +290,38 @@ void ResultStore::put(const RunKey& key, const core::RunResult& result) {
   // unique per call, and the rename is atomic — concurrent same-key writers
   // are last-wins with identical content. Only memo_/stats_ need the mutex,
   // so campaign workers don't serialize behind each other's fsyncs.
-  make_dir(config_.dir + "/runs/" + hex.substr(0, 2));
-  write_file_atomic(object_path(key), record);
+  //
+  // A failed write (ENOSPC, a dying disk, an injected fault) must NOT
+  // propagate out of a campaign worker thread: the store is a cache, and a
+  // cache that cannot persist merely forgets — the result is still correct
+  // and still memoized in-process. Failures are counted; after a run of
+  // consecutive failures (a full disk does not get better by retrying) disk
+  // writes are disabled for the life of this store with one stderr warning.
+  bool write_ok = false;
+  if (!writes_disabled_.load(std::memory_order_relaxed)) {
+    try {
+      make_dir(config_.dir + "/runs/" + hex.substr(0, 2));
+      write_file_atomic(object_path(key), record);
+      write_ok = true;
+    } catch (const Error&) {
+    }
+  }
 
   const std::lock_guard<std::mutex> lock(mutex_);
   memo_[hex] = {canonical, result};
-  ++stats_.puts;
+  if (write_ok) {
+    ++stats_.puts;
+    consecutive_write_failures_ = 0;
+  } else {
+    ++stats_.write_failures;
+    if (++consecutive_write_failures_ >= kWriteFailureLimit &&
+        !writes_disabled_.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "ompfuzz: result store disabled after %d consecutive "
+                   "write failures (last: %s); campaign continues uncached\n",
+                   kWriteFailureLimit, object_path(key).c_str());
+    }
+  }
 }
 
 ResultStore::Stats ResultStore::stats() const {

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -90,15 +91,29 @@ class ResultStore {
   /// fails to parse (foreign/corrupt file) is treated as a miss.
   [[nodiscard]] std::optional<core::RunResult> lookup(const RunKey& key);
 
-  /// Persists `result` under `key` (atomically, last writer wins).
+  /// Persists `result` under `key` (atomically, last writer wins). Disk I/O
+  /// failure (ENOSPC, fsync error) never throws: the result stays memoized
+  /// in-process, the failure is counted in stats().write_failures, and after
+  /// kWriteFailureLimit consecutive failures disk writes are disabled for
+  /// the life of this store (one stderr warning) — a campaign degrades to
+  /// uncached execution instead of aborting from a worker thread.
   void put(const RunKey& key, const core::RunResult& result);
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::uint64_t puts = 0;
+    std::uint64_t puts = 0;            ///< records durably written
+    std::uint64_t write_failures = 0;  ///< puts that did not reach disk
   };
   [[nodiscard]] Stats stats() const;
+
+  /// True once persistent writes were disabled by consecutive I/O failures.
+  [[nodiscard]] bool writes_disabled() const noexcept {
+    return writes_disabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Consecutive put() I/O failures that disable further disk writes.
+  static constexpr int kWriteFailureLimit = 4;
 
   struct GcStats {
     std::uint64_t scanned_files = 0;
@@ -134,6 +149,10 @@ class ResultStore {
   /// this process, so a warm shard never re-reads its record files.
   std::map<std::string, std::pair<std::string, core::RunResult>> memo_;
   Stats stats_;
+  /// Set once kWriteFailureLimit consecutive put() I/O failures occur;
+  /// read lock-free on the put() fast path.
+  std::atomic<bool> writes_disabled_{false};
+  int consecutive_write_failures_ = 0;  ///< guarded by mutex_
 };
 
 /// One test outcome as persisted by the checkpoint journal: the raw runs

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness/async_process.hpp"
+#include "support/fault_injection.hpp"
 
 namespace ompfuzz::harness {
 namespace {
@@ -356,6 +357,63 @@ TEST(RunProcess, ShebangLessScriptFallsBackToShell) {
   const ProcessResult r = run_process({script}, 5'000);
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_EQ(r.output, "via-sh\n");
+}
+
+// ------------------------------------------------------ fault injection ----
+// Every pool-side fault site must fabricate the documented "lost child"
+// shape — exit 127 with empty output, the result downstream classification
+// turns into a harness failure — never a fake observation.
+
+FaultConfig pool_faults(const char* sites, double rate = 1.0) {
+  FaultConfig config;
+  config.enabled = true;
+  config.rate = rate;
+  config.sites = sites;
+  return config;
+}
+
+TEST(PoolFaultInjection, SpawnSitesFabricateLostChildResults) {
+  for (const char* site : {"pool_pipe", "pool_fork", "pool_exec", "pool_stall"}) {
+    const ScopedFaultInjection scoped(pool_faults(site));
+    AsyncProcessPool pool(4);
+    const ProcessResult r =
+        pool.submit({{"/bin/echo", "should-not-appear"}, 5'000, false}).get();
+    EXPECT_EQ(r.exit_code, 127) << site;
+    EXPECT_TRUE(r.output.empty()) << site;
+    EXPECT_FALSE(r.timed_out) << site;
+    const auto stats = FaultInjector::instance().site_stats(
+        *fault_site_by_name(site));
+    EXPECT_GE(stats.injected, 1u) << site;
+  }
+}
+
+TEST(PoolFaultInjection, PollHiccupsOnlyDelayCompletion) {
+  // pool_poll skips one poll() round; results must still arrive intact.
+  const ScopedFaultInjection scoped(pool_faults("pool_poll", 0.5));
+  AsyncProcessPool pool(4);
+  std::vector<std::future<ProcessResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit({{"/bin/echo", std::to_string(i)}, 5'000, false}));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const ProcessResult r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_EQ(r.output, std::to_string(i) + "\n");
+  }
+  EXPECT_GE(FaultInjector::instance().site_stats(FaultSite::PoolPoll).checked, 1u);
+}
+
+TEST(PoolFaultInjection, ScopedInjectionDisablesOnExit) {
+  {
+    const ScopedFaultInjection scoped(pool_faults("pool_exec"));
+    AsyncProcessPool pool(2);
+    EXPECT_EQ(pool.submit({{"/bin/echo", "x"}, 5'000, false}).get().exit_code, 127);
+  }
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+  AsyncProcessPool pool(2);
+  const ProcessResult r = pool.submit({{"/bin/echo", "x"}, 5'000, false}).get();
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "x\n");
 }
 
 }  // namespace

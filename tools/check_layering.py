@@ -12,6 +12,12 @@ are fine. The inversion this guards against most directly: ast must never
 depend on fp's classification tables (fixed in PR 1), and fp must never
 grow an include of ast in return.
 
+Cross-cutting instrumentation lives at rank 0 on purpose: the fault
+injector (support/fault_injection) is included by harness, store, and
+executor code alike, which is only legal because it sits in support and
+depends on nothing above it. Keep it that way — if fault_injection ever
+needs a type from a higher layer, pass the data in, don't include up.
+
 tests/, bench/, and examples/ sit on top of everything and are exempt.
 
 Usage: tools/check_layering.py [repo_root]   (exits 1 on any violation)
