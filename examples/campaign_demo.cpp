@@ -2,7 +2,13 @@
 // an INI configuration file exactly like the paper's step (a).
 //
 //   $ ./campaign_demo [config.ini] [--resume] [--reduce] [--backends N]
-//                     [--inject-faults RATE]
+//                     [--inject-faults RATE] [--features LIST]
+//
+// --features takes a comma-separated subset of {atomic, single, master,
+// schedule} and switches the corresponding generator gates on (equivalent to
+// `[generator] features = ...` in the config). All gates default off, and an
+// off gate draws nothing from the generator's RNG, so the default program
+// stream is bit-identical to builds that predate the gates.
 //
 // Without a config argument it uses a built-in 40-program configuration over
 // the simulated backend. Implementations whose value is a compile command
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
   bool reduce_divergent = false;
   int backends_override = 0;
   double fault_rate_override = -1.0;
+  std::string features_override;
   std::string config_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--resume") == 0) {
@@ -113,12 +120,22 @@ int main(int argc, char** argv) {
       if (fault_rate_override < 0.0 || fault_rate_override > 1.0) {
         throw ConfigError("--inject-faults needs a rate in [0, 1]");
       }
+    } else if (std::strcmp(argv[a], "--features") == 0) {
+      if (a + 1 >= argc) {
+        throw ConfigError(
+            "--features needs a comma-separated list "
+            "(atomic, single, master, schedule)");
+      }
+      features_override = argv[++a];
     } else {
       config_path = argv[a];
     }
   }
-  const ConfigFile file = !config_path.empty() ? ConfigFile::load(config_path)
-                                               : ConfigFile::parse(kDefaultConfig);
+  ConfigFile file = !config_path.empty() ? ConfigFile::load(config_path)
+                                         : ConfigFile::parse(kDefaultConfig);
+  if (!features_override.empty()) {
+    file.set("generator.features", features_override);
+  }
   const CampaignConfig cfg = CampaignConfig::from_config(file);
 
   FaultConfig faults = FaultConfig::from_config(file);

@@ -204,6 +204,10 @@ class AccessWalk {
       if (s.kind == ast::Stmt::Kind::Assign && !s.target.is_array_element()) {
         varying_.insert(s.target.var);
       }
+      if (s.kind == ast::Stmt::Kind::OmpAtomic &&
+          !s.target.is_array_element()) {
+        varying_.insert(s.target.var);
+      }
     });
     // Everything thread-private varies across threads too.
     varying_.insert(out_.thread_private.begin(), out_.thread_private.end());
@@ -216,26 +220,31 @@ class AccessWalk {
   }
 
  private:
-  void record_scalar(ast::VarId id, bool is_write, std::uint8_t mutexes) {
+  void record_scalar(ast::VarId id, bool is_write, std::uint8_t mutexes,
+                     bool is_atomic = false) {
     if (out_.thread_private.count(id) != 0) return;
     if (program_.var(id).kind == ast::VarKind::FpArray) return;
     Access a;
     a.var = id;
     a.is_write = is_write;
+    a.is_atomic = is_atomic;
     a.phase = phase_;
     a.mutexes = mutexes;
+    a.single_id = single_id_;
     out_.accesses[id].push_back(a);
   }
 
   void record_array(ast::VarId id, const ast::Expr& index, bool is_write,
                     std::uint8_t mutexes, ast::VarId ws_index,
-                    const ast::Stmt* ws_loop) {
+                    const ast::Stmt* ws_loop, bool is_atomic = false) {
     Access a;
     a.var = id;
     a.is_write = is_write;
     a.is_array = true;
+    a.is_atomic = is_atomic;
     a.phase = phase_;
     a.mutexes = mutexes;
+    a.single_id = single_id_;
     a.subscript = classify_subscript(index, ws_index, ws_loop, varying_);
     out_.accesses[id].push_back(a);
   }
@@ -306,6 +315,45 @@ class AccessWalk {
                       static_cast<std::uint8_t>(mutexes | kMutexCritical),
                       ws_index, ws_loop);
           break;
+        case ast::Stmt::Kind::OmpAtomic:
+          // The RMW is one indivisible access; mirror the interpreter and
+          // record exactly one atomic-classed write (no separate compound
+          // read). The value and subscript expressions read normally.
+          record_reads(*s.value, mutexes, ws_index, ws_loop);
+          if (s.target.is_array_element()) {
+            record_reads(*s.target.index, mutexes, ws_index, ws_loop);
+            record_array(s.target.var, *s.target.index, /*is_write=*/true,
+                         mutexes, ws_index, ws_loop, /*is_atomic=*/true);
+          } else {
+            record_scalar(s.target.var, /*is_write=*/true, mutexes,
+                          /*is_atomic=*/true);
+          }
+          break;
+        case ast::Stmt::Kind::OmpSingle:
+          if (top_level) {
+            // Encountered exactly once per region execution: one thread runs
+            // the body, so accesses sharing this single's id never race.
+            const std::uint32_t saved = single_id_;
+            single_id_ = ++single_counter_;
+            visit_block(s.body, /*top_level=*/false,
+                        static_cast<std::uint8_t>(mutexes | kMutexSingle),
+                        ws_index, ws_loop);
+            single_id_ = saved;
+          } else {
+            // Inside a loop the construct is encountered repeatedly and
+            // successive encounters may land on different threads — withhold
+            // the bit (conservative: body treated as plain code).
+            visit_block(s.body, /*top_level=*/false, mutexes, ws_index,
+                        ws_loop);
+          }
+          break;
+        case ast::Stmt::Kind::OmpMaster:
+          // Always thread 0, at any nesting depth: two master-protected
+          // accesses share a thread and cannot overlap.
+          visit_block(s.body, /*top_level=*/false,
+                      static_cast<std::uint8_t>(mutexes | kMutexMaster),
+                      ws_index, ws_loop);
+          break;
         case ast::Stmt::Kind::OmpParallel:
           // A nested region is analyzed on its own; its body's accesses
           // belong to that analysis, not this one.
@@ -318,6 +366,8 @@ class AccessWalk {
   RegionAccessSet out_;
   std::set<ast::VarId> varying_;
   PhaseId phase_ = 0;
+  std::uint32_t single_id_ = 0;       ///< id of the enclosing single (0 = none)
+  std::uint32_t single_counter_ = 0;  ///< per-region single numbering
 };
 
 }  // namespace

@@ -57,8 +57,17 @@ struct Access {
   ast::VarId var = ast::kInvalidVar;
   bool is_write = false;
   bool is_array = false;
+  /// "#pragma omp atomic" update: one indivisible RMW recorded as a single
+  /// write. Atomic accesses never race against each other, only against
+  /// plain accesses.
+  bool is_atomic = false;
   PhaseId phase = 0;
   std::uint8_t mutexes = 0;    ///< MutexBit set held at the access
+  /// Identity of the enclosing single block when kMutexSingle is set
+  /// (0 = none). Two *different* single blocks may execute concurrently on
+  /// different threads, so the single bit only orders accesses that share
+  /// this id; the analyzer strips it when the ids differ.
+  std::uint32_t single_id = 0;
   SubscriptInfo subscript;     ///< meaningful when is_array
 };
 

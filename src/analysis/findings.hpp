@@ -19,9 +19,10 @@ enum class RaceKind {
   ArrayUnsafeWrite,      ///< shared array written with a non-partitioning index
   ArrayMixedAccess,      ///< inconsistent subscript discipline on a shared array
   UninitializedPrivate,  ///< private read before initialization
+  AtomicMixedAccess,     ///< atomic update conflicts with a plain access
 };
 
-inline constexpr int kNumRaceKinds = 6;
+inline constexpr int kNumRaceKinds = 7;
 
 [[nodiscard]] const char* to_string(RaceKind k) noexcept;
 

@@ -14,10 +14,13 @@ void find_regions(const ast::Block& block, std::vector<const ast::Stmt*>& out) {
       case ast::Stmt::Kind::If:
       case ast::Stmt::Kind::For:
       case ast::Stmt::Kind::OmpCritical:
+      case ast::Stmt::Kind::OmpSingle:
+      case ast::Stmt::Kind::OmpMaster:
         find_regions(s->body, out);
         break;
       case ast::Stmt::Kind::Assign:
       case ast::Stmt::Kind::Decl:
+      case ast::Stmt::Kind::OmpAtomic:
         break;
     }
   }

@@ -15,14 +15,26 @@ const char* to_string(RaceKind k) noexcept {
     case RaceKind::ArrayUnsafeWrite: return "array-unsafe-write";
     case RaceKind::ArrayMixedAccess: return "array-mixed-access";
     case RaceKind::UninitializedPrivate: return "uninitialized-private";
+    case RaceKind::AtomicMixedAccess: return "atomic-mixed-access";
   }
   return "?";
 }
 
 bool accesses_conflict(const Access& a, const Access& b) noexcept {
   if (!a.is_write && !b.is_write) return false;
-  if (!may_happen_in_parallel(a.phase, a.mutexes, b.phase, b.mutexes))
-    return false;
+  // Two atomic updates of the same location are serialized by the hardware;
+  // an atomic only races against plain accesses.
+  if (a.is_atomic && b.is_atomic) return false;
+  std::uint8_t ma = a.mutexes;
+  std::uint8_t mb = b.mutexes;
+  if ((ma & kMutexSingle) != 0 && (mb & kMutexSingle) != 0 &&
+      a.single_id != b.single_id) {
+    // Two *different* single blocks may run concurrently on different
+    // threads; the single "mutex" only orders accesses within one block.
+    ma = static_cast<std::uint8_t>(ma & ~kMutexSingle);
+    mb = static_cast<std::uint8_t>(mb & ~kMutexSingle);
+  }
+  if (!may_happen_in_parallel(a.phase, ma, b.phase, mb)) return false;
   if (a.is_array && b.is_array && provably_disjoint(a.subscript, b.subscript))
     return false;
   return true;
@@ -79,8 +91,13 @@ void report_region(const ast::Program& program, const ast::Stmt& region,
       // Scan this variable's conflicts once to pick kind and detail.
       const Conflict* uncrit = nullptr;   // a conflict with an uncritical write
       const Conflict* unsafe_sub = nullptr;  // ... whose subscript partitions nothing
+      const Conflict* atomic_mix = nullptr;  // a conflict with an atomic side
       for (const Conflict& k : conflicts) {
         if (k.first.var != var) continue;
+        if (atomic_mix == nullptr &&
+            (k.first.is_atomic || k.second.is_atomic)) {
+          atomic_mix = &k;
+        }
         for (const Access* a : {&k.first, &k.second}) {
           if (!uncritical_write(*a)) continue;
           if (uncrit == nullptr) uncrit = &k;
@@ -99,6 +116,10 @@ void report_region(const ast::Program& program, const ast::Stmt& region,
           f.kind = RaceKind::CompUnprotected;
           f.detail = "comp accumulated without reduction or critical" +
                      phase_suffix(c);
+        } else if (atomic_mix != nullptr) {
+          f.kind = RaceKind::AtomicMixedAccess;
+          f.detail = "atomic update mixed with plain accesses" +
+                     phase_suffix(*atomic_mix);
         } else if (uncrit != nullptr) {
           f.kind = RaceKind::SharedScalarWrite;
           f.detail = "shared scalar written outside critical" +
@@ -109,7 +130,11 @@ void report_region(const ast::Program& program, const ast::Stmt& region,
                      phase_suffix(c);
         }
       } else {
-        if (unsafe_sub != nullptr) {
+        if (atomic_mix != nullptr) {
+          f.kind = RaceKind::AtomicMixedAccess;
+          f.detail = "atomic update mixed with plain accesses" +
+                     phase_suffix(*atomic_mix);
+        } else if (unsafe_sub != nullptr) {
           f.kind = RaceKind::ArrayUnsafeWrite;
           f.detail = "uncritical write with non-partitioning subscript" +
                      phase_suffix(*unsafe_sub);

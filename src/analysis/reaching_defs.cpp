@@ -66,6 +66,26 @@ class DefiniteAssignment {
         case ast::Stmt::Kind::OmpCritical:
           visit_block(s.body, assigned);  // sequential within a thread
           break;
+        case ast::Stmt::Kind::OmpAtomic:
+          // Same shape as a compound assignment: reads the value (and
+          // subscript), reads the target first, then assigns it.
+          check_expr(*s.value, assigned);
+          if (s.target.is_array_element()) {
+            check_expr(*s.target.index, assigned);
+          } else {
+            if (s.assign_op != ast::AssignOp::Assign)
+              check_read(s.target.var, assigned);
+            assigned.insert(s.target.var);
+          }
+          break;
+        case ast::Stmt::Kind::OmpSingle:
+        case ast::Stmt::Kind::OmpMaster: {
+          // Only one thread executes the body, so its assignments do not
+          // definitely reach the other threads' private copies.
+          std::set<ast::VarId> branch = assigned;
+          visit_block(s.body, branch);
+          break;
+        }
         case ast::Stmt::Kind::OmpParallel:
           break;  // nested region: analyzed as its own region
       }

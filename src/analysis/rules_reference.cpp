@@ -189,6 +189,30 @@ class RegionAnalyzer {
         case Stmt::Kind::OmpCritical:
           visit_block(s->body, /*in_critical=*/true, in_omp_for);
           break;
+        case Stmt::Kind::OmpAtomic:
+          // Outside this checker's original rule vocabulary; treat the
+          // serialized RMW like a critical-protected compound assignment
+          // (conservative — the retired checker never sees feature-gated
+          // programs in the parity suite).
+          record_expr_reads(*s->value, /*in_critical=*/true, in_omp_for);
+          if (s->target.is_array_element()) {
+            record_expr_reads(*s->target.index, /*in_critical=*/true,
+                              in_omp_for);
+            record_array(s->target.var, *s->target.index, /*is_write=*/true,
+                         /*in_critical=*/true, in_omp_for);
+          } else {
+            record_scalar(s->target.var, /*is_write=*/true,
+                          /*in_critical=*/true);
+            record_scalar(s->target.var, /*is_write=*/false,
+                          /*in_critical=*/true);
+          }
+          break;
+        case Stmt::Kind::OmpSingle:
+        case Stmt::Kind::OmpMaster:
+          // Single-executor blocks behave like critical sections for this
+          // rule set (one thread at a time is a superset of exactly one).
+          visit_block(s->body, /*in_critical=*/true, in_omp_for);
+          break;
       }
     }
   }
@@ -264,10 +288,13 @@ void find_regions(const Block& block, const Program& program,
       case Stmt::Kind::If:
       case Stmt::Kind::For:
       case Stmt::Kind::OmpCritical:
+      case Stmt::Kind::OmpSingle:
+      case Stmt::Kind::OmpMaster:
         find_regions(s->body, program, out);
         break;
       case Stmt::Kind::Assign:
       case Stmt::Kind::Decl:
+      case Stmt::Kind::OmpAtomic:
         break;
     }
   }

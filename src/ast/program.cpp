@@ -86,6 +86,13 @@ std::uint64_t hash_stmt(const Stmt& s) {
       h = hash_combine(h, s.loop_var);
       h = hash_combine(h, s.loop_bound->hash());
       h = hash_combine(h, static_cast<std::uint64_t>(s.omp_for));
+      // Mixed in only when a clause is present: default-schedule loops keep
+      // the hashes (and the pinned golden fingerprints) they had before the
+      // field existed.
+      if (s.schedule != ScheduleKind::None) {
+        h = hash_combine(h, static_cast<std::uint64_t>(s.schedule) + 0x5c4ed);
+        h = hash_combine(h, static_cast<std::uint64_t>(s.schedule_chunk));
+      }
       h = hash_combine(h, hash_block(s.body));
       break;
     case Stmt::Kind::OmpParallel: {
@@ -99,7 +106,15 @@ std::uint64_t hash_stmt(const Stmt& s) {
       break;
     }
     case Stmt::Kind::OmpCritical:
+    case Stmt::Kind::OmpSingle:
+    case Stmt::Kind::OmpMaster:
       h = hash_combine(h, hash_block(s.body));
+      break;
+    case Stmt::Kind::OmpAtomic:
+      h = hash_combine(h, s.target.var);
+      if (s.target.index) h = hash_combine(h, s.target.index->hash());
+      h = hash_combine(h, static_cast<std::uint64_t>(s.assign_op));
+      h = hash_combine(h, s.value->hash());
       break;
   }
   return h;
@@ -212,7 +227,24 @@ void Program::validate() const {
         }
         break;
       }
+      case Stmt::Kind::OmpAtomic: {
+        const VarDecl& d = var(s.target.var);
+        OMPFUZZ_CHECK(d.role != VarRole::LoopIndex,
+                      "atomic update of loop index: " + d.name);
+        if (s.target.is_array_element()) {
+          OMPFUZZ_CHECK(d.kind == VarKind::FpArray,
+                        "subscripted atomic on scalar: " + d.name);
+          check_expr(*s.target.index);
+        } else {
+          OMPFUZZ_CHECK(d.kind == VarKind::FpScalar,
+                        "atomic scalar target must be an fp scalar: " + d.name);
+        }
+        check_expr(*s.value);
+        break;
+      }
       case Stmt::Kind::OmpCritical:
+      case Stmt::Kind::OmpSingle:
+      case Stmt::Kind::OmpMaster:
         break;
     }
   });
@@ -273,9 +305,9 @@ PruneResult prune_unused_vars(const Program& program) {
               Stmt::if_block(s->cond.clone_remap(map), rebuild(s->body)));
           break;
         case Stmt::Kind::For:
-          result.stmts.push_back(Stmt::for_loop(map[s->loop_var],
-                                                s->loop_bound->clone_remap(map),
-                                                rebuild(s->body), s->omp_for));
+          result.stmts.push_back(Stmt::for_loop(
+              map[s->loop_var], s->loop_bound->clone_remap(map),
+              rebuild(s->body), s->omp_for, s->schedule, s->schedule_chunk));
           break;
         case Stmt::Kind::OmpParallel: {
           OmpClauses c;
@@ -292,6 +324,15 @@ PruneResult prune_unused_vars(const Program& program) {
         }
         case Stmt::Kind::OmpCritical:
           result.stmts.push_back(Stmt::omp_critical(rebuild(s->body)));
+          break;
+        case Stmt::Kind::OmpAtomic:
+          result.stmts.push_back(s->clone_remap(map));
+          break;
+        case Stmt::Kind::OmpSingle:
+          result.stmts.push_back(Stmt::omp_single(rebuild(s->body)));
+          break;
+        case Stmt::Kind::OmpMaster:
+          result.stmts.push_back(Stmt::omp_master(rebuild(s->body)));
           break;
       }
     }
@@ -327,6 +368,7 @@ ProgramFeatures analyze(const Program& program) {
             case Stmt::Kind::For: {
               if (s->omp_for) {
                 ++f.num_omp_for_loops;
+                if (s->schedule != ScheduleKind::None) ++f.num_scheduled_loops;
               } else {
                 ++f.num_serial_loops;
               }
@@ -347,6 +389,17 @@ ProgramFeatures analyze(const Program& program) {
             case Stmt::Kind::OmpCritical:
               ++f.num_critical_sections;
               if (in_omp_for) f.has_critical_in_parallel_loop = true;
+              visit(s->body, depth + 1, in_serial_loop, in_omp_for);
+              break;
+            case Stmt::Kind::OmpAtomic:
+              ++f.num_atomics;
+              break;
+            case Stmt::Kind::OmpSingle:
+              ++f.num_singles;
+              visit(s->body, depth + 1, in_serial_loop, in_omp_for);
+              break;
+            case Stmt::Kind::OmpMaster:
+              ++f.num_masters;
               visit(s->body, depth + 1, in_serial_loop, in_omp_for);
               break;
           }

@@ -90,6 +90,10 @@ struct ProgramFeatures {
   int num_float_vars = 0;
   int num_double_vars = 0;
   int num_arrays = 0;
+  int num_atomics = 0;          ///< "#pragma omp atomic" updates
+  int num_singles = 0;          ///< "#pragma omp single" blocks
+  int num_masters = 0;          ///< "#pragma omp master" blocks
+  int num_scheduled_loops = 0;  ///< omp-for loops with a schedule clause
 };
 
 [[nodiscard]] ProgramFeatures analyze(const Program& program);

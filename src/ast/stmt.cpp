@@ -47,14 +47,20 @@ StmtPtr Stmt::if_block(BoolExpr cond, Block then_block) {
   return s;
 }
 
-StmtPtr Stmt::for_loop(VarId loop_var, ExprPtr bound, Block body, bool omp_for) {
+StmtPtr Stmt::for_loop(VarId loop_var, ExprPtr bound, Block body, bool omp_for,
+                       ScheduleKind schedule, int schedule_chunk) {
   OMPFUZZ_CHECK(loop_var != kInvalidVar, "for needs an induction variable");
   OMPFUZZ_CHECK(bound != nullptr, "for needs a bound");
+  OMPFUZZ_CHECK(schedule == ScheduleKind::None || omp_for,
+                "schedule clause needs an omp for loop");
+  OMPFUZZ_CHECK(schedule_chunk >= 0, "schedule chunk must be >= 0");
   auto s = StmtPtr(new Stmt(Kind::For));
   s->loop_var = loop_var;
   s->loop_bound = std::move(bound);
   s->body = std::move(body);
   s->omp_for = omp_for;
+  s->schedule = schedule;
+  s->schedule_chunk = schedule == ScheduleKind::None ? 0 : schedule_chunk;
   return s;
 }
 
@@ -68,6 +74,28 @@ StmtPtr Stmt::omp_parallel(OmpClauses clauses, Block body) {
 
 StmtPtr Stmt::omp_critical(Block body) {
   auto s = StmtPtr(new Stmt(Kind::OmpCritical));
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr Stmt::omp_atomic(LValue target, AssignOp op, ExprPtr value) {
+  OMPFUZZ_CHECK(target.var != kInvalidVar, "atomic target needs a variable");
+  OMPFUZZ_CHECK(value != nullptr, "atomic needs a value");
+  auto s = StmtPtr(new Stmt(Kind::OmpAtomic));
+  s->target = std::move(target);
+  s->assign_op = op;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::omp_single(Block body) {
+  auto s = StmtPtr(new Stmt(Kind::OmpSingle));
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr Stmt::omp_master(Block body) {
+  auto s = StmtPtr(new Stmt(Kind::OmpMaster));
   s->body = std::move(body);
   return s;
 }
@@ -103,7 +131,7 @@ StmtPtr Stmt::clone_remap(std::span<const VarId> map) const {
       return if_block(cond.clone_remap(map), body.clone_remap(map));
     case Kind::For:
       return for_loop(remap_var(map, loop_var), loop_bound->clone_remap(map),
-                      body.clone_remap(map), omp_for);
+                      body.clone_remap(map), omp_for, schedule, schedule_chunk);
     case Kind::OmpParallel: {
       OmpClauses c;
       c.privates.reserve(clauses.privates.size());
@@ -118,6 +146,16 @@ StmtPtr Stmt::clone_remap(std::span<const VarId> map) const {
     }
     case Kind::OmpCritical:
       return omp_critical(body.clone_remap(map));
+    case Kind::OmpAtomic: {
+      LValue t;
+      t.var = remap_var(map, target.var);
+      t.index = target.index ? target.index->clone_remap(map) : nullptr;
+      return omp_atomic(std::move(t), assign_op, value->clone_remap(map));
+    }
+    case Kind::OmpSingle:
+      return omp_single(body.clone_remap(map));
+    case Kind::OmpMaster:
+      return omp_master(body.clone_remap(map));
   }
   throw Error("unreachable stmt kind in clone_remap");
 }
@@ -131,7 +169,8 @@ StmtPtr Stmt::clone() const {
     case Kind::If:
       return if_block(cond.clone(), body.clone());
     case Kind::For:
-      return for_loop(loop_var, loop_bound->clone(), body.clone(), omp_for);
+      return for_loop(loop_var, loop_bound->clone(), body.clone(), omp_for,
+                      schedule, schedule_chunk);
     case Kind::OmpParallel: {
       OmpClauses c;
       c.privates = clauses.privates;
@@ -142,6 +181,12 @@ StmtPtr Stmt::clone() const {
     }
     case Kind::OmpCritical:
       return omp_critical(body.clone());
+    case Kind::OmpAtomic:
+      return omp_atomic(target.clone(), assign_op, value->clone());
+    case Kind::OmpSingle:
+      return omp_single(body.clone());
+    case Kind::OmpMaster:
+      return omp_master(body.clone());
   }
   throw Error("unreachable stmt kind in clone");
 }
@@ -154,10 +199,13 @@ void walk_stmts(const Block& block, const std::function<void(const Stmt&)>& fn) 
       case Stmt::Kind::For:
       case Stmt::Kind::OmpParallel:
       case Stmt::Kind::OmpCritical:
+      case Stmt::Kind::OmpSingle:
+      case Stmt::Kind::OmpMaster:
         walk_stmts(s->body, fn);
         break;
       case Stmt::Kind::Assign:
       case Stmt::Kind::Decl:
+      case Stmt::Kind::OmpAtomic:
         break;
     }
   }

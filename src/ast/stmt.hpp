@@ -4,8 +4,13 @@
 //           | <openmp-block>
 // plus the OpenMP statement forms of Section III-E:
 //   <openmp-block>    — parallel region with data-sharing clauses,
-//   <for-loop-block>  — for loop, optionally preceded by "#pragma omp for",
-//   <openmp-critical> — critical section inside a loop body.
+//   <for-loop-block>  — for loop, optionally preceded by "#pragma omp for"
+//                       (with an optional schedule(static|dynamic[,chunk])),
+//   <openmp-critical> — critical section inside a loop body,
+// and the feature-gated construct families (default-off in the generator):
+//   <omp-atomic>      — "#pragma omp atomic" update on a scalar or element,
+//   <omp-single>      — "#pragma omp single nowait { block }",
+//   <omp-master>      — "#pragma omp master { block }".
 //
 // Stmt nodes are plain tagged data owned through std::unique_ptr; static
 // factories establish the per-kind invariants, and Program::validate()
@@ -46,6 +51,10 @@ struct OmpClauses {
   int num_threads = 32;
 };
 
+/// schedule(...) clause on an "omp for" loop. None emits no clause and keeps
+/// the implementation-default (contiguous static) partition.
+enum class ScheduleKind : std::uint8_t { None, Static, Dynamic };
+
 /// Assignment target: a scalar variable or an array element.
 struct LValue {
   VarId var = kInvalidVar;
@@ -64,11 +73,14 @@ class Stmt {
     For,          ///< for (int i = 0; i < bound; ++i) { block }, maybe omp for
     OmpParallel,  ///< #pragma omp parallel <clauses> { block }
     OmpCritical,  ///< #pragma omp critical { block }
+    OmpAtomic,    ///< #pragma omp atomic — one update statement, no body
+    OmpSingle,    ///< #pragma omp single nowait { block }
+    OmpMaster,    ///< #pragma omp master { block }
   };
 
   Kind kind;
 
-  // Assign
+  // Assign / OmpAtomic (an atomic is one indivisible update of `target`)
   LValue target;
   AssignOp assign_op = AssignOp::Assign;
   ExprPtr value;
@@ -82,11 +94,13 @@ class Stmt {
   VarId loop_var = kInvalidVar;
   ExprPtr loop_bound;   ///< IntConst or VarRef to an int parameter
   bool omp_for = false; ///< preceded by "#pragma omp for"
+  ScheduleKind schedule = ScheduleKind::None;  ///< schedule(...) clause
+  int schedule_chunk = 0;  ///< 0 = no explicit chunk size
 
   // OmpParallel
   OmpClauses clauses;
 
-  // If / For / OmpParallel / OmpCritical body
+  // If / For / OmpParallel / OmpCritical / OmpSingle / OmpMaster body
   Block body;
 
   // -- Factories ------------------------------------------------------------
@@ -94,9 +108,15 @@ class Stmt {
   [[nodiscard]] static StmtPtr decl(VarId var, ExprPtr init);
   [[nodiscard]] static StmtPtr if_block(BoolExpr cond, Block then_block);
   [[nodiscard]] static StmtPtr for_loop(VarId loop_var, ExprPtr bound, Block body,
-                                        bool omp_for);
+                                        bool omp_for,
+                                        ScheduleKind schedule = ScheduleKind::None,
+                                        int schedule_chunk = 0);
   [[nodiscard]] static StmtPtr omp_parallel(OmpClauses clauses, Block body);
   [[nodiscard]] static StmtPtr omp_critical(Block body);
+  [[nodiscard]] static StmtPtr omp_atomic(LValue target, AssignOp op,
+                                          ExprPtr value);
+  [[nodiscard]] static StmtPtr omp_single(Block body);
+  [[nodiscard]] static StmtPtr omp_master(Block body);
 
   [[nodiscard]] StmtPtr clone() const;
   [[nodiscard]] StmtPtr clone_remap(std::span<const VarId> map) const;

@@ -34,7 +34,9 @@ using ast::VarKind;
 using ast::VarRole;
 
 /// How a shared array may be touched inside the current parallel region.
-enum class ArrayMode { ReadOnly, ThreadLocal, LoopPartitioned };
+/// AtomicOnly (feature-gated) arrays are updated exclusively through
+/// "#pragma omp atomic" statements, never read or written plainly.
+enum class ArrayMode { ReadOnly, ThreadLocal, LoopPartitioned, AtomicOnly };
 
 /// Builder holds all mutable generation state for one program.
 class Builder {
@@ -89,6 +91,10 @@ class Builder {
     const std::set<VarId>* firstprivates = nullptr;
     const std::set<VarId>* critical_only = nullptr;
     const std::map<VarId, ArrayMode>* array_modes = nullptr;
+    /// Scalars reserved for single/master blocks or atomic updates; they are
+    /// excluded from every plain read or write inside the region.
+    const std::set<VarId>* region_reserved = nullptr;
+    const std::vector<VarId>* atomic_scalars = nullptr;
 
     static BlockCtx serial() { return BlockCtx{}; }
 
@@ -171,6 +177,10 @@ class Builder {
     std::vector<VarId> out;
     for (VarId v : fp_scalars_) {
       if (ctx.in_parallel && ctx.is_critical_only(v) && !ctx.in_critical) continue;
+      if (ctx.in_parallel && ctx.region_reserved &&
+          ctx.region_reserved->contains(v)) {
+        continue;
+      }
       out.push_back(v);
     }
     for (VarId v : temps_in_scope_) {
@@ -195,7 +205,7 @@ class Builder {
         out.push_back(v);
       } else if (mode == ArrayMode::LoopPartitioned && ctx.in_omp_for) {
         out.push_back(v);
-      }
+      }  // AtomicOnly arrays are never read plainly inside the region.
     }
     return out;
   }
@@ -574,9 +584,50 @@ class Builder {
     clauses.privates.assign(privates.begin(), privates.end());
     clauses.firstprivates.assign(firstprivates.begin(), firstprivates.end());
 
+    // Feature-gated reservations. Every draw here is behind its gate, so a
+    // default (all-off) configuration consumes exactly the RNG stream it did
+    // before these constructs existed.
+    //
+    // Single/master blocks run on one thread while the others race past
+    // (single is emitted nowait), so each block gets exclusive ownership of
+    // the shared scalars it writes; atomics get shared scalars (and arrays,
+    // below) all of whose region accesses are atomic updates. Both pools are
+    // excluded from plain reads/writes anywhere in the region.
+    std::vector<VarId> sync_pool;
+    if (cfg_.enable_single || cfg_.enable_master) {
+      for (VarId v : fp_scalars_) {
+        if (!privates.contains(v) && !firstprivates.contains(v) &&
+            !critical_only.contains(v) && rng_.bernoulli(0.5)) {
+          sync_pool.push_back(v);
+        }
+      }
+    }
+    std::vector<VarId> atomic_scalars;
+    if (cfg_.enable_atomic) {
+      for (VarId v : fp_scalars_) {
+        if (!privates.contains(v) && !firstprivates.contains(v) &&
+            !critical_only.contains(v) &&
+            std::find(sync_pool.begin(), sync_pool.end(), v) == sync_pool.end() &&
+            rng_.bernoulli(0.4)) {
+          atomic_scalars.push_back(v);
+        }
+      }
+    }
+    std::set<VarId> region_reserved(sync_pool.begin(), sync_pool.end());
+    region_reserved.insert(atomic_scalars.begin(), atomic_scalars.end());
+
     // Decide the region's loop: work-shared or serial, bound, and from that
     // the per-array access modes.
     const bool omp_for = rng_.bernoulli(0.75);
+    ast::ScheduleKind schedule = ast::ScheduleKind::None;
+    int schedule_chunk = 0;
+    if (cfg_.enable_schedule && omp_for && rng_.bernoulli(cfg_.p_schedule)) {
+      schedule = rng_.bernoulli(0.5) ? ast::ScheduleKind::Static
+                                     : ast::ScheduleKind::Dynamic;
+      if (rng_.bernoulli(0.7)) {
+        schedule_chunk = static_cast<int>(rng_.uniform_int(1, 8));
+      }
+    }
     std::int64_t bound_const = -1;
     ExprPtr bound;
     std::vector<VarId> bound_vars;
@@ -598,8 +649,13 @@ class Builder {
     const bool partition_ok = omp_for && bound_const >= 1 &&
                               bound_const <= cfg_.array_size;
     for (VarId v : arrays_) {
-      std::array<double, 3> w = {2.0, 1.5, partition_ok ? 1.0 : 0.0};
-      array_modes[v] = static_cast<ArrayMode>(rng_.pick_weighted(w));
+      if (cfg_.enable_atomic) {
+        std::array<double, 4> w = {2.0, 1.5, partition_ok ? 1.0 : 0.0, 0.75};
+        array_modes[v] = static_cast<ArrayMode>(rng_.pick_weighted(w));
+      } else {
+        std::array<double, 3> w = {2.0, 1.5, partition_ok ? 1.0 : 0.0};
+        array_modes[v] = static_cast<ArrayMode>(rng_.pick_weighted(w));
+      }
     }
 
     BlockCtx region_ctx;
@@ -609,6 +665,8 @@ class Builder {
     region_ctx.firstprivates = &firstprivates;
     region_ctx.critical_only = &critical_only;
     region_ctx.array_modes = &array_modes;
+    region_ctx.region_reserved = &region_reserved;
+    region_ctx.atomic_scalars = &atomic_scalars;
 
     // Region-local temps live only for this region.
     const std::size_t temps_mark = region_temps_.size();
@@ -632,6 +690,21 @@ class Builder {
       body.stmts.push_back(gen_assignment(region_ctx));
     }
 
+    // Single/master blocks sit between the preamble and the loop (the only
+    // position where a worksharing nest is legal and every thread encounters
+    // them exactly once). Each block takes its write targets out of the
+    // shared sync pool, so no two blocks touch the same scalar.
+    if (cfg_.enable_single && !sync_pool.empty() &&
+        rng_.bernoulli(cfg_.p_single)) {
+      body.stmts.push_back(gen_sync_block(/*master=*/false, region_ctx,
+                                          sync_pool));
+    }
+    if (cfg_.enable_master && !sync_pool.empty() &&
+        rng_.bernoulli(cfg_.p_master)) {
+      body.stmts.push_back(gen_sync_block(/*master=*/true, region_ctx,
+                                          sync_pool));
+    }
+
     // The region's for loop.
     const VarId idx = prog_.add_var({"i_" + std::to_string(++loop_counter_),
                                      VarKind::IntScalar, VarRole::LoopIndex,
@@ -650,11 +723,25 @@ class Builder {
     if (rng_.bernoulli(cfg_.p_critical)) {
       loop_body.stmts.push_back(gen_critical(depth + 1, loop_ctx));
     }
+    // Atomic updates ride in the loop body so every thread issues them.
+    bool have_atomic_targets = !atomic_scalars.empty();
+    for (const auto& [arr, mode] : array_modes) {
+      (void)arr;
+      have_atomic_targets = have_atomic_targets || mode == ArrayMode::AtomicOnly;
+    }
+    if (cfg_.enable_atomic && have_atomic_targets &&
+        rng_.bernoulli(cfg_.p_atomic)) {
+      const int n = static_cast<int>(rng_.uniform_int(1, 2));
+      for (int i = 0; i < n; ++i) {
+        loop_body.stmts.push_back(gen_atomic(loop_ctx));
+      }
+    }
     loop_indices_.pop_back();
     loop_static_bounds_.pop_back();
 
     body.stmts.push_back(Stmt::for_loop(idx, std::move(bound),
-                                        std::move(loop_body), omp_for));
+                                        std::move(loop_body), omp_for,
+                                        schedule, schedule_chunk));
     region_temps_.resize(temps_mark);
     return Stmt::omp_parallel(std::move(clauses), std::move(body));
   }
@@ -674,6 +761,62 @@ class Builder {
     temps_in_scope_.resize(serial_mark);
     region_temps_.resize(region_mark);
     return Stmt::omp_critical(std::move(body));
+  }
+
+  /// A single or master block writing scalars it takes (permanently) out of
+  /// the region's sync pool. Exactly one thread runs the body, and the
+  /// targets are touched nowhere else in the region, so the block is
+  /// race-free without any barrier.
+  StmtPtr gen_sync_block(bool master, const BlockCtx& ctx,
+                         std::vector<VarId>& pool) {
+    Block body;
+    const int n = static_cast<int>(
+        rng_.uniform_int(1, std::min<std::int64_t>(2, pool.size())));
+    for (int i = 0; i < n; ++i) {
+      const std::size_t pick = rng_.uniform_index(pool.size());
+      const VarId v = pool[pick];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      body.stmts.push_back(Stmt::assign(LValue{v, nullptr}, random_assign_op(),
+                                        gen_expr(prog_.var(v).width, ctx)));
+    }
+    return master ? Stmt::omp_master(std::move(body))
+                  : Stmt::omp_single(std::move(body));
+  }
+
+  /// One "#pragma omp atomic" update. Targets come from the atomic-reserved
+  /// scalar pool or an AtomicOnly array, whose every region access is an
+  /// atomic update — and the update expression's context excludes them, so
+  /// it never references the target (the OpenMP atomic restriction).
+  StmtPtr gen_atomic(const BlockCtx& ctx) {
+    static constexpr AssignOp kAtomicOps[] = {
+        AssignOp::AddAssign, AssignOp::SubAssign, AssignOp::MulAssign,
+        AssignOp::DivAssign};
+    std::vector<VarId> atomic_arrays;
+    for (VarId v : arrays_) {
+      if (ctx.array_modes->at(v) == ArrayMode::AtomicOnly) {
+        atomic_arrays.push_back(v);
+      }
+    }
+    const auto& scalars = *ctx.atomic_scalars;
+    const double w_scalar = scalars.empty() ? 0.0 : 2.0;
+    const double w_array = atomic_arrays.empty() ? 0.0 : 1.0;
+    const std::array<double, 2> weights = {w_scalar, w_array};
+    LValue target;
+    if (rng_.pick_weighted(weights) == 0) {
+      target.var = scalars[rng_.uniform_index(scalars.size())];
+    } else {
+      target.var = atomic_arrays[rng_.uniform_index(atomic_arrays.size())];
+      const int size = prog_.var(target.var).array_size;
+      if (!loop_indices_.empty() && rng_.bernoulli(0.6)) {
+        target.index = Expr::binary(BinOp::Mod, Expr::var(loop_indices_.back()),
+                                    Expr::int_const(size));
+      } else {
+        target.index = Expr::int_const(rng_.uniform_int(0, size - 1));
+      }
+    }
+    const AssignOp op = kAtomicOps[rng_.uniform_index(std::size(kAtomicOps))];
+    const FpWidth w = prog_.var(target.var).width;
+    return Stmt::omp_atomic(std::move(target), op, gen_expr(w, ctx));
   }
 
   // -- State --------------------------------------------------------------------

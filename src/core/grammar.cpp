@@ -33,19 +33,33 @@ const std::vector<Production>& test_program_grammar() {
         "{\" reduction(\" <reduction-op> \": comp)\"}?"},
        "OpenMP-block-level rules"},
       {"<openmp-block>",
-       {"<openmp-head> \"\\n{\" {<assignment>}+ <for-loop-block> \"}\""},
+       {"<openmp-head> \"\\n{\" {<assignment>}+ {<omp-single>|<omp-master>}* "
+        "<for-loop-block> \"}\""},
        ""},
       {"<openmp-critical>",
        {"\"#pragma omp critical {\\n\" <block> \"}\""},
        ""},
+      {"<omp-single>",
+       {"\"#pragma omp single nowait {\\n\" {<assignment>}+ \"}\""},
+       "Feature-gated constructs (generator.features)"},
+      {"<omp-master>",
+       {"\"#pragma omp master {\\n\" {<assignment>}+ \"}\""},
+       ""},
+      {"<omp-atomic>",
+       {"\"#pragma omp atomic\\n\" <identifier> <update-op> <expression> \";\""},
+       ""},
+      {"<schedule-clause>",
+       {"\"schedule(\" {\"static\"|\"dynamic\"} {\",\" <int-numeral>}? \")\""},
+       ""},
       {"<if-block>",
        {"\"if\" \"(\" <bool-expression> \")\" \"{\" <block> \"}\""},
        "If-block-level rules"},
-      {"<for-loop-head>", {"\"#pragma omp for \\n for\"", "\"for\""},
+      {"<for-loop-head>",
+       {"\"#pragma omp for\" {<schedule-clause>}? \" \\n for\"", "\"for\""},
        "For-loop-level rules"},
       {"<for-loop-block>",
        {"<for-loop-head> \"(\" <loop-header> \")\" \"{\" "
-        "{<block>|<openmp-critical>}+ \"}\""},
+        "{<block>|<openmp-critical>|<omp-atomic>}+ \"}\""},
        ""},
       {"<loop-header>",
        {"\"int\" <id> \";\" <id> \"<\" <int-numeral> \";\" \"++\" <id>"},
@@ -73,7 +87,10 @@ std::string render_grammar() {
       "\n<fp-type> supports {float, double}; <assign-op> supports {=, +=, -=, "
       "*=, /=};\n<op> supports {+, -, *, /}; <bool-op> supports {<, >, ==, !=, "
       ">=, <=};\n<fp-numeral> is a constant, e.g. 1.23e+4; <reduction-op> "
-      "supports {+, *}.\n";
+      "supports {+, *};\n<update-op> supports {+=, -=, *=, /=}.\n"
+      "<omp-single>, <omp-master>, <omp-atomic>, and <schedule-clause> are "
+      "feature-gated\n(generator.features = atomic,single,master,schedule; all "
+      "off by default).\n";
   return out;
 }
 
@@ -170,6 +187,7 @@ class ConformanceChecker {
           if (s->omp_for) {
             add("R2", "omp for loop not directly inside a parallel region");
           }
+          check_for_schedule(*s);
           check_block(s->body, depth + 1, in_parallel, reduction, true);
           break;
         case Stmt::Kind::OmpParallel:
@@ -184,12 +202,61 @@ class ConformanceChecker {
           // critical wrapper does not consume a nesting level.
           check_block(s->body, depth, in_parallel, reduction, false);
           break;
+        case Stmt::Kind::OmpAtomic:
+          if (!config_.enable_atomic) {
+            add("R11", "atomic update generated but the atomic feature is off");
+          }
+          if (!in_parallel) {
+            add("R11", "atomic update outside a parallel region");
+          }
+          if (s->assign_op == ast::AssignOp::Assign) {
+            add("R11", "atomic must be a compound update (+=, -=, *=, /=)");
+          }
+          check_stmt_exprs(*s);
+          break;
+        case Stmt::Kind::OmpSingle:
+        case Stmt::Kind::OmpMaster:
+          // The only conforming placement is directly between the region
+          // preamble and its loop; check_parallel handles that slot, so any
+          // occurrence reaching here is misplaced.
+          add("R12", "single/master block not directly at region top level");
+          check_block(s->body, depth, in_parallel, reduction, false);
+          break;
       }
     }
   }
 
+  /// Checks one <omp-single> / <omp-master> block in its conforming slot
+  /// (directly between the region preamble and the region loop).
+  void check_sync_block(const Stmt& s) {
+    const bool single = s.kind == Stmt::Kind::OmpSingle;
+    if (single ? !config_.enable_single : !config_.enable_master) {
+      add("R12", std::string(single ? "single" : "master") +
+                     " block generated but the feature is off");
+    }
+    if (s.body.empty()) add("R12", "empty single/master body");
+    for (const auto& inner : s.body.stmts) {
+      if (inner->kind != Stmt::Kind::Assign) {
+        add("R12", "single/master body must contain assignments only");
+        continue;
+      }
+      check_stmt_exprs(*inner);
+    }
+  }
+
+  void check_for_schedule(const Stmt& s) {
+    if (s.schedule == ast::ScheduleKind::None) return;
+    if (!config_.enable_schedule) {
+      add("R13", "schedule clause generated but the schedule feature is off");
+    }
+    if (!s.omp_for) add("R13", "schedule clause on a serial for loop");
+    if (s.schedule_chunk < 0) add("R13", "negative schedule chunk size");
+  }
+
   void check_parallel(const Stmt& region, int depth) {
-    // R1: {<assignment>}+ then exactly one <for-loop-block>.
+    // R1: {<assignment>}+ {<omp-single>|<omp-master>}* then exactly one
+    // <for-loop-block>. The sync-block slot is empty unless the single/master
+    // features are enabled (R12 flags gate-off occurrences).
     const auto& stmts = region.body.stmts;
     bool shape_ok = !stmts.empty();
     std::size_t i = 0;
@@ -198,6 +265,12 @@ class ConformanceChecker {
       ++i;
     }
     if (i == 0) shape_ok = false;  // needs at least one preamble assignment
+    const std::size_t preamble_end = i;
+    while (i < stmts.size() && (stmts[i]->kind == Stmt::Kind::OmpSingle ||
+                                stmts[i]->kind == Stmt::Kind::OmpMaster)) {
+      ++i;
+    }
+    const std::size_t sync_end = i;
     if (i + 1 != stmts.size() || (shape_ok && stmts[i]->kind != Stmt::Kind::For)) {
       shape_ok = false;
     }
@@ -207,7 +280,10 @@ class ConformanceChecker {
       check_block(region.body, depth + 1, true, region.clauses.reduction, false);
       return;
     }
-    for (std::size_t k = 0; k < i; ++k) {
+    for (std::size_t k = preamble_end; k < sync_end; ++k) {
+      check_sync_block(*stmts[k]);
+    }
+    for (std::size_t k = 0; k < preamble_end; ++k) {
       if (region.clauses.reduction &&
           stmts[k]->kind == Stmt::Kind::Assign &&
           stmts[k]->target.var == program_.comp()) {
@@ -216,6 +292,7 @@ class ConformanceChecker {
       check_stmt_exprs(*stmts[k]);
     }
     const Stmt& loop = *stmts[i];
+    check_for_schedule(loop);
     if (loop.body.empty()) add("R5", "empty for body");
     // The whole <openmp-block> production (head + preamble + loop) counts as
     // one nesting level, so the loop body sits at depth + 1. The region's own

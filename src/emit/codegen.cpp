@@ -147,7 +147,19 @@ class Emitter {
         close_brace();
         break;
       case Stmt::Kind::For: {
-        if (s.omp_for) line("#pragma omp for");
+        if (s.omp_for) {
+          std::string head = "#pragma omp for";
+          if (s.schedule != ast::ScheduleKind::None) {
+            head += s.schedule == ast::ScheduleKind::Static
+                        ? " schedule(static"
+                        : " schedule(dynamic";
+            if (s.schedule_chunk > 0) {
+              head += ", " + std::to_string(s.schedule_chunk);
+            }
+            head += ")";
+          }
+          line(head);
+        }
         const std::string i = name(s.loop_var);
         line("for (int " + i + " = 0; " + i + " < " + expr(*s.loop_bound) +
              "; ++" + i + ")");
@@ -177,6 +189,31 @@ class Emitter {
       }
       case Stmt::Kind::OmpCritical:
         line("#pragma omp critical");
+        open_brace();
+        block(s.body);
+        close_brace();
+        break;
+      case Stmt::Kind::OmpAtomic: {
+        // Update form for compound operators, "atomic write" for plain '='.
+        line(s.assign_op == ast::AssignOp::Assign ? "#pragma omp atomic write"
+                                                  : "#pragma omp atomic");
+        std::string target = name(s.target.var);
+        if (s.target.is_array_element()) {
+          target += "[" + expr(*s.target.index) + "]";
+        }
+        line(target + " " + ast::to_string(s.assign_op) + " " + expr(*s.value) + ";");
+        break;
+      }
+      case Stmt::Kind::OmpSingle:
+        // nowait: the generated grammar never relies on single's implied
+        // barrier, and the analyzer's phase model does not introduce one.
+        line("#pragma omp single nowait");
+        open_brace();
+        block(s.body);
+        close_brace();
+        break;
+      case Stmt::Kind::OmpMaster:
+        line("#pragma omp master");
         open_brace();
         block(s.body);
         close_brace();

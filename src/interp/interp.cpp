@@ -144,11 +144,12 @@ class Engine {
 
   /// Appends to the shared-access trace (trace.hpp); a no-op outside
   /// parallel regions or when tracing is off.
-  void record_access(VarId id, std::int32_t elem, bool is_write) {
+  void record_access(VarId id, std::int32_t elem, bool is_write,
+                     bool is_atomic = false) {
     if (opt_.trace == nullptr || frame_ == nullptr) return;
     opt_.trace->accesses.push_back({trace_region_, trace_phase_, id, elem,
                                     static_cast<std::uint16_t>(frame_->tid),
-                                    is_write, in_critical_});
+                                    is_write, in_critical_, is_atomic});
   }
 
   Value read_scalar(VarId id) {
@@ -411,18 +412,81 @@ class Engine {
         in_critical_ = saved;
         break;
       }
+      case Stmt::Kind::OmpAtomic:
+        exec_atomic(s);
+        break;
+      case Stmt::Kind::OmpSingle: {
+        if (frame_ == nullptr) {  // serial context: the one thread executes
+          exec_block(s.body);
+          break;
+        }
+        // Deterministic stand-in for "first thread to arrive": encounter k
+        // within a region execution is taken by thread k mod team, rotating
+        // the executor across blocks. Emitted nowait — no barrier, no phase
+        // advance.
+        const std::uint32_t k = single_counter_++;
+        if (static_cast<int>(
+                k % static_cast<std::uint32_t>(frame_->team_size)) ==
+            frame_->tid) {
+          exec_block(s.body);
+        }
+        break;
+      }
+      case Stmt::Kind::OmpMaster:
+        if (frame_ == nullptr || frame_->tid == 0) exec_block(s.body);
+        break;
     }
   }
 
-  void exec_for(const Stmt& s) {
-    const std::int64_t n = eval(*s.loop_bound).as_int();
-    std::int64_t begin = 0, end = n;
-    if (s.omp_for && frame_ != nullptr) {
-      ++ev_.omp_for_loops;
-      const IterRange r = static_chunk(n, frame_->team_size, frame_->tid);
-      begin = r.begin;
-      end = r.end;
+  void exec_atomic(const Stmt& s) {
+    const auto& decl = prog_.var(s.target.var);
+    if (s.target.is_array_element()) {
+      const std::size_t i = eval_index(*s.target.index, decl.array_size);
+      const Value rhs = eval(*s.value);
+      auto& storage = array_storage(s.target.var);
+      double result;
+      if (decl.width == FpWidth::F32) {
+        const float old_value = s.assign_op == AssignOp::Assign
+                                    ? 0.0f
+                                    : static_cast<float>(storage[i]);
+        result = static_cast<double>(combine_f32(s.assign_op, old_value, rhs));
+      } else {
+        const double old_value =
+            s.assign_op == AssignOp::Assign ? 0.0 : storage[i];
+        result = flush64(combine<double>(s.assign_op, old_value, rhs.as_double()));
+      }
+      ++ev_.array_loads;
+      ++ev_.array_stores;
+      // One indivisible read-modify-write: a single atomic-classed access,
+      // not a plain read plus a plain write.
+      record_access(s.target.var, static_cast<std::int32_t>(i),
+                    /*is_write=*/true, /*is_atomic=*/true);
+      storage[i] = result;
+      return;
     }
+    const Value rhs = eval(*s.value);
+    ++ev_.scalar_loads;
+    ++ev_.scalar_stores;
+    const VarId id = s.target.var;
+    const auto update = [&](const Value& old_value) {
+      if (decl.width == FpWidth::F32) {
+        const float old_f = s.assign_op == AssignOp::Assign ? 0.0f : old_value.f;
+        return Value::make_f32(combine_f32(s.assign_op, old_f, rhs));
+      }
+      const double old_d =
+          s.assign_op == AssignOp::Assign ? 0.0 : old_value.as_double();
+      return Value::make_f64(
+          flush64(combine<double>(s.assign_op, old_d, rhs.as_double())));
+    };
+    if (frame_private(id)) {  // atomic on a private copy degenerates
+      frame_->locals[id] = update(frame_->locals[id]);
+      return;
+    }
+    record_access(id, /*elem=*/-1, /*is_write=*/true, /*is_atomic=*/true);
+    globals_[id] = update(globals_[id]);
+  }
+
+  void run_iters(const Stmt& s, std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
       step();
       ++ev_.loop_iterations;
@@ -430,10 +494,33 @@ class Engine {
       make_frame_local(s.loop_var, Value::make_int(i));
       exec_block(s.body);
     }
+  }
+
+  void exec_for(const Stmt& s) {
+    const std::int64_t n = eval(*s.loop_bound).as_int();
     if (s.omp_for && frame_ != nullptr) {
+      ++ev_.omp_for_loops;
+      if (s.schedule == ast::ScheduleKind::None ||
+          (s.schedule == ast::ScheduleKind::Static && s.schedule_chunk == 0)) {
+        // Default partition: contiguous near-equal chunks.
+        const IterRange r = static_chunk(n, frame_->team_size, frame_->tid);
+        run_iters(s, r.begin, r.end);
+      } else {
+        // Round-robin chunks: models schedule(static, c) exactly and stands
+        // in deterministically for schedule(dynamic[, c]) — every iteration
+        // still runs on exactly one thread, which is all the race model and
+        // the result's reproducibility need.
+        const std::int64_t c = s.schedule_chunk > 0 ? s.schedule_chunk : 1;
+        const auto team = static_cast<std::int64_t>(frame_->team_size);
+        for (std::int64_t base = c * frame_->tid; base < n; base += c * team) {
+          run_iters(s, base, std::min(base + c, n));
+        }
+      }
       ++ev_.barriers;  // this thread arriving at the work-shared loop barrier
       ++trace_phase_;
+      return;
     }
+    run_iters(s, 0, n);
   }
 
   void exec_parallel(const Stmt& s) {
@@ -474,6 +561,7 @@ class Engine {
       frame.tid = tid;
       frame_ = &frame;
       trace_phase_ = 0;  // per-thread barrier count within this region
+      single_counter_ = 0;  // per-thread single-encounter count
       exec_block(s.body);
       frame_ = nullptr;
       if (has_reduction) {
@@ -523,6 +611,7 @@ class Engine {
   bool in_critical_ = false;
   std::uint32_t trace_region_ = 0;  ///< parallel-region execution counter
   std::uint32_t trace_phase_ = 0;   ///< current thread's barrier count
+  std::uint32_t single_counter_ = 0;  ///< single blocks this thread has met
   EventCounts ev_;
   std::uint64_t steps_ = 0;
 };

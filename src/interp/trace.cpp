@@ -8,13 +8,13 @@ namespace ompfuzz::interp {
 namespace {
 
 /// Accesses of one (region, phase, var, elem) location, bucketed by
-/// (write, critical). Each bucket keeps at most two representatives with
-/// distinct thread ids — enough to decide every conflict form.
+/// (atomic, write, critical). Each bucket keeps at most two representatives
+/// with distinct thread ids — enough to decide every conflict form.
 struct Location {
-  std::vector<SharedAccess> bucket[4];
+  std::vector<SharedAccess> bucket[8];
 
   static int index(const SharedAccess& a) {
-    return (a.is_write ? 2 : 0) + (a.in_critical ? 1 : 0);
+    return (a.is_atomic ? 4 : 0) + (a.is_write ? 2 : 0) + (a.in_critical ? 1 : 0);
   }
 
   void add(const SharedAccess& a) {
@@ -27,6 +27,11 @@ constexpr int kUncritRead = 0;
 constexpr int kCritRead = 1;
 constexpr int kUncritWrite = 2;
 constexpr int kCritWrite = 3;
+// Atomic accesses are recorded as writes (the RMW is one record); the
+// critical bit still matters, because an atomic inside a critical section is
+// ordered against critical-protected plain accesses by the lock.
+constexpr int kAtomicWrite = 6;
+constexpr int kAtomicCritWrite = 7;
 
 bool cross_tid_pair(const std::vector<SharedAccess>& a,
                     const std::vector<SharedAccess>& b, AccessConflict& out) {
@@ -54,14 +59,23 @@ std::vector<AccessConflict> find_conflicts(const AccessTrace& trace) {
   for (auto& [key, loc] : locations) {
     AccessConflict c;
     // An uncritical write conflicts with any other-thread access; a critical
-    // write additionally conflicts with uncritical reads. Everything else
-    // (read/read, critical/critical) is ordered or harmless.
+    // write additionally conflicts with uncritical reads. An atomic update
+    // conflicts with any plain access it shares no lock with (at least one
+    // side is the atomic's write), but never with another atomic. Everything
+    // else (read/read, critical/critical, atomic/atomic) is ordered or
+    // harmless.
     const bool found =
         cross_tid_pair(loc.bucket[kUncritWrite], loc.bucket[kUncritWrite], c) ||
         cross_tid_pair(loc.bucket[kUncritWrite], loc.bucket[kCritWrite], c) ||
         cross_tid_pair(loc.bucket[kUncritWrite], loc.bucket[kUncritRead], c) ||
         cross_tid_pair(loc.bucket[kUncritWrite], loc.bucket[kCritRead], c) ||
-        cross_tid_pair(loc.bucket[kCritWrite], loc.bucket[kUncritRead], c);
+        cross_tid_pair(loc.bucket[kCritWrite], loc.bucket[kUncritRead], c) ||
+        cross_tid_pair(loc.bucket[kAtomicWrite], loc.bucket[kUncritWrite], c) ||
+        cross_tid_pair(loc.bucket[kAtomicWrite], loc.bucket[kCritWrite], c) ||
+        cross_tid_pair(loc.bucket[kAtomicWrite], loc.bucket[kUncritRead], c) ||
+        cross_tid_pair(loc.bucket[kAtomicWrite], loc.bucket[kCritRead], c) ||
+        cross_tid_pair(loc.bucket[kAtomicCritWrite], loc.bucket[kUncritWrite], c) ||
+        cross_tid_pair(loc.bucket[kAtomicCritWrite], loc.bucket[kUncritRead], c);
     if (found) conflicts.push_back(c);
   }
   return conflicts;

@@ -32,6 +32,10 @@ struct SharedAccess {
   std::uint16_t tid = 0;
   bool is_write = false;
   bool in_critical = false;
+  /// An "#pragma omp atomic" read-modify-write: one indivisible access that
+  /// is neither a plain write nor a critical-protected one. Atomic accesses
+  /// never conflict with each other, only with plain accesses.
+  bool is_atomic = false;
 };
 
 /// A pair of accesses that may overlap in a real parallel schedule.

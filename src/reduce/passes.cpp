@@ -109,6 +109,14 @@ bool scopes_ok(const Program& program) {
           break;
         case Stmt::Kind::OmpCritical:
           break;
+        case Stmt::Kind::OmpAtomic:
+          uses.push_back(s->target.var);
+          if (s->target.index) collect_expr_uses(*s->target.index, uses);
+          collect_expr_uses(*s->value, uses);
+          break;
+        case Stmt::Kind::OmpSingle:
+        case Stmt::Kind::OmpMaster:
+          break;
       }
       for (const VarId id : uses) {
         if (!declared[id]) {
@@ -131,9 +139,12 @@ bool scopes_ok(const Program& program) {
         case Stmt::Kind::If:
         case Stmt::Kind::OmpParallel:
         case Stmt::Kind::OmpCritical:
+        case Stmt::Kind::OmpSingle:
+        case Stmt::Kind::OmpMaster:
           ok = block_ok(s->body);
           break;
         case Stmt::Kind::Assign:
+        case Stmt::Kind::OmpAtomic:
           break;
       }
       if (!ok) {
@@ -238,7 +249,12 @@ std::vector<Candidate> collapse_candidates(const Program& program,
                                            const fp::InputSet& input) {
   std::vector<Candidate> out;
   walk_paths(program, [&](const Stmt& s, const StmtPath& path) {
-    if (s.kind == Stmt::Kind::Assign || s.kind == Stmt::Kind::Decl) return;
+    // Atomics are leaf statements, not wrappers: collapsing one would just
+    // delete it, which the depth-removal passes already cover.
+    if (s.kind == Stmt::Kind::Assign || s.kind == Stmt::Kind::Decl ||
+        s.kind == Stmt::Kind::OmpAtomic) {
+      return;
+    }
     Program candidate = program.clone();
     Block& parent = block_at(candidate, path, path.size() - 1);
     const std::size_t i = path.back();
@@ -260,10 +276,32 @@ std::vector<Candidate> clause_candidates(const Program& program,
   std::vector<Candidate> out;
   walk_paths(program, [&](const Stmt& s, const StmtPath& path) {
     if (s.kind == Stmt::Kind::For && s.omp_for) {
+      if (s.schedule != ast::ScheduleKind::None) {
+        // Drop the schedule clause first — a smaller pragma that keeps the
+        // work-sharing semantics.
+        Program candidate = program.clone();
+        Stmt& loop = stmt_at(candidate, path);
+        loop.schedule = ast::ScheduleKind::None;
+        loop.schedule_chunk = 0;
+        out.push_back(make_candidate(std::move(candidate), input,
+                                     "drop schedule " + path_text(path)));
+      }
       Program candidate = program.clone();
-      stmt_at(candidate, path).omp_for = false;
+      Stmt& loop = stmt_at(candidate, path);
+      loop.omp_for = false;
+      loop.schedule = ast::ScheduleKind::None;
+      loop.schedule_chunk = 0;
       out.push_back(make_candidate(std::move(candidate), input,
                                    "drop omp-for " + path_text(path)));
+    }
+    if (s.kind == Stmt::Kind::OmpAtomic) {
+      // Demote to a plain assignment; structurally_valid re-runs the race
+      // checker, so the candidate survives only where the atomicity was
+      // not load-bearing.
+      Program candidate = program.clone();
+      stmt_at(candidate, path).kind = Stmt::Kind::Assign;
+      out.push_back(make_candidate(std::move(candidate), input,
+                                   "demote atomic " + path_text(path)));
     }
     if (s.kind != Stmt::Kind::OmpParallel) return;
     for (std::size_t k = 0; k < s.clauses.privates.size(); ++k) {
@@ -518,8 +556,16 @@ std::vector<Candidate> expr_candidates(const Program& program,
         }
         break;
       }
+      case Stmt::Kind::OmpAtomic:
+        if (s.target.index) {
+          propose_site(path, ExprSiteKind::TargetIndex, *s.target.index, true);
+        }
+        propose_site(path, ExprSiteKind::AssignValue, *s.value, false);
+        break;
       case Stmt::Kind::OmpParallel:
       case Stmt::Kind::OmpCritical:
+      case Stmt::Kind::OmpSingle:
+      case Stmt::Kind::OmpMaster:
         break;
     }
   });

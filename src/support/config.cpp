@@ -1,5 +1,6 @@
 #include "support/config.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <fstream>
 #include <limits>
@@ -167,8 +168,49 @@ GeneratorConfig GeneratorConfig::from_config(const ConfigFile& file) {
   g.p_reduction = getd("p_reduction", g.p_reduction);
   g.p_critical = getd("p_critical", g.p_critical);
   g.p_parallel_in_loop = getd("p_parallel_in_loop", g.p_parallel_in_loop);
+  g.enable_atomic = file.get_bool("generator.enable_atomic", g.enable_atomic);
+  g.enable_single = file.get_bool("generator.enable_single", g.enable_single);
+  g.enable_master = file.get_bool("generator.enable_master", g.enable_master);
+  g.enable_schedule =
+      file.get_bool("generator.enable_schedule", g.enable_schedule);
+  if (const auto csv = file.get("generator.features")) g.enable_features(*csv);
+  g.p_atomic = getd("p_atomic", g.p_atomic);
+  g.p_single = getd("p_single", g.p_single);
+  g.p_master = getd("p_master", g.p_master);
+  g.p_schedule = getd("p_schedule", g.p_schedule);
   g.validate();
   return g;
+}
+
+void GeneratorConfig::enable_features(const std::string& csv) {
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t end = csv.find(',', pos);
+    if (end == std::string::npos) end = csv.size();
+    std::string name = csv.substr(pos, end - pos);
+    // Trim surrounding whitespace so "atomic, single" parses.
+    while (!name.empty() && std::isspace(static_cast<unsigned char>(name.front()))) {
+      name.erase(name.begin());
+    }
+    while (!name.empty() && std::isspace(static_cast<unsigned char>(name.back()))) {
+      name.pop_back();
+    }
+    if (!name.empty()) {
+      if (name == "atomic") {
+        enable_atomic = true;
+      } else if (name == "single") {
+        enable_single = true;
+      } else if (name == "master") {
+        enable_master = true;
+      } else if (name == "schedule") {
+        enable_schedule = true;
+      } else {
+        throw ConfigError("unknown generator feature: '" + name +
+                          "' (expected atomic, single, master, or schedule)");
+      }
+    }
+    pos = end + 1;
+  }
 }
 
 void GeneratorConfig::validate() const {
@@ -188,6 +230,9 @@ void GeneratorConfig::validate() const {
   for (double p : {p_if_block, p_for_block, p_openmp_block, p_reduction,
                    p_critical, p_parallel_in_loop}) {
     require(p >= 0.0 && p <= 1.0, "block probabilities must be in [0,1]");
+  }
+  for (double p : {p_atomic, p_single, p_master, p_schedule}) {
+    require(p >= 0.0 && p <= 1.0, "feature probabilities must be in [0,1]");
   }
 }
 

@@ -80,6 +80,22 @@ struct GeneratorConfig {
   double p_critical = 0.38;       ///< chance a loop body contains an omp critical
   double p_parallel_in_loop = 0.07;  ///< chance an OpenMP region nests inside a serial loop
 
+  // Feature gates for the widened construct surface. All default OFF, and a
+  // disabled feature draws NOTHING from the generator's RNG, so default
+  // configurations keep producing bit-identical program streams.
+  bool enable_atomic = false;    ///< "#pragma omp atomic" updates
+  bool enable_single = false;    ///< "#pragma omp single nowait" blocks
+  bool enable_master = false;    ///< "#pragma omp master" blocks
+  bool enable_schedule = false;  ///< schedule(static|dynamic[,chunk]) on omp for
+  double p_atomic = 0.45;    ///< chance an enabled region gains atomic updates
+  double p_single = 0.45;    ///< chance an enabled region gains a single block
+  double p_master = 0.35;    ///< chance an enabled region gains a master block
+  double p_schedule = 0.6;   ///< chance an omp-for carries an explicit schedule
+
+  /// Enables the gates named in a comma-separated list
+  /// ("atomic,single,master,schedule"); throws ConfigError on unknown names.
+  void enable_features(const std::string& csv);
+
   /// Reads the [generator] section; unspecified keys keep their defaults.
   static GeneratorConfig from_config(const ConfigFile& file);
   /// Validates ranges (e.g. positive sizes); throws ConfigError otherwise.

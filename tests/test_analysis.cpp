@@ -584,6 +584,195 @@ TEST(Differential, DifferentialSweepHasNoUnsoundVerdicts) {
   EXPECT_GT(mutant_stats.precision(), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Feature-enabled differential sweep: atomics, single/master, schedule
+// ---------------------------------------------------------------------------
+
+enum class FeatureMutation {
+  DemoteAtomic,         // "#pragma omp atomic" scalar update -> plain assign
+  DropSingle,           // splice a single block's body into the region
+  DropMaster,           // splice a master block's body into the region
+  ConstIndexScheduled,  // collapse a scheduled omp-for array write onto [0]
+};
+
+GeneratorConfig feature_sweep_config() {
+  GeneratorConfig gcfg;
+  gcfg.array_size = 64;
+  gcfg.max_loop_trip_count = 12;
+  gcfg.enable_atomic = true;
+  gcfg.enable_single = true;
+  gcfg.enable_master = true;
+  gcfg.enable_schedule = true;
+  return gcfg;
+}
+
+// Replaces the first single/master statement of `kind` with its own body,
+// exposing the block's exclusive writes to every thread.
+bool unwrap_first(Block& block, Stmt::Kind kind) {
+  for (std::size_t idx = 0; idx < block.stmts.size(); ++idx) {
+    if (block.stmts[idx]->kind == kind) {
+      Block body = std::move(block.stmts[idx]->body);
+      block.stmts.erase(block.stmts.begin() +
+                        static_cast<std::ptrdiff_t>(idx));
+      for (std::size_t k = 0; k < body.stmts.size(); ++k) {
+        block.stmts.insert(
+            block.stmts.begin() + static_cast<std::ptrdiff_t>(idx + k),
+            std::move(body.stmts[k]));
+      }
+      return true;
+    }
+    if (unwrap_first(block.stmts[idx]->body, kind)) return true;
+  }
+  return false;
+}
+
+bool apply_feature_mutation(ast::Program& prog, FeatureMutation m) {
+  bool applied = false;
+  switch (m) {
+    case FeatureMutation::DemoteAtomic: {
+      // Only uncritical scalar targets qualify: a critical-protected atomic
+      // stays mutually excluded after demotion, and a tid-partitioned array
+      // update may stay disjoint.
+      std::function<void(Block&, bool)> walk = [&](Block& block,
+                                                   bool in_critical) {
+        for (auto& sp : block.stmts) {
+          Stmt& s = *sp;
+          if (!applied && !in_critical && s.kind == Stmt::Kind::OmpAtomic &&
+              !s.target.is_array_element()) {
+            s.kind = Stmt::Kind::Assign;
+            applied = true;
+          }
+          walk(s.body, in_critical || s.kind == Stmt::Kind::OmpCritical);
+        }
+      };
+      walk(prog.body(), false);
+      break;
+    }
+    case FeatureMutation::DropSingle:
+      applied = unwrap_first(prog.body(), Stmt::Kind::OmpSingle);
+      break;
+    case FeatureMutation::DropMaster:
+      applied = unwrap_first(prog.body(), Stmt::Kind::OmpMaster);
+      break;
+    case FeatureMutation::ConstIndexScheduled: {
+      std::function<void(Block&, bool, bool)> walk =
+          [&](Block& block, bool in_scheduled, bool in_critical) {
+            for (auto& sp : block.stmts) {
+              Stmt& s = *sp;
+              if (!applied && in_scheduled && !in_critical &&
+                  s.kind == Stmt::Kind::Assign && s.target.is_array_element()) {
+                s.target.index = Expr::int_const(0);
+                applied = true;
+              }
+              const bool scheduled =
+                  in_scheduled ||
+                  (s.kind == Stmt::Kind::For && s.omp_for &&
+                   s.schedule != ast::ScheduleKind::None);
+              walk(s.body, scheduled,
+                   in_critical || s.kind == Stmt::Kind::OmpCritical);
+            }
+          };
+      walk(prog.body(), false, false);
+      break;
+    }
+  }
+  return applied;
+}
+
+const char* feature_mutation_name(FeatureMutation m) {
+  switch (m) {
+    case FeatureMutation::DemoteAtomic: return "demote-atomic";
+    case FeatureMutation::DropSingle: return "drop-single";
+    case FeatureMutation::DropMaster: return "drop-master";
+    case FeatureMutation::ConstIndexScheduled: return "const-index-scheduled";
+  }
+  return "?";
+}
+
+// The feature-gate acceptance sweep (CI: --gtest_filter=*FeatureSweep*):
+// >= 1,000 programs generated with every gate enabled must validate with zero
+// unsound verdicts, every construct family must actually appear in the
+// stream, and each construct-targeted mutation must be caught statically and
+// confirmed dynamically at least once.
+TEST(Differential, FeatureSweepHasNoUnsoundVerdicts) {
+  const GeneratorConfig gcfg = feature_sweep_config();
+  const core::ProgramGenerator generator(gcfg);
+  const DifferentialOptions options;
+
+  DifferentialStats drafts;
+  ast::ProgramFeatures seen{};
+  for (int n = 0; n < 1100; ++n) {
+    const ast::Program prog = generator.generate(
+        "fsweep_" + std::to_string(n), hash_combine(0xfea7, n));
+    const auto features = ast::analyze(prog);
+    seen.num_atomics += features.num_atomics;
+    seen.num_singles += features.num_singles;
+    seen.num_masters += features.num_masters;
+    seen.num_scheduled_loops += features.num_scheduled_loops;
+    validate_program(prog, options, drafts);
+  }
+  ASSERT_GE(drafts.programs, 1000u);
+  EXPECT_EQ(drafts.unsound, 0u);
+  // Every family must be represented, or the sweep validates nothing.
+  EXPECT_GT(seen.num_atomics, 0u);
+  EXPECT_GT(seen.num_singles, 0u);
+  EXPECT_GT(seen.num_masters, 0u);
+  EXPECT_GT(seen.num_scheduled_loops, 0u);
+
+  std::uint64_t atomic_mixed_reports = 0;
+  for (const FeatureMutation m :
+       {FeatureMutation::DemoteAtomic, FeatureMutation::DropSingle,
+        FeatureMutation::DropMaster, FeatureMutation::ConstIndexScheduled}) {
+    DifferentialStats per_kind;
+    int applied = 0;
+    for (int n = 0; n < 400 && applied < 60; ++n) {
+      ast::Program prog = generator.generate(
+          "fmutant_" + std::to_string(n), hash_combine(0xfee1, n));
+      if (!apply_feature_mutation(prog, m)) continue;
+      ++applied;
+      const RaceReport report = analyze_races(prog);
+      ASSERT_FALSE(report.race_free())
+          << feature_mutation_name(m) << " mutant " << n
+          << " escaped the analyzer";
+      if (has_kind(report, RaceKind::AtomicMixedAccess)) {
+        ++atomic_mixed_reports;
+      }
+      switch (m) {
+        case FeatureMutation::DropSingle:
+        case FeatureMutation::DropMaster:
+          EXPECT_TRUE(has_kind(report, RaceKind::SharedScalarWrite))
+              << feature_mutation_name(m) << " mutant " << n;
+          break;
+        case FeatureMutation::ConstIndexScheduled:
+          EXPECT_TRUE(has_kind(report, RaceKind::ArrayUnsafeWrite))
+              << feature_mutation_name(m) << " mutant " << n;
+          break;
+        case FeatureMutation::DemoteAtomic:
+          break;  // kind depends on whether sibling atomics remain
+      }
+      validate_program(prog, options, per_kind);
+    }
+    ASSERT_GE(applied, 25)
+        << feature_mutation_name(m) << " produced too few applicable programs";
+    EXPECT_EQ(per_kind.unsound, 0u) << feature_mutation_name(m);
+    EXPECT_GE(per_kind.confirmed_racy, 1u)
+        << "no dynamic confirmation for " << feature_mutation_name(m);
+    for (const auto& example : per_kind.unsound_examples) {
+      ADD_FAILURE() << "unsound " << feature_mutation_name(m) << " mutant: "
+                    << example;
+    }
+    std::printf("[feature-sweep] %s: %d applied, confirmed %llu\n",
+                feature_mutation_name(m), applied,
+                static_cast<unsigned long long>(per_kind.confirmed_racy));
+  }
+  // A demoted atomic next to surviving sibling atomics must classify as the
+  // new mixed-access kind somewhere in the sweep.
+  EXPECT_GE(atomic_mixed_reports, 1u);
+  for (const auto& example : drafts.unsound_examples) {
+    ADD_FAILURE() << "unsound feature draft: " << example;
+  }
+}
+
 // A race-free-by-construction campaign program must validate clean and
 // produce no dynamic conflicts — the focused version of the sweep above.
 TEST(Differential, AcceptedCampaignProgramsStayClean) {

@@ -175,6 +175,175 @@ TEST(FingerprintGolden, CoversEmittedStructuralFields) {
       << "fingerprint ignores explicit parentheses but codegen emits them";
 }
 
+// Feature-enabled config: all four scenario-surface gates on.
+GeneratorConfig feature_config() {
+  GeneratorConfig cfg = small_config();
+  cfg.enable_atomic = true;
+  cfg.enable_single = true;
+  cfg.enable_master = true;
+  cfg.enable_schedule = true;
+  return cfg;
+}
+
+std::uint64_t feature_fingerprint(std::uint64_t seed) {
+  const ProgramGenerator gen(feature_config());
+  return gen.generate("feature", seed).fingerprint();
+}
+
+TEST(FingerprintGolden, CoversFeatureConstructFields) {
+  using ast::FpWidth;
+  using ast::ScheduleKind;
+  using ast::VarKind;
+  using ast::VarRole;
+
+  // Schedule clause fields shape the emitted "#pragma omp for" line, so two
+  // loops differing only in schedule kind or chunk must not alias in the
+  // run cache.
+  const auto make_loop = [](ScheduleKind schedule, int chunk) {
+    Program prog;
+    prog.set_name("p");
+    const auto comp = prog.add_var({"comp", VarKind::FpScalar, VarRole::Comp,
+                                    FpWidth::F64, 0});
+    prog.set_comp(comp);
+    const auto i = prog.add_var({"i_1", VarKind::IntScalar, VarRole::LoopIndex,
+                                 FpWidth::F64, 0});
+    ast::Block body;
+    body.stmts.push_back(Stmt::assign(ast::LValue{comp, nullptr},
+                                      ast::AssignOp::AddAssign,
+                                      Expr::fp_const(1.0)));
+    prog.body().stmts.push_back(Stmt::for_loop(
+        i, Expr::int_const(8), std::move(body), /*omp_for=*/true, schedule,
+        chunk));
+    return prog;
+  };
+  const auto none = make_loop(ScheduleKind::None, 0);
+  const auto st0 = make_loop(ScheduleKind::Static, 0);
+  const auto st2 = make_loop(ScheduleKind::Static, 2);
+  const auto dy2 = make_loop(ScheduleKind::Dynamic, 2);
+  EXPECT_NE(none.fingerprint(), st0.fingerprint());
+  EXPECT_NE(st0.fingerprint(), st2.fingerprint());
+  EXPECT_NE(st2.fingerprint(), dy2.fingerprint());
+
+  // An atomic update and the identical plain assignment emit differently.
+  const auto make_update = [](bool atomic) {
+    Program prog;
+    prog.set_name("p");
+    const auto comp = prog.add_var({"comp", VarKind::FpScalar, VarRole::Comp,
+                                    FpWidth::F64, 0});
+    prog.set_comp(comp);
+    auto value = Expr::fp_const(2.0);
+    prog.body().stmts.push_back(
+        atomic ? Stmt::omp_atomic(ast::LValue{comp, nullptr},
+                                  ast::AssignOp::AddAssign, std::move(value))
+               : Stmt::assign(ast::LValue{comp, nullptr},
+                              ast::AssignOp::AddAssign, std::move(value)));
+    return prog;
+  };
+  EXPECT_NE(make_update(true).fingerprint(), make_update(false).fingerprint());
+
+  // single / master / critical wrap the same body but emit different
+  // pragmas; all three must hash apart.
+  const auto make_wrapped = [](int which) {
+    Program prog;
+    prog.set_name("p");
+    const auto comp = prog.add_var({"comp", VarKind::FpScalar, VarRole::Comp,
+                                    FpWidth::F64, 0});
+    prog.set_comp(comp);
+    ast::Block body;
+    body.stmts.push_back(Stmt::assign(ast::LValue{comp, nullptr},
+                                      ast::AssignOp::AddAssign,
+                                      Expr::fp_const(1.0)));
+    prog.body().stmts.push_back(
+        which == 0   ? Stmt::omp_single(std::move(body))
+        : which == 1 ? Stmt::omp_master(std::move(body))
+                     : Stmt::omp_critical(std::move(body)));
+    return prog;
+  };
+  const auto single_fp = make_wrapped(0).fingerprint();
+  const auto master_fp = make_wrapped(1).fingerprint();
+  const auto critical_fp = make_wrapped(2).fingerprint();
+  EXPECT_NE(single_fp, master_fp);
+  EXPECT_NE(single_fp, critical_fp);
+  EXPECT_NE(master_fp, critical_fp);
+}
+
+TEST(FingerprintGolden, FeatureProgramsStableAcrossProcesses) {
+  // Same cross-process guarantee as StableAcrossProcesses, but for the
+  // feature-enabled stream: the store must be able to re-hash a
+  // feature-gated program in a different process and hit the same key.
+  constexpr std::array<std::uint64_t, 3> kSeeds = {7, 8, 9};
+  if (std::getenv("OMPFUZZ_FEATURE_FINGERPRINT_CHILD") != nullptr) {
+    for (const std::uint64_t seed : kSeeds) {
+      std::printf("fingerprint %llu %016llx\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(feature_fingerprint(seed)));
+    }
+    std::fflush(stdout);
+    std::_Exit(0);
+  }
+
+  char exe[4096];
+  const ssize_t exe_len = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  ASSERT_GT(exe_len, 0);
+  exe[exe_len] = '\0';
+  const std::string command =
+      "OMPFUZZ_FEATURE_FINGERPRINT_CHILD=1 '" + std::string(exe) +
+      "' --gtest_filter=FingerprintGolden.FeatureProgramsStableAcrossProcesses"
+      " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> reported;
+  char line[256];
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    unsigned long long seed = 0, fp = 0;
+    if (std::sscanf(line, "fingerprint %llu %llx", &seed, &fp) == 2) {
+      reported.insert({seed, fp});
+    }
+  }
+  ASSERT_EQ(pclose(pipe), 0);
+  ASSERT_EQ(reported.size(), kSeeds.size());
+  for (const std::uint64_t seed : kSeeds) {
+    EXPECT_TRUE(reported.contains({seed, feature_fingerprint(seed)}))
+        << "child re-hash of feature-enabled seed " << seed << " diverged";
+  }
+}
+
+TEST(Generator, DefaultConfigNeverEmitsFeatureConstructs) {
+  // The compatibility guarantee behind the gates: with every feature off
+  // the draft stream contains none of the new constructs (and, per the
+  // pinned goldens above, is bit-identical to the pre-feature stream).
+  const ProgramGenerator gen(small_config());
+  for (int s = 0; s < 80; ++s) {
+    const auto prog = gen.generate("t", 7000 + s);
+    const auto f = ast::analyze(prog);
+    EXPECT_EQ(f.num_atomics, 0) << "seed " << 7000 + s;
+    EXPECT_EQ(f.num_singles, 0) << "seed " << 7000 + s;
+    EXPECT_EQ(f.num_masters, 0) << "seed " << 7000 + s;
+    EXPECT_EQ(f.num_scheduled_loops, 0) << "seed " << 7000 + s;
+  }
+}
+
+TEST(Generator, FeatureConstructsAppearValidateAndStayRaceFree) {
+  const ProgramGenerator gen(feature_config());
+  int atomics = 0, singles = 0, masters = 0, scheduled = 0;
+  for (int s = 0; s < 150; ++s) {
+    const auto prog = gen.generate("t", 8000 + s);
+    EXPECT_NO_THROW(prog.validate()) << "seed " << 8000 + s;
+    EXPECT_TRUE(check_races(prog).race_free()) << "seed " << 8000 + s;
+    const auto f = ast::analyze(prog);
+    atomics += f.num_atomics;
+    singles += f.num_singles;
+    masters += f.num_masters;
+    scheduled += f.num_scheduled_loops;
+  }
+  // Each family must actually show up across the sweep — a gate that never
+  // fires is indistinguishable from a broken one.
+  EXPECT_GT(atomics, 0);
+  EXPECT_GT(singles, 0);
+  EXPECT_GT(masters, 0);
+  EXPECT_GT(scheduled, 0);
+}
+
 TEST(Generator, GenerationIsIndependentOfCallOrder) {
   const ProgramGenerator gen(small_config());
   const auto direct = gen.generate("t", 77);

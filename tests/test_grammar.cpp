@@ -32,7 +32,8 @@ TEST(Grammar, HasAllPaperProductions) {
        {"<function>", "<param-list>", "<param-declaration>", "<assignment>",
         "<expression>", "<term>", "<block>", "<openmp-head>", "<openmp-block>",
         "<openmp-critical>", "<if-block>", "<for-loop-head>", "<for-loop-block>",
-        "<loop-header>", "<bool-expression>"}) {
+        "<loop-header>", "<bool-expression>", "<omp-atomic>", "<omp-single>",
+        "<omp-master>", "<schedule-clause>"}) {
     EXPECT_TRUE(find(rule)) << "missing production " << rule;
   }
 }
@@ -43,6 +44,9 @@ TEST(Grammar, RenderMentionsOpenMPDirectives) {
   EXPECT_NE(text.find("#pragma omp critical"), std::string::npos);
   EXPECT_NE(text.find("reduction("), std::string::npos);
   EXPECT_NE(text.find("<bool-expression>"), std::string::npos);
+  EXPECT_NE(text.find("#pragma omp atomic"), std::string::npos);
+  EXPECT_NE(text.find("#pragma omp single nowait"), std::string::npos);
+  EXPECT_NE(text.find("schedule("), std::string::npos);
 }
 
 // Helper assembling a program with one parallel region built from pieces.
@@ -234,6 +238,196 @@ TEST(Conformance, R10MathCallsForbidden) {
       LValue{b.comp, nullptr}, AssignOp::AddAssign,
       Expr::call(ast::MathFunc::Sin, Expr::var(b.x))));
   EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R10"));
+}
+
+// --------------------------------------------------------------------------
+// Feature-gated constructs: R11 (atomic), R12 (single/master), R13 (schedule)
+// --------------------------------------------------------------------------
+
+TEST(Conformance, R11AtomicRequiresItsFeatureGate) {
+  RegionBuilder b;
+  Block loop_extra;
+  loop_extra.stmts.push_back(Stmt::omp_atomic(LValue{b.x, nullptr},
+                                              AssignOp::AddAssign,
+                                              Expr::fp_const(1.0)));
+  b.prog.body().stmts.push_back(b.make_region(true, true, ReductionOp::Sum,
+                                              AssignOp::AddAssign,
+                                              std::move(loop_extra)));
+  GeneratorConfig cfg;  // enable_atomic defaults to off
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R11"));
+  cfg.enable_atomic = true;
+  EXPECT_TRUE(check_conformance(b.prog, cfg).empty());
+}
+
+TEST(Conformance, R11AtomicOutsideParallelRegion) {
+  RegionBuilder b;
+  b.prog.body().stmts.push_back(Stmt::omp_atomic(LValue{b.x, nullptr},
+                                                 AssignOp::AddAssign,
+                                                 Expr::fp_const(1.0)));
+  GeneratorConfig cfg;
+  cfg.enable_atomic = true;
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R11"));
+}
+
+TEST(Conformance, R11AtomicMustBeACompoundUpdate) {
+  RegionBuilder b;
+  Block loop_extra;
+  loop_extra.stmts.push_back(Stmt::omp_atomic(LValue{b.x, nullptr},
+                                              AssignOp::Assign,
+                                              Expr::fp_const(1.0)));
+  b.prog.body().stmts.push_back(b.make_region(true, true, ReductionOp::Sum,
+                                              AssignOp::AddAssign,
+                                              std::move(loop_extra)));
+  GeneratorConfig cfg;
+  cfg.enable_atomic = true;
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R11"));
+}
+
+// Region of shape "x-init; <sync blocks>; omp-for loop" — the only slot the
+// grammar gives single/master blocks.
+ast::StmtPtr make_sync_region(RegionBuilder& b,
+                              std::vector<ast::StmtPtr> sync_blocks) {
+  Block loop_body;
+  loop_body.stmts.push_back(
+      Stmt::assign(LValue{b.comp, nullptr}, AssignOp::AddAssign, Expr::var(b.x)));
+  Block region;
+  region.stmts.push_back(
+      Stmt::assign(LValue{b.x, nullptr}, AssignOp::Assign, Expr::fp_const(0.0)));
+  for (auto& s : sync_blocks) region.stmts.push_back(std::move(s));
+  region.stmts.push_back(
+      Stmt::for_loop(b.i, Expr::int_const(4), std::move(loop_body), true));
+  OmpClauses clauses;
+  clauses.privates.push_back(b.x);
+  clauses.reduction = ReductionOp::Sum;
+  return Stmt::omp_parallel(std::move(clauses), std::move(region));
+}
+
+Block one_assign(RegionBuilder& b) {
+  Block body;
+  body.stmts.push_back(
+      Stmt::assign(LValue{b.x, nullptr}, AssignOp::AddAssign, Expr::fp_const(1.0)));
+  return body;
+}
+
+TEST(Conformance, R12SingleRequiresItsFeatureGate) {
+  RegionBuilder b;
+  std::vector<ast::StmtPtr> sync;
+  sync.push_back(Stmt::omp_single(one_assign(b)));
+  b.prog.body().stmts.push_back(make_sync_region(b, std::move(sync)));
+  GeneratorConfig cfg;
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R12"));
+  cfg.enable_single = true;
+  EXPECT_TRUE(check_conformance(b.prog, cfg).empty());
+}
+
+TEST(Conformance, R12MasterAcceptedInTheSyncSlot) {
+  RegionBuilder b;
+  std::vector<ast::StmtPtr> sync;
+  sync.push_back(Stmt::omp_master(one_assign(b)));
+  b.prog.body().stmts.push_back(make_sync_region(b, std::move(sync)));
+  GeneratorConfig cfg;
+  cfg.enable_master = true;
+  EXPECT_TRUE(check_conformance(b.prog, cfg).empty());
+}
+
+TEST(Conformance, R12SingleMisplacedInLoopBody) {
+  RegionBuilder b;
+  Block loop_extra;
+  loop_extra.stmts.push_back(Stmt::omp_single(one_assign(b)));
+  b.prog.body().stmts.push_back(b.make_region(true, true, ReductionOp::Sum,
+                                              AssignOp::AddAssign,
+                                              std::move(loop_extra)));
+  GeneratorConfig cfg;
+  cfg.enable_single = true;
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R12"));
+}
+
+TEST(Conformance, R12SingleBodyMustBeNonEmptyAssignments) {
+  RegionBuilder b;
+  std::vector<ast::StmtPtr> sync;
+  sync.push_back(Stmt::omp_single(Block{}));
+  b.prog.body().stmts.push_back(make_sync_region(b, std::move(sync)));
+  GeneratorConfig cfg;
+  cfg.enable_single = true;
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R12"));
+}
+
+ast::StmtPtr make_scheduled_region(RegionBuilder& b, bool omp_for,
+                                   ast::ScheduleKind kind, int chunk) {
+  Block loop_body;
+  loop_body.stmts.push_back(
+      Stmt::assign(LValue{b.comp, nullptr}, AssignOp::AddAssign, Expr::var(b.x)));
+  Block region;
+  region.stmts.push_back(
+      Stmt::assign(LValue{b.x, nullptr}, AssignOp::Assign, Expr::fp_const(0.0)));
+  region.stmts.push_back(Stmt::for_loop(b.i, Expr::int_const(4),
+                                        std::move(loop_body), omp_for, kind,
+                                        chunk));
+  OmpClauses clauses;
+  clauses.privates.push_back(b.x);
+  clauses.reduction = ReductionOp::Sum;
+  return Stmt::omp_parallel(std::move(clauses), std::move(region));
+}
+
+TEST(Conformance, R13ScheduleRequiresItsFeatureGate) {
+  RegionBuilder b;
+  b.prog.body().stmts.push_back(
+      make_scheduled_region(b, true, ast::ScheduleKind::Dynamic, 2));
+  GeneratorConfig cfg;
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R13"));
+  cfg.enable_schedule = true;
+  EXPECT_TRUE(check_conformance(b.prog, cfg).empty());
+}
+
+// The for_loop factory rejects these states outright, so exercise the R13
+// branches the way a buggy post-construction mutation (e.g. a reducer pass)
+// would reach them: build a valid loop, then poke the public fields.
+TEST(Conformance, R13ScheduleOnSerialLoop) {
+  RegionBuilder b;
+  Block loop_body;
+  loop_body.stmts.push_back(
+      Stmt::assign(LValue{b.x, nullptr}, AssignOp::AddAssign, Expr::fp_const(1.0)));
+  Block loop_extra;
+  loop_extra.stmts.push_back(Stmt::for_loop(b.i, Expr::int_const(2),
+                                            std::move(loop_body),
+                                            /*omp_for=*/false));
+  loop_extra.stmts.back()->schedule = ast::ScheduleKind::Static;
+  b.prog.body().stmts.push_back(b.make_region(true, true, ReductionOp::Sum,
+                                              AssignOp::AddAssign,
+                                              std::move(loop_extra)));
+  GeneratorConfig cfg;
+  cfg.enable_schedule = true;
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R13"));
+}
+
+TEST(Conformance, R13NegativeChunk) {
+  RegionBuilder b;
+  auto region =
+      make_scheduled_region(b, true, ast::ScheduleKind::Static, 2);
+  region->body.stmts.back()->schedule_chunk = -1;
+  b.prog.body().stmts.push_back(std::move(region));
+  GeneratorConfig cfg;
+  cfg.enable_schedule = true;
+  EXPECT_TRUE(has_rule(check_conformance(b.prog, cfg), "R13"));
+}
+
+// Property: feature-enabled generation still conforms across seeds.
+TEST(Conformance, FeatureEnabledGeneratedProgramsConform) {
+  GeneratorConfig cfg;
+  cfg.enable_atomic = true;
+  cfg.enable_single = true;
+  cfg.enable_master = true;
+  cfg.enable_schedule = true;
+  cfg.max_loop_trip_count = 20;
+  cfg.num_threads = 4;
+  const ProgramGenerator gen(cfg);
+  for (int s = 0; s < 40; ++s) {
+    const auto prog = gen.generate("t", 6000 + s);
+    const auto violations = check_conformance(prog, cfg);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << 6000 + s << ": " << violations[0].rule << " "
+        << violations[0].detail;
+  }
 }
 
 // Property: every generated program conforms, across seeds and configs.

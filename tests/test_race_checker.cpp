@@ -408,10 +408,176 @@ TEST(GoldenCorpus, UninitializedFindingsLeadTheRegionReport) {
                                   {RaceKind::CompUnprotected, "comp"}}));
 }
 
+// ---------------------------------------------------------------------------
+// Feature constructs: atomics, single/master blocks, schedule clauses. The
+// analyzer must model their real semantics — atomic-vs-atomic race-free,
+// atomic-vs-plain racy, one single block exclusive but two different singles
+// concurrent, master always thread 0, schedule irrelevant to the iteration
+// partition argument.
+// ---------------------------------------------------------------------------
+
+VarId add_shared_fp(Program& prog, const char* name) {
+  const VarId v =
+      prog.add_var({name, VarKind::FpScalar, VarRole::Param, FpWidth::F64, 0});
+  prog.add_param(v);
+  return v;
+}
+
+TEST(RaceChecker, AtomicUpdatesOnSameScalarAreSafe) {
+  Fixture f;
+  const VarId y = add_shared_fp(f.prog, "var_9");
+  Block loop;
+  loop.stmts.push_back(Stmt::omp_atomic(LValue{y, nullptr}, AssignOp::AddAssign,
+                                        Expr::fp_const(1.0)));
+  loop.stmts.push_back(Stmt::omp_atomic(LValue{y, nullptr}, AssignOp::MulAssign,
+                                        Expr::fp_const(2.0)));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.add_region(std::move(loop), std::move(clauses));
+  EXPECT_TRUE(check_races(f.prog).race_free());
+}
+
+TEST(RaceChecker, AtomicVsPlainReadIsRace) {
+  Fixture f;
+  const VarId y = add_shared_fp(f.prog, "var_9");
+  Block loop;
+  loop.stmts.push_back(Stmt::omp_atomic(LValue{y, nullptr}, AssignOp::AddAssign,
+                                        Expr::fp_const(1.0)));
+  // Plain read of y into a private: not ordered against the atomic RMW.
+  loop.stmts.push_back(
+      Stmt::assign(LValue{f.shared_x, nullptr}, AssignOp::Assign, Expr::var(y)));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.add_region(std::move(loop), std::move(clauses));
+  EXPECT_TRUE(f.has(RaceKind::AtomicMixedAccess));
+}
+
+TEST(RaceChecker, AtomicArrayElementVsPlainReadIsRace) {
+  Fixture f;
+  Block loop;
+  loop.stmts.push_back(Stmt::omp_atomic(LValue{f.arr, Expr::int_const(3)},
+                                        AssignOp::AddAssign, Expr::fp_const(1.0)));
+  loop.stmts.push_back(Stmt::assign(LValue{f.shared_x, nullptr}, AssignOp::Assign,
+                                    Expr::array(f.arr, Expr::var(f.i))));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.add_region(std::move(loop), std::move(clauses));
+  EXPECT_TRUE(f.has(RaceKind::AtomicMixedAccess));
+}
+
+TEST(RaceChecker, ScheduledOmpForKeepsIterationPartitionSafe) {
+  // schedule(dynamic, 3) still hands each iteration to exactly one thread,
+  // so an omp-for-index-affine write stays disjoint.
+  Fixture f;
+  Block loop;
+  loop.stmts.push_back(Stmt::assign(LValue{f.arr, Expr::var(f.i)},
+                                    AssignOp::Assign, Expr::fp_const(1.0)));
+  Block region;
+  region.stmts.push_back(Stmt::assign(LValue{f.shared_x, nullptr},
+                                      AssignOp::Assign, Expr::fp_const(0.0)));
+  region.stmts.push_back(Stmt::for_loop(f.i, Expr::int_const(8), std::move(loop),
+                                        /*omp_for=*/true,
+                                        ast::ScheduleKind::Dynamic, 3));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.prog.body().stmts.push_back(
+      Stmt::omp_parallel(std::move(clauses), std::move(region)));
+  EXPECT_TRUE(check_races(f.prog).race_free());
+}
+
+/// Region of shape: x-init preamble, the given sync blocks, then a safe
+/// omp-for loop (tid-partitioned array writes).
+void add_sync_region(Fixture& f, std::vector<StmtPtr> sync_blocks,
+                     Block loop_body = {}) {
+  if (loop_body.stmts.empty()) {
+    loop_body.stmts.push_back(Stmt::assign(LValue{f.arr, Expr::thread_id()},
+                                           AssignOp::Assign,
+                                           Expr::fp_const(1.0)));
+  }
+  Block region;
+  region.stmts.push_back(Stmt::assign(LValue{f.shared_x, nullptr},
+                                      AssignOp::Assign, Expr::fp_const(0.0)));
+  for (auto& s : sync_blocks) region.stmts.push_back(std::move(s));
+  region.stmts.push_back(
+      Stmt::for_loop(f.i, Expr::int_const(8), std::move(loop_body), true));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.prog.body().stmts.push_back(
+      Stmt::omp_parallel(std::move(clauses), std::move(region)));
+}
+
+Block single_update(VarId v, AssignOp op, double value) {
+  Block b;
+  b.stmts.push_back(Stmt::assign(LValue{v, nullptr}, op, Expr::fp_const(value)));
+  return b;
+}
+
+TEST(GoldenCorpus, SingleBlockExclusiveWriteIsNotARace) {
+  Fixture f;
+  const VarId y = add_shared_fp(f.prog, "var_9");
+  std::vector<StmtPtr> sync;
+  sync.push_back(Stmt::omp_single(single_update(y, AssignOp::AddAssign, 1.0)));
+  add_sync_region(f, std::move(sync));
+  EXPECT_EQ(finding_pairs(f.prog), (std::vector<KindVar>{}));
+}
+
+TEST(RaceChecker, TwoDifferentSingleBlocksOnSameScalarIsRace) {
+  // Two single blocks may execute concurrently on different threads; the
+  // construct only serializes accesses within one block.
+  Fixture f;
+  const VarId y = add_shared_fp(f.prog, "var_9");
+  std::vector<StmtPtr> sync;
+  sync.push_back(Stmt::omp_single(single_update(y, AssignOp::AddAssign, 1.0)));
+  sync.push_back(Stmt::omp_single(single_update(y, AssignOp::MulAssign, 2.0)));
+  add_sync_region(f, std::move(sync));
+  EXPECT_TRUE(f.has(RaceKind::SharedScalarWrite));
+}
+
+TEST(RaceChecker, TwoMasterBlocksOnSameScalarAreSafe) {
+  // Master always executes on thread 0, so two master blocks share a thread.
+  Fixture f;
+  const VarId y = add_shared_fp(f.prog, "var_9");
+  std::vector<StmtPtr> sync;
+  sync.push_back(Stmt::omp_master(single_update(y, AssignOp::AddAssign, 1.0)));
+  sync.push_back(Stmt::omp_master(single_update(y, AssignOp::MulAssign, 2.0)));
+  add_sync_region(f, std::move(sync));
+  EXPECT_TRUE(check_races(f.prog).race_free());
+}
+
+TEST(RaceChecker, SingleWriteVsLoopReadIsRace) {
+  // single is emitted with nowait: the loop's plain reads are not ordered
+  // against the single block's write.
+  Fixture f;
+  const VarId y = add_shared_fp(f.prog, "var_9");
+  std::vector<StmtPtr> sync;
+  sync.push_back(Stmt::omp_single(single_update(y, AssignOp::AddAssign, 1.0)));
+  Block loop;
+  loop.stmts.push_back(Stmt::assign(LValue{f.arr, Expr::thread_id()},
+                                    AssignOp::Assign, Expr::var(y)));
+  add_sync_region(f, std::move(sync), std::move(loop));
+  EXPECT_TRUE(f.has(RaceKind::SharedScalarWrite));
+}
+
+TEST(GoldenCorpus, AtomicMixedAccess) {
+  Fixture f;
+  const VarId y = add_shared_fp(f.prog, "var_9");
+  Block loop;
+  loop.stmts.push_back(Stmt::omp_atomic(LValue{y, nullptr}, AssignOp::AddAssign,
+                                        Expr::fp_const(1.0)));
+  loop.stmts.push_back(
+      Stmt::assign(LValue{f.shared_x, nullptr}, AssignOp::Assign, Expr::var(y)));
+  OmpClauses clauses;
+  clauses.privates.push_back(f.shared_x);
+  f.add_region(std::move(loop), std::move(clauses));
+  EXPECT_EQ(finding_pairs(f.prog),
+            (std::vector<KindVar>{{RaceKind::AtomicMixedAccess, "var_9"}}));
+}
+
 TEST(RaceChecker, ToStringCoversAllKinds) {
   EXPECT_STREQ(to_string(RaceKind::CompUnprotected), "comp-unprotected");
   EXPECT_STREQ(to_string(RaceKind::ArrayMixedAccess), "array-mixed-access");
   EXPECT_STREQ(to_string(RaceKind::UninitializedPrivate), "uninitialized-private");
+  EXPECT_STREQ(to_string(RaceKind::AtomicMixedAccess), "atomic-mixed-access");
 }
 
 }  // namespace

@@ -324,6 +324,44 @@ TEST(Config, GeneratorConfigRejectsBadValues) {
   bad = GeneratorConfig{};
   bad.math_func_probability = 1.5;
   EXPECT_THROW(bad.validate(), ConfigError);
+  bad = GeneratorConfig{};
+  bad.p_atomic = -0.1;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = GeneratorConfig{};
+  bad.p_schedule = 1.2;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+TEST(Config, GeneratorFeatureGatesDefaultOff) {
+  const auto gen = GeneratorConfig::from_config(ConfigFile::parse(""));
+  EXPECT_FALSE(gen.enable_atomic);
+  EXPECT_FALSE(gen.enable_single);
+  EXPECT_FALSE(gen.enable_master);
+  EXPECT_FALSE(gen.enable_schedule);
+}
+
+TEST(Config, GeneratorFeaturesCsvParsing) {
+  const auto gen = GeneratorConfig::from_config(ConfigFile::parse(
+      "[generator]\nfeatures = atomic, schedule\n"));
+  EXPECT_TRUE(gen.enable_atomic);
+  EXPECT_FALSE(gen.enable_single);
+  EXPECT_FALSE(gen.enable_master);
+  EXPECT_TRUE(gen.enable_schedule);
+
+  // Whitespace-tolerant, order-insensitive; every name must be known.
+  GeneratorConfig g;
+  g.enable_features("  master ,single  ");
+  EXPECT_TRUE(g.enable_single);
+  EXPECT_TRUE(g.enable_master);
+  EXPECT_FALSE(g.enable_atomic);
+  EXPECT_THROW(g.enable_features("atomic,tasks"), ConfigError);
+}
+
+TEST(Config, GeneratorFeaturesBoolKeysAlsoWork) {
+  const auto gen = GeneratorConfig::from_config(ConfigFile::parse(
+      "[generator]\nenable_single = true\np_single = 0.25\n"));
+  EXPECT_TRUE(gen.enable_single);
+  EXPECT_DOUBLE_EQ(gen.p_single, 0.25);
 }
 
 TEST(Config, CampaignConfigParsesImplementations) {
