@@ -3,6 +3,7 @@
 //
 //   $ ./campaign_demo [config.ini] [--resume] [--reduce] [--backends N]
 //                     [--inject-faults RATE] [--features LIST]
+//                     [--trace FILE] [--metrics FILE] [--heartbeat]
 //
 // --features takes a comma-separated subset of {atomic, single, master,
 // schedule} and switches the corresponding generator gates on (equivalent to
@@ -44,6 +45,15 @@
 // run's (the CI diffs exactly that); the retry/fault counters print to
 // stdout only.
 //
+// Telemetry (`[telemetry]` config section, overridable by flags) is strictly
+// out-of-band — the JSON report is byte-identical with it on or off:
+// `--trace FILE` records every campaign phase (generate, compile, run-batch,
+// store, steal, process, ...) as Chrome trace_event JSON for
+// chrome://tracing / Perfetto; `--metrics FILE` rewrites a machine-readable
+// metrics snapshot atomically every telemetry.interval_ms; `--heartbeat`
+// prints a live progress line (units done, children/s, store hit rate, live
+// backends) to stderr at the same cadence.
+//
 // The report prints the Table I counts for the campaign plus the most
 // extreme outliers, and writes a machine-readable JSON report next to the
 // binary.
@@ -55,6 +65,7 @@
 #include <memory>
 
 #include "harness/campaign.hpp"
+#include "harness/campaign_metrics.hpp"
 #include "harness/report.hpp"
 #include "harness/sim_executor.hpp"
 #include "harness/subprocess_executor.hpp"
@@ -62,6 +73,7 @@
 #include "support/error.hpp"
 #include "support/fault_injection.hpp"
 #include "support/result_store.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -102,6 +114,9 @@ int main(int argc, char** argv) {
   int backends_override = 0;
   double fault_rate_override = -1.0;
   std::string features_override;
+  std::string trace_override;
+  std::string metrics_override;
+  bool heartbeat_override = false;
   std::string config_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--resume") == 0) {
@@ -127,6 +142,14 @@ int main(int argc, char** argv) {
             "(atomic, single, master, schedule)");
       }
       features_override = argv[++a];
+    } else if (std::strcmp(argv[a], "--trace") == 0) {
+      if (a + 1 >= argc) throw ConfigError("--trace needs a file path");
+      trace_override = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics") == 0) {
+      if (a + 1 >= argc) throw ConfigError("--metrics needs a file path");
+      metrics_override = argv[++a];
+    } else if (std::strcmp(argv[a], "--heartbeat") == 0) {
+      heartbeat_override = true;
     } else {
       config_path = argv[a];
     }
@@ -137,6 +160,12 @@ int main(int argc, char** argv) {
     file.set("generator.features", features_override);
   }
   const CampaignConfig cfg = CampaignConfig::from_config(file);
+
+  TelemetryConfig telemetry_cfg = TelemetryConfig::from_config(file);
+  if (!trace_override.empty()) telemetry_cfg.trace_file = trace_override;
+  if (!metrics_override.empty()) telemetry_cfg.metrics_file = metrics_override;
+  if (heartbeat_override) telemetry_cfg.heartbeat = true;
+  telemetry_cfg.validate();
 
   FaultConfig faults = FaultConfig::from_config(file);
   if (fault_rate_override >= 0.0) {
@@ -251,11 +280,28 @@ int main(int argc, char** argv) {
     throw ConfigError("--resume needs '[store] enabled = true' in the config");
   }
 
+  if (!telemetry_cfg.trace_file.empty()) {
+    telemetry::Tracer::instance().start(telemetry_cfg.trace_file);
+  }
+  MetricsSampler sampler({telemetry_cfg.metrics_file,
+                          telemetry_cfg.interval_ms, telemetry_cfg.heartbeat});
+  sampler.start();
+
   const auto result = campaign.run([](int done, int total) {
     if (done % 10 == 0 || done == total) {
       std::fprintf(stderr, "  %d/%d programs\n", done, total);
     }
   });
+
+  sampler.stop();
+  if (!telemetry_cfg.trace_file.empty()) {
+    if (telemetry::Tracer::instance().stop()) {
+      std::printf("trace written to %s\n\n", telemetry_cfg.trace_file.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   telemetry_cfg.trace_file.c_str());
+    }
+  }
 
   if (store) {
     const auto stats = store->stats();
@@ -268,16 +314,18 @@ int main(int argc, char** argv) {
                 journal->path().c_str());
   }
 
+  // One snapshot feeds every summary below: the renderers read the registry
+  // counters scoped to this run (run_metrics() subtracts the pre-run
+  // baseline), so the stdout summaries and campaign_metrics.json agree.
+  const telemetry::MetricsSnapshot run_metrics = campaign.run_metrics();
   std::printf("%s\n", harness::render_table1(result).c_str());
   std::printf("%s\n", harness::render_summary(result).c_str());
   std::printf("%s\n",
               harness::render_scheduler_summary(campaign.backends(),
-                                                campaign.scheduler_stats())
+                                                run_metrics)
                   .c_str());
   std::printf("%s\n",
-              harness::render_analysis_summary(result,
-                                               campaign.analysis_seconds())
-                  .c_str());
+              harness::render_analysis_summary(result, run_metrics).c_str());
   std::printf("%s\n",
               harness::render_robustness_summary(
                   result, campaign.robustness_counters())

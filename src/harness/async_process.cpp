@@ -20,6 +20,7 @@
 #include "support/error.hpp"
 #include "support/fault_injection.hpp"
 #include "support/string_utils.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz::harness {
 
@@ -425,6 +426,14 @@ void AsyncProcessPool::event_loop() {
         child.pid = spawned.pid;
         child.out_fd = spawned.out_fd;
         child.pidfd = spawned.pidfd;
+        // Only real forks count as children; injected and genuine spawn
+        // failures never reach this line.
+        static telemetry::Counter& children =
+            telemetry::Registry::global().counter("exec.children");
+        children.add();
+        if (telemetry::Tracer::instance().active()) {
+          child.span_start_ns = telemetry::Tracer::now_ns() + 1;
+        }
       } catch (const Error&) {
         // fork/pipe exhaustion: fail this job, keep the loop alive.
         ProcessResult r;
@@ -542,6 +551,16 @@ void AsyncProcessPool::event_loop() {
       }
       if (child.pidfd >= 0) close(child.pidfd);
       decode_wait_status(child.wait_status, child.result);
+      if (child.span_start_ns != 0) {
+        std::string args = "\"pid\":" + std::to_string(child.pid) +
+                           ",\"exit_code\":" +
+                           std::to_string(child.result.exit_code);
+        if (child.result.timed_out) args += ",\"timed_out\":true";
+        telemetry::Tracer::instance().complete("process", "child",
+                                               child.span_start_ns - 1,
+                                               telemetry::Tracer::now_ns(),
+                                               args);
+      }
       CompletionFn on_done = std::move(child.on_done);
       ProcessResult result = std::move(child.result);
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));

@@ -113,6 +113,9 @@ class AsyncProcessPool {
     int kill_phase = 0;  ///< 0 = alive, 1 = SIGINT sent, 2 = SIGKILL sent
     std::chrono::steady_clock::time_point deadline;
     std::chrono::steady_clock::time_point kill_deadline;
+    /// Span start (tracer clock) when tracing was active at spawn; 0 = no
+    /// span. The pool emits one "process" span per child at completion.
+    std::uint64_t span_start_ns = 0;
     ProcessResult result;
     CompletionFn on_done;
   };

@@ -29,6 +29,20 @@ double CampaignResult::outlier_rate() const {
                                static_cast<double>(total_runs);
 }
 
+Campaign::Metrics::Metrics() {
+  auto& registry = telemetry::Registry::global();
+  retried_triples = &registry.counter("campaign.retried_triples");
+  retry_rounds = &registry.counter("campaign.retry_rounds");
+  failover_units = &registry.counter("campaign.failover_units");
+  fabricated_units = &registry.counter("campaign.fabricated_units");
+  journal_failures = &registry.counter("campaign.journal_failures");
+  analysis_nanos = &registry.counter("campaign.analysis_nanos");
+  units_total = &registry.gauge("campaign.units_total");
+  units_done = &registry.gauge("campaign.units_done");
+  live_backends = &registry.gauge("campaign.live_backends");
+  unit_micros = &registry.histogram("campaign.unit_micros");
+}
+
 Campaign::Campaign(CampaignConfig config, Executor& executor)
     : Campaign(std::move(config),
                std::vector<CampaignBackend>{{&executor, "default"}}) {}
@@ -55,9 +69,16 @@ Campaign::Campaign(CampaignConfig config, std::vector<CampaignBackend> backends,
                     "implementation '" + name + "' appears in several backends");
     }
   }
+  // Baselines from construction, so the per-campaign accessors read zero
+  // until run() re-baselines them (the registry counters are process-wide
+  // and monotonic across campaigns).
+  metrics_base_ = telemetry::Registry::global().snapshot();
+  analysis_nanos_base_ = metrics_.analysis_nanos->value();
 }
 
 TestCase Campaign::make_test_case(int program_index) const {
+  telemetry::ScopedSpan span("generate", "make_test_case");
+  if (span.active()) span.arg("program", program_index);
   RandomEngine campaign_rng(config_.seed);
   RandomEngine program_rng =
       campaign_rng.fork(static_cast<std::uint64_t>(program_index));
@@ -72,14 +93,18 @@ TestCase Campaign::make_test_case(int program_index) const {
     const std::uint64_t seed = hash_combine(test.seed, attempt);
     ast::Program candidate = generator_.generate(
         "test_" + std::to_string(program_index), seed);
+    telemetry::ScopedSpan check_span("analysis", "check_races");
     const auto t0 = std::chrono::steady_clock::now();
     const bool race_free = core::check_races(candidate).race_free();
-    analysis_nanos_.fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - t0)
-                .count()),
-        std::memory_order_relaxed);
+    metrics_.analysis_nanos->add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    if (check_span.active()) {
+      check_span.arg("fingerprint",
+                     telemetry::hex_fingerprint(candidate.fingerprint()));
+      check_span.arg("race_free", race_free ? "yes" : "no");
+    }
     if (race_free) {
       test.program = std::move(candidate);
       test.regeneration_attempts = attempt;
@@ -203,6 +228,13 @@ core::RunResult fabricated_run(const std::string& impl_name) {
   return result;
 }
 
+/// Retry accounting a unit feeds while it re-dispatches failed triples:
+/// cached registry-counter references owned by the campaign.
+struct UnitRetryCounters {
+  telemetry::Counter* retried_triples = nullptr;
+  telemetry::Counter* retry_rounds = nullptr;
+};
+
 /// Generates program `p` and runs every (input, implementation) pair of ONE
 /// backend's implementation subset that is not already in the result store.
 /// Pure function of the campaign config, the backend's executor, and the
@@ -230,11 +262,18 @@ SubShard run_shard_unit(const Campaign& campaign, Executor& executor,
                         std::mutex* exec_mutex,
                         const std::vector<std::string>& impl_names,
                         const std::vector<std::string>& impl_identities,
-                        ResultStore* store, int p,
-                        RobustnessCounterCells* counters = nullptr,
+                        ResultStore* store, int p, int backend_index = 0,
+                        const UnitRetryCounters* counters = nullptr,
                         const std::atomic<bool>* backend_dead = nullptr) {
+  telemetry::ScopedSpan span("run-batch", "shard_unit");
   SubShard shard;
   const TestCase test = campaign.make_test_case(p);
+  if (span.active()) {
+    span.arg("program", p);
+    span.arg("backend", backend_index);
+    span.arg("fingerprint",
+             telemetry::hex_fingerprint(test.program.fingerprint()));
+  }
   shard.regeneration_attempts = test.regeneration_attempts;
   shard.program_name = test.program.name();
 
@@ -374,8 +413,8 @@ SubShard run_shard_unit(const Campaign& campaign, Executor& executor,
       break;  // the campaign's failover/quarantine path takes over
     }
     if (counters != nullptr) {
-      counters->retry_rounds.fetch_add(1, std::memory_order_relaxed);
-      counters->retried_triples.fetch_add(failed, std::memory_order_relaxed);
+      counters->retry_rounds->add();
+      counters->retried_triples->add(failed);
     }
     if (delay_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
@@ -469,12 +508,22 @@ void Campaign::add_failover(Executor* spare) {
 }
 
 RobustnessCounters Campaign::robustness_counters() const noexcept {
+  // The registry counters are process-wide and monotonic; the per-run view
+  // subtracts the baseline captured when run() started.
+  const auto delta = [](std::uint64_t current, std::uint64_t base) {
+    return current >= base ? current - base : 0;
+  };
   RobustnessCounters c;
-  c.retried_triples = counters_.retried_triples.load(std::memory_order_relaxed);
-  c.retry_rounds = counters_.retry_rounds.load(std::memory_order_relaxed);
-  c.failover_units = counters_.failover_units.load(std::memory_order_relaxed);
-  c.fabricated_units = counters_.fabricated_units.load(std::memory_order_relaxed);
-  c.journal_failures = counters_.journal_failures.load(std::memory_order_relaxed);
+  c.retried_triples =
+      delta(metrics_.retried_triples->value(), counters_base_.retried_triples);
+  c.retry_rounds =
+      delta(metrics_.retry_rounds->value(), counters_base_.retry_rounds);
+  c.failover_units =
+      delta(metrics_.failover_units->value(), counters_base_.failover_units);
+  c.fabricated_units = delta(metrics_.fabricated_units->value(),
+                             counters_base_.fabricated_units);
+  c.journal_failures = delta(metrics_.journal_failures->value(),
+                             counters_base_.journal_failures);
   return c;
 }
 
@@ -547,12 +596,20 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
     }
   }
 
-  // Fresh robustness telemetry for this run.
-  counters_.retried_triples.store(0, std::memory_order_relaxed);
-  counters_.retry_rounds.store(0, std::memory_order_relaxed);
-  counters_.failover_units.store(0, std::memory_order_relaxed);
-  counters_.fabricated_units.store(0, std::memory_order_relaxed);
-  counters_.journal_failures.store(0, std::memory_order_relaxed);
+  // Fresh telemetry baselines for this run: the registry counters are
+  // process-wide and monotonic, so the per-run accessors
+  // (robustness_counters, run_metrics) subtract the values captured here.
+  // analysis_nanos keeps its construction-time baseline — analysis_seconds()
+  // covers every draft this campaign generated, run() or not.
+  metrics_base_ = telemetry::Registry::global().snapshot();
+  counters_base_.retried_triples = metrics_.retried_triples->value();
+  counters_base_.retry_rounds = metrics_.retry_rounds->value();
+  counters_base_.failover_units = metrics_.failover_units->value();
+  counters_base_.fabricated_units = metrics_.fabricated_units->value();
+  counters_base_.journal_failures = metrics_.journal_failures->value();
+  const UnitRetryCounters retry_counters{metrics_.retried_triples,
+                                         metrics_.retry_rounds};
+  telemetry::ScopedSpan run_span("campaign", "run");
 
   // Backend health: a backend whose units keep coming back fully exhausted
   // (tainted even after run_shard_unit's retries) is declared dead after
@@ -565,6 +622,7 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
     std::atomic<bool> dead{false};
   };
   std::vector<BackendHealth> health(nb);
+  metrics_.live_backends->set(static_cast<std::int64_t>(nb));
 
   // Spare assignment: each backend gets the first unclaimed spare whose
   // implementation list and per-name cache identities match it exactly —
@@ -607,24 +665,27 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
     if (health[b].dead.load(std::memory_order_acquire)) {
       const int s = spare_for[b];
       if (s >= 0) {
-        counters_.failover_units.fetch_add(1, std::memory_order_relaxed);
+        metrics_.failover_units->add();
         return run_shard_unit(*this, *failover_[static_cast<std::size_t>(s)],
                               spare_mutexes[static_cast<std::size_t>(s)].get(),
                               backend_impls[b], backend_identities[b], store_, p,
-                              &counters_, nullptr);
+                              static_cast<int>(b), &retry_counters, nullptr);
       }
-      counters_.fabricated_units.fetch_add(1, std::memory_order_relaxed);
+      metrics_.fabricated_units->add();
       return fabricate_shard_unit(*this, backend_impls[b], p);
     }
     SubShard shard = run_shard_unit(*this, *backends_[b].executor,
                                     exec_mutexes[b].get(), backend_impls[b],
                                     backend_identities[b], store_, p,
-                                    &counters_, &health[b].dead);
+                                    static_cast<int>(b), &retry_counters,
+                                    &health[b].dead);
     if (shard.tainted) {
       const int streak =
           health[b].consecutive.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (streak >= config_.retry.backend_death_threshold) {
-        health[b].dead.store(true, std::memory_order_release);
+        if (!health[b].dead.exchange(true, std::memory_order_release)) {
+          metrics_.live_backends->add(-1);
+        }
       }
     } else {
       health[b].consecutive.store(0, std::memory_order_relaxed);
@@ -640,7 +701,7 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
     try {
       journal_->append(to_stored(shard, p, static_cast<int>(b)));
     } catch (const std::exception&) {
-      counters_.journal_failures.fetch_add(1, std::memory_order_relaxed);
+      metrics_.journal_failures->add();
     }
   };
 
@@ -651,6 +712,7 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   for (auto& row : grid) row.resize(nb);
   resumed_programs_ = 0;
   if (journal_ != nullptr) {
+    telemetry::ScopedSpan restore_span("campaign", "restore");
     // Resuming needs every implementation's cache identity: checkpoint_key()
     // cannot otherwise detect that an identity-less executor was
     // reconfigured between runs, and stale sub-shards would masquerade as
@@ -723,15 +785,25 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   if (progress && completed > 0) progress(completed, config_.num_programs);
   std::mutex progress_mutex;
 
+  // Live-progress gauges for the sampler/heartbeat: total units this run
+  // must execute (resumed ones are already done) and units finished so far.
+  std::size_t scheduled_units = 0;
+  for (const auto& list : pending) scheduled_units += list.size();
+  metrics_.units_total->set(static_cast<std::int64_t>(scheduled_units));
+  metrics_.units_done->set(0);
+
   const auto run_unit = [&](const ShardUnit& unit) {
     const auto p = static_cast<std::size_t>(unit.program_index);
     const std::size_t b = unit.backend;
+    const std::uint64_t t0 = telemetry::Tracer::now_ns();
     SubShard shard = execute_unit(b, unit.program_index);
+    metrics_.unit_micros->record((telemetry::Tracer::now_ns() - t0) / 1000);
     // A sub-shard tainted by a harness failure (compile/spawn infrastructure
     // error) is not checkpointed: resuming must re-execute it rather than
     // replay the transient failure as an observation.
     journal_append(shard, unit.program_index, b);
     grid[p][b] = std::move(shard);
+    metrics_.units_done->add(1);
     if (remaining[p].fetch_sub(1, std::memory_order_acq_rel) == 1 && progress) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
       progress(++completed, config_.num_programs);
@@ -740,7 +812,14 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
 
   const ShardScheduler scheduler(nb, scheduler_,
                                  resolve_thread_count(config_.threads));
-  scheduler_stats_ = scheduler.run(pending, run_unit);
+  {
+    telemetry::ScopedSpan schedule_span("campaign", "schedule");
+    if (schedule_span.active()) {
+      schedule_span.arg("units",
+                        static_cast<std::uint64_t>(scheduled_units));
+    }
+    scheduler_stats_ = scheduler.run(pending, run_unit);
+  }
 
   // Failover sweep: units of a dead backend that exhausted their retries
   // BEFORE the death was detected (the streak that killed it) are re-run on
@@ -769,6 +848,7 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
   // shards' RunKeys are collected here as GC pins.
   const bool want_gc = store_ != nullptr && store_->config().max_bytes > 0;
   std::vector<std::array<std::uint64_t, 2>> pins;
+  telemetry::ScopedSpan merge_span("campaign", "merge");  // closes with run()
   for (std::size_t p = 0; p < np; ++p) {
     auto& row = grid[p];
     // Merge-time staleness repair: a live sub-shard regenerated its program,

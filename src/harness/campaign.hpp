@@ -11,7 +11,6 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
@@ -25,6 +24,7 @@
 #include "harness/scheduler.hpp"
 #include "support/config.hpp"
 #include "support/result_store.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz::harness {
 
@@ -109,23 +109,15 @@ struct RobustnessStats {
 /// with fault timing and thread interleaving (how many retries fired, when a
 /// backend was declared dead), so — like Campaign::analysis_seconds() — they
 /// stay out of CampaignResult and the JSON; render_robustness_summary prints
-/// them next to the deterministic RobustnessStats.
+/// them next to the deterministic RobustnessStats. The accumulators live in
+/// the telemetry registry ("campaign.retried_triples", ...); this struct is
+/// the per-run view (counter deltas since run() started).
 struct RobustnessCounters {
   std::uint64_t retried_triples = 0;   ///< (input, impl) triples re-dispatched
   std::uint64_t retry_rounds = 0;      ///< backoff rounds slept before retrying
   std::uint64_t failover_units = 0;    ///< sub-shards executed by a spare
   std::uint64_t fabricated_units = 0;  ///< sub-shards fabricated without dispatch
   std::uint64_t journal_failures = 0;  ///< checkpoint appends that failed
-};
-
-/// Internal lock-free accumulators behind Campaign::robustness_counters();
-/// campaign workers bump them concurrently.
-struct RobustnessCounterCells {
-  std::atomic<std::uint64_t> retried_triples{0};
-  std::atomic<std::uint64_t> retry_rounds{0};
-  std::atomic<std::uint64_t> failover_units{0};
-  std::atomic<std::uint64_t> fabricated_units{0};
-  std::atomic<std::uint64_t> journal_failures{0};
 };
 
 struct CampaignResult {
@@ -219,6 +211,14 @@ class Campaign {
   /// RobustnessCounters for why it stays out of CampaignResult.
   [[nodiscard]] RobustnessCounters robustness_counters() const noexcept;
 
+  /// Every registered metric as a delta since the last run() started
+  /// (counters/histograms subtract their run-start baseline, gauges stay
+  /// instantaneous) — what the demo's summary renderers and the store stats
+  /// line print. Before the first run(): deltas from construction.
+  [[nodiscard]] telemetry::MetricsSnapshot run_metrics() const {
+    return telemetry::Registry::global().snapshot().delta_from(metrics_base_);
+  }
+
   /// Hash of everything that determines sub-shard contents and ownership:
   /// seed, per-program input count, the full generator config, and the
   /// backend split — each backend's name plus its implementations' names and
@@ -242,9 +242,10 @@ class Campaign {
   /// generated (workers included). Timing bookkeeping only — kept out of
   /// CampaignResult and the JSON so reports stay deterministic.
   [[nodiscard]] double analysis_seconds() const noexcept {
-    return static_cast<double>(
-               analysis_nanos_.load(std::memory_order_relaxed)) *
-           1e-9;
+    const std::uint64_t total = metrics_.analysis_nanos->value();
+    const std::uint64_t nanos =
+        total >= analysis_nanos_base_ ? total - analysis_nanos_base_ : 0;
+    return static_cast<double>(nanos) * 1e-9;
   }
 
   [[nodiscard]] const std::vector<CampaignBackend>& backends() const noexcept {
@@ -252,6 +253,24 @@ class Campaign {
   }
 
  private:
+  /// Cached references into the process-wide telemetry registry. Registered
+  /// once at construction so the hot paths (campaign workers, make_test_case)
+  /// never pay a registry lookup; the names are the public metrics catalog
+  /// entry points (see README "Observability").
+  struct Metrics {
+    telemetry::Counter* retried_triples;   ///< campaign.retried_triples
+    telemetry::Counter* retry_rounds;      ///< campaign.retry_rounds
+    telemetry::Counter* failover_units;    ///< campaign.failover_units
+    telemetry::Counter* fabricated_units;  ///< campaign.fabricated_units
+    telemetry::Counter* journal_failures;  ///< campaign.journal_failures
+    telemetry::Counter* analysis_nanos;    ///< campaign.analysis_nanos
+    telemetry::Gauge* units_total;         ///< campaign.units_total
+    telemetry::Gauge* units_done;          ///< campaign.units_done
+    telemetry::Gauge* live_backends;       ///< campaign.live_backends
+    telemetry::Histogram* unit_micros;     ///< campaign.unit_micros
+    Metrics();
+  };
+
   CampaignConfig config_;
   std::vector<CampaignBackend> backends_;
   std::vector<Executor*> failover_;  ///< spares, in registration order
@@ -262,10 +281,13 @@ class Campaign {
   bool resume_ = false;
   int resumed_programs_ = 0;
   SchedulerStats scheduler_stats_;
-  /// Accumulated by make_test_case, which is const and runs on workers.
-  mutable std::atomic<std::uint64_t> analysis_nanos_{0};
-  /// Retry/failover telemetry of the last run(); reset by run().
-  RobustnessCounterCells counters_;
+  Metrics metrics_;
+  /// Registry values when the last run() started (construction before that):
+  /// the process-wide counters are monotonic, so per-campaign accessors
+  /// report deltas from these baselines.
+  telemetry::MetricsSnapshot metrics_base_;
+  RobustnessCounters counters_base_;
+  std::uint64_t analysis_nanos_base_ = 0;
 };
 
 /// Finds the analyzable outcome where `impl` is flagged with `kind`,

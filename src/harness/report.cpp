@@ -96,25 +96,32 @@ std::string render_outlier_list(const CampaignResult& result,
 }
 
 std::string render_scheduler_summary(
-    const std::vector<CampaignBackend>& backends, const SchedulerStats& stats) {
-  std::string out = "scheduler: " + std::to_string(stats.units) +
-                    " sub-shards in " + std::to_string(stats.batches) +
-                    " batches, " + std::to_string(stats.stolen_units) +
+    const std::vector<CampaignBackend>& backends,
+    const telemetry::MetricsSnapshot& metrics) {
+  std::string out = "scheduler: " +
+                    std::to_string(metrics.counter("scheduler.units")) +
+                    " sub-shards in " +
+                    std::to_string(metrics.counter("scheduler.batches")) +
+                    " batches, " +
+                    std::to_string(metrics.counter("scheduler.stolen_units")) +
                     " stolen by idle workers\n";
   for (std::size_t b = 0; b < backends.size(); ++b) {
     out += "  backend " + backends[b].name + ": ";
     const auto impls = backends[b].executor->implementations();
     out += join(impls, ", ");
-    const std::uint64_t units = b < stats.units_per_backend.size()
-                                    ? stats.units_per_backend[b]
-                                    : 0;
+    const std::int64_t units =
+        metrics.gauge("scheduler.backend." + std::to_string(b) + ".units");
     out += " (" + std::to_string(units) + " sub-shards)\n";
   }
   return out;
 }
 
 std::string render_analysis_summary(const CampaignResult& result,
-                                    double analysis_seconds) {
+                                    const telemetry::MetricsSnapshot& metrics) {
+  const telemetry::MetricSample* nanos =
+      metrics.find("campaign.analysis_nanos");
+  const double analysis_seconds =
+      nanos == nullptr ? -1.0 : static_cast<double>(nanos->counter) * 1e-9;
   const StaticAnalysisStats& a = result.analysis;
   std::string out = "static analysis: " + std::to_string(a.programs_checked) +
                     " drafts checked, " + std::to_string(a.programs_filtered) +

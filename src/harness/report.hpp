@@ -9,6 +9,7 @@
 #include <string>
 
 #include "harness/campaign.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz::harness {
 
@@ -30,19 +31,23 @@ namespace ompfuzz::harness {
 [[nodiscard]] std::string to_json(const CampaignResult& result);
 
 /// One line per backend (name, implementations, units executed) plus the
-/// batch/steal counters of the last run. Throughput bookkeeping only — kept
-/// out of to_json so backend splits stay report-invisible.
+/// batch/steal counters of the last run, read from the telemetry registry
+/// (pass Campaign::run_metrics() so the scheduler.* counters are scoped to
+/// the run being summarized). Throughput bookkeeping only — kept out of
+/// to_json so backend splits stay report-invisible.
 [[nodiscard]] std::string render_scheduler_summary(
-    const std::vector<CampaignBackend>& backends, const SchedulerStats& stats);
+    const std::vector<CampaignBackend>& backends,
+    const telemetry::MetricsSnapshot& metrics);
 
 /// Generation-phase race-filter summary: drafts checked/filtered, findings
 /// histogram, and — wall time being nondeterministic — the analysis timing,
 /// which therefore stays out of to_json (the counts themselves are in the
-/// JSON's split-invariant `static_analysis` block). Pass
-/// Campaign::analysis_seconds() as `analysis_seconds`, or a negative value
-/// to omit the timing line.
-[[nodiscard]] std::string render_analysis_summary(const CampaignResult& result,
-                                                  double analysis_seconds);
+/// JSON's split-invariant `static_analysis` block). The timing comes from
+/// the registry's campaign.analysis_nanos counter — pass
+/// Campaign::run_metrics(); the timing line is omitted when the counter is
+/// absent from the snapshot.
+[[nodiscard]] std::string render_analysis_summary(
+    const CampaignResult& result, const telemetry::MetricsSnapshot& metrics);
 
 /// Retry/failover/fault-injection summary: the deterministic RobustnessStats
 /// (quarantined triples, lost backends — also in the JSON's `robustness`

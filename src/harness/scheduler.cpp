@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz::harness {
 
@@ -23,6 +24,21 @@ struct Batch {
   /// other worker count as stolen. Relaxed: only stats read it.
   std::atomic<int> owner{-1};
 };
+
+/// Mirrors one run's SchedulerStats into the telemetry registry, so the
+/// scheduler summary can render from a metrics snapshot. Counters accumulate
+/// across runs (snapshot deltas scope them); the per-backend unit gauges are
+/// instantaneous and describe the most recent run.
+void publish_stats(const SchedulerStats& stats) {
+  auto& registry = telemetry::Registry::global();
+  registry.counter("scheduler.batches").add(stats.batches);
+  registry.counter("scheduler.units").add(stats.units);
+  registry.counter("scheduler.stolen_units").add(stats.stolen_units);
+  for (std::size_t b = 0; b < stats.units_per_backend.size(); ++b) {
+    registry.gauge("scheduler.backend." + std::to_string(b) + ".units")
+        .set(static_cast<std::int64_t>(stats.units_per_backend[b]));
+  }
+}
 
 }  // namespace
 
@@ -63,7 +79,10 @@ SchedulerStats ShardScheduler::run(
     }
   }
   stats.batches = batches.size();
-  if (batches.empty()) return stats;
+  if (batches.empty()) {
+    publish_stats(stats);
+    return stats;
+  }
 
   std::atomic<std::size_t> next_batch{0};
   std::atomic<std::uint64_t> stolen{0};
@@ -90,6 +109,7 @@ SchedulerStats ShardScheduler::run(
         }
       }
     }
+    publish_stats(stats);
     if (first_error) std::rethrow_exception(first_error);
     return stats;
   }
@@ -125,6 +145,13 @@ SchedulerStats ShardScheduler::run(
         if (k >= batch.programs.size()) break;
         if (batch.owner.load(std::memory_order_relaxed) != id) {
           stolen.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry::Tracer::instance().active()) {
+            telemetry::Tracer::instance().instant(
+                "steal", "steal",
+                "\"program\":" + std::to_string(batch.programs[k]) +
+                    ",\"backend\":" + std::to_string(batch.backend) +
+                    ",\"thief\":" + std::to_string(id));
+          }
         }
         try {
           run_unit(ShardUnit{batch.programs[k], batch.backend});
@@ -144,6 +171,7 @@ SchedulerStats ShardScheduler::run(
   for (auto& thread : workers) thread.join();
 
   stats.stolen_units = stolen.load(std::memory_order_relaxed);
+  publish_stats(stats);
   if (first_error) std::rethrow_exception(first_error);
   return stats;
 }

@@ -3,6 +3,7 @@
 #include "runtime/cost_model.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz::harness {
 
@@ -45,6 +46,13 @@ DetailedRun SimExecutor::run_detailed(const TestCase& test,
                                       std::size_t input_index,
                                       const std::string& impl_name) {
   OMPFUZZ_CHECK(input_index < test.inputs.size(), "input index out of range");
+  telemetry::ScopedSpan span("run", "sim_run");
+  if (span.active()) {
+    span.arg("fingerprint",
+             telemetry::hex_fingerprint(test.program.fingerprint()));
+    span.arg("impl", impl_name);
+    span.arg("input", static_cast<std::uint64_t>(input_index));
+  }
   const rt::OmpImplProfile& prof = profile(impl_name);
   const fp::InputSet& input = test.inputs[input_index];
 

@@ -14,6 +14,7 @@
 #include "support/error.hpp"
 #include "support/fault_injection.hpp"
 #include "support/string_utils.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz::harness {
 
@@ -160,7 +161,27 @@ SubprocessExecutor::ensure_binary(const TestCase& test,
     ProcessJob job;
     job.argv = tokenize(command);
     job.timeout_ms = options_.compile_timeout_ms;
-    pool_.submit(std::move(job), [promise, bin](ProcessResult compile) {
+    // The compile span covers submit-to-completion (queueing included — that
+    // wait is real campaign latency), so the start is captured here and the
+    // event emitted from the pool's completion callback.
+    std::string span_args;
+    std::uint64_t span_start_ns = 0;
+    if (telemetry::Tracer::instance().active()) {
+      span_start_ns = telemetry::Tracer::now_ns() + 1;
+      span_args = "\"fingerprint\":\"" +
+                  telemetry::hex_fingerprint(test.program.fingerprint()) +
+                  "\",\"impl\":\"" + impl.name + "\"";
+    }
+    pool_.submit(std::move(job), [promise, bin, span_start_ns,
+                                  span_args =
+                                      std::move(span_args)](ProcessResult
+                                                                compile) {
+      if (span_start_ns != 0) {
+        telemetry::Tracer::instance().complete("compile", "compile",
+                                               span_start_ns - 1,
+                                               telemetry::Tracer::now_ns(),
+                                               span_args);
+      }
       CompileOutcome outcome;
       // Injected compile deadline: a finished compile is reclassified as
       // timed out (harness failure), exactly what a stalled machine does.

@@ -4,6 +4,7 @@
 
 #include "support/config.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ompfuzz::reduce {
@@ -47,6 +48,10 @@ InterestingnessOracle::classify(std::span<const Request> requests) {
   for (const Request& request : requests) {
     OMPFUZZ_CHECK(request.program != nullptr && request.input != nullptr,
                   "oracle request needs a program and an input");
+  }
+  telemetry::ScopedSpan span("oracle", "classify");
+  if (span.active()) {
+    span.arg("requests", static_cast<std::uint64_t>(requests.size()));
   }
 
   const auto run_one = [this](const Request& request) {

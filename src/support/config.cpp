@@ -312,6 +312,22 @@ void StoreConfig::validate() const {
   if (max_bytes < 0) throw ConfigError("store.max_bytes must be >= 0");
 }
 
+TelemetryConfig TelemetryConfig::from_config(const ConfigFile& file) {
+  TelemetryConfig t;
+  t.trace_file = file.get_or("telemetry.trace_file", t.trace_file);
+  t.metrics_file = file.get_or("telemetry.metrics_file", t.metrics_file);
+  t.interval_ms = file.get_int("telemetry.interval_ms", t.interval_ms);
+  t.heartbeat = file.get_bool("telemetry.heartbeat", t.heartbeat);
+  t.validate();
+  return t;
+}
+
+void TelemetryConfig::validate() const {
+  if (interval_ms <= 0) {
+    throw ConfigError("telemetry.interval_ms must be > 0");
+  }
+}
+
 CampaignConfig CampaignConfig::from_config(const ConfigFile& file) {
   CampaignConfig c;
   c.generator = GeneratorConfig::from_config(file);

@@ -220,6 +220,29 @@ struct FaultConfig {
   void validate() const;
 };
 
+/// Knobs for out-of-band campaign telemetry (the [telemetry] section).
+/// Consumed by support/telemetry.hpp (span tracer) and the campaign metrics
+/// sampler (harness/campaign_metrics.hpp). Everything here is strictly
+/// observational: traces and metric snapshots go to their own files /
+/// stderr, never into campaign_report.json, so reports stay byte-identical
+/// with telemetry on or off.
+struct TelemetryConfig {
+  /// Chrome trace_event JSON output path; empty = tracing off.
+  std::string trace_file;
+  /// Periodic metrics snapshot path; empty = no snapshot file.
+  std::string metrics_file;
+  /// Sampler period for the snapshot file / heartbeat.
+  std::int64_t interval_ms = 500;
+  /// One progress line per sample on stderr (units done/total, children/s,
+  /// store hit-rate, live backends).
+  bool heartbeat = false;
+
+  /// Reads the [telemetry] section; unspecified keys keep their defaults.
+  static TelemetryConfig from_config(const ConfigFile& file);
+  /// Validates ranges; throws ConfigError otherwise.
+  void validate() const;
+};
+
 /// Campaign-level configuration (Fig. 1 steps (a)-(d); Section V-A).
 struct CampaignConfig {
   GeneratorConfig generator;

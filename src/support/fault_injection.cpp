@@ -73,6 +73,18 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
+FaultInjector::FaultInjector() {
+  auto& registry = telemetry::Registry::global();
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const std::string prefix =
+        std::string("faults.") + kSiteNames[static_cast<std::size_t>(i)];
+    checked_[static_cast<std::size_t>(i)] =
+        &registry.counter(prefix + ".checked");
+    injected_[static_cast<std::size_t>(i)] =
+        &registry.counter(prefix + ".injected");
+  }
+}
+
 void FaultInjector::configure(const FaultConfig& config) {
   config.validate();
   disable();
@@ -104,8 +116,8 @@ void FaultInjector::configure(const FaultConfig& config) {
 
 void FaultInjector::disable() {
   enabled_.store(false, std::memory_order_release);
-  for (auto& c : checked_) c.store(0, std::memory_order_relaxed);
-  for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+  for (auto* c : checked_) c->reset();
+  for (auto* c : injected_) c->reset();
 }
 
 bool FaultInjector::should_fail(FaultSite site) {
@@ -117,27 +129,25 @@ bool FaultInjector::should_fail(FaultSite site) {
   }
   // The ordinal doubles as the check counter: per-site, so one site's
   // decision stream does not shift when another site gains callers.
-  const std::uint64_t ordinal =
-      checked_[i].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ordinal = checked_[i]->add();
   const std::uint64_t h =
       mix64(hash_combine(seed_.load(std::memory_order_relaxed),
                          hash_combine(static_cast<std::uint64_t>(i) + 1,
                                       ordinal)));
   const std::uint64_t threshold = threshold_.load(std::memory_order_relaxed);
   const bool fire = threshold == ~std::uint64_t{0} || h < threshold;
-  if (fire) injected_[i].fetch_add(1, std::memory_order_relaxed);
+  if (fire) injected_[i]->add();
   return fire;
 }
 
 FaultInjector::SiteStats FaultInjector::site_stats(FaultSite site) const {
   const auto i = static_cast<std::size_t>(site);
-  return {checked_[i].load(std::memory_order_relaxed),
-          injected_[i].load(std::memory_order_relaxed)};
+  return {checked_[i]->value(), injected_[i]->value()};
 }
 
 std::uint64_t FaultInjector::total_injected() const {
   std::uint64_t total = 0;
-  for (const auto& c : injected_) total += c.load(std::memory_order_relaxed);
+  for (const auto* c : injected_) total += c->value();
   return total;
 }
 

@@ -27,6 +27,7 @@
 #include <string_view>
 
 #include "support/config.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz {
 
@@ -85,14 +86,21 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t total_injected() const;
 
  private:
-  FaultInjector() = default;
+  FaultInjector();
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> threshold_{0};  ///< rate scaled to 2^64
   std::atomic<std::uint64_t> seed_{0};
   std::atomic<std::uint64_t> site_mask_{0};  ///< bit per enabled FaultSite
-  std::array<std::atomic<std::uint64_t>, kNumFaultSites> checked_{};
-  std::array<std::atomic<std::uint64_t>, kNumFaultSites> injected_{};
+  // Per-site tallies live in the telemetry registry ("faults.<site>.checked"
+  // / ".injected") so the metrics sampler and summary renderers see them for
+  // free. The checked counter's fetch_add return value doubles as the
+  // per-site decision ordinal, so Counter::add's RMW semantics are
+  // load-bearing — see Counter::add. The injector owns the counters:
+  // configure()/disable() reset them (legal only while sites are idle, per
+  // the class contract above).
+  std::array<telemetry::Counter*, kNumFaultSites> checked_{};
+  std::array<telemetry::Counter*, kNumFaultSites> injected_{};
 };
 
 /// Site-side convenience: `if (inject_fault(FaultSite::PoolFork)) ...`.

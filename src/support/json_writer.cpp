@@ -100,6 +100,14 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_members(std::string_view members) {
+  if (members.empty()) return *this;
+  maybe_comma();
+  on_value();
+  out_ += members;
+  return *this;
+}
+
 JsonWriter& JsonWriter::null() {
   maybe_comma();
   on_value();

@@ -32,6 +32,12 @@ class JsonWriter {
   JsonWriter& value(bool v);
   JsonWriter& null();
 
+  /// Splices pre-rendered object members ("\"k\":1,\"j\":\"v\"") into the
+  /// currently open object. The caller vouches the fragment is valid JSON
+  /// members; an empty fragment is a no-op. Used by the span tracer, whose
+  /// args are rendered at record time, long before the writer exists.
+  JsonWriter& raw_members(std::string_view members);
+
   /// Final JSON text. Valid once all containers are closed.
   [[nodiscard]] const std::string& str() const { return out_; }
 

@@ -152,6 +152,24 @@ bool parse_status(std::string_view text, core::RunStatus& out) {
   return true;
 }
 
+/// Process-wide registry mirrors of the per-instance store tallies: one
+/// registration shared by every ResultStore in the process, so the metrics
+/// sampler sees aggregate store traffic.
+struct StoreMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& puts;
+  telemetry::Counter& write_failures;
+};
+
+StoreMetrics& store_metrics() {
+  auto& registry = telemetry::Registry::global();
+  static StoreMetrics metrics{
+      registry.counter("store.hits"), registry.counter("store.misses"),
+      registry.counter("store.puts"), registry.counter("store.write_failures")};
+  return metrics;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- RunKey ------
@@ -195,6 +213,11 @@ std::string ResultStore::object_path(const RunKey& key) const {
 }
 
 std::optional<core::RunResult> ResultStore::lookup(const RunKey& key) {
+  telemetry::ScopedSpan span("store", "lookup");
+  if (span.active()) {
+    span.arg("fingerprint",
+             telemetry::hex_fingerprint(key.program_fingerprint));
+  }
   const auto d = key.digest();
   const std::string hex = hex64(d[0]) + hex64(d[1]);
   const std::string canonical = key.canonical();
@@ -203,10 +226,13 @@ std::optional<core::RunResult> ResultStore::lookup(const RunKey& key) {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = memo_.find(hex); it != memo_.end()) {
       if (it->second.first == canonical) {
-        ++stats_.hits;
+        hits_.add();
+        store_metrics().hits.add();
         return it->second.second;
       }
-      ++stats_.misses;  // digest collision against an in-memory record
+      // Digest collision against an in-memory record.
+      misses_.add();
+      store_metrics().misses.add();
       return std::nullopt;
     }
   }
@@ -218,8 +244,8 @@ std::optional<core::RunResult> ResultStore::lookup(const RunKey& key) {
   {
     std::ifstream in(path);
     if (!in) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.misses;
+      misses_.add();
+      store_metrics().misses.add();
       return std::nullopt;
     }
     std::ostringstream buf;
@@ -264,21 +290,28 @@ std::optional<core::RunResult> ResultStore::lookup(const RunKey& key) {
     // even on noatime mounts. Best-effort: a failure only ages the record.
     (void)::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
   if (!ok) {
-    ++stats_.misses;
+    misses_.add();
+    store_metrics().misses.add();
     return std::nullopt;
   }
   run.time_us = std::bit_cast<double>(time_bits);
   run.output = std::bit_cast<double>(output_bits);
+  const std::lock_guard<std::mutex> lock(mutex_);
   memo_[hex] = {canonical, run};
-  ++stats_.hits;
+  hits_.add();
+  store_metrics().hits.add();
   return run;
 }
 
 void ResultStore::put(const RunKey& key, const core::RunResult& result) {
   OMPFUZZ_CHECK(!result.harness_failure,
                 "harness-failure results must not be persisted");
+  telemetry::ScopedSpan span("store", "put");
+  if (span.active()) {
+    span.arg("fingerprint",
+             telemetry::hex_fingerprint(key.program_fingerprint));
+  }
   const auto d = key.digest();
   const std::string hex = hex64(d[0]) + hex64(d[1]);
   const std::string canonical = key.canonical();
@@ -310,10 +343,12 @@ void ResultStore::put(const RunKey& key, const core::RunResult& result) {
   const std::lock_guard<std::mutex> lock(mutex_);
   memo_[hex] = {canonical, result};
   if (write_ok) {
-    ++stats_.puts;
+    puts_.add();
+    store_metrics().puts.add();
     consecutive_write_failures_ = 0;
   } else {
-    ++stats_.write_failures;
+    write_failures_.add();
+    store_metrics().write_failures.add();
     if (++consecutive_write_failures_ >= kWriteFailureLimit &&
         !writes_disabled_.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
@@ -325,8 +360,15 @@ void ResultStore::put(const RunKey& key, const core::RunResult& result) {
 }
 
 ResultStore::Stats ResultStore::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  // Lock-free: each field is a relaxed atomic, so this races nothing even
+  // while workers are mid-lookup/put (the set of fields is not a snapshot
+  // transaction, and no caller needs it to be).
+  Stats stats;
+  stats.hits = hits_.value();
+  stats.misses = misses_.value();
+  stats.puts = puts_.value();
+  stats.write_failures = write_failures_.value();
+  return stats;
 }
 
 namespace {
@@ -691,6 +733,11 @@ void CheckpointJournal::append_record(const std::string& payload) {
 }
 
 void CheckpointJournal::append(const StoredShard& shard) {
+  telemetry::ScopedSpan span("journal", "append");
+  if (span.active()) {
+    span.arg("program", shard.program_index);
+    span.arg("backend", shard.backend_index);
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   append_record(shard_payload(shard, backends_));
 }

@@ -40,6 +40,7 @@
 
 #include "core/outlier.hpp"
 #include "support/config.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz {
 
@@ -105,6 +106,11 @@ class ResultStore {
     std::uint64_t puts = 0;            ///< records durably written
     std::uint64_t write_failures = 0;  ///< puts that did not reach disk
   };
+  /// Point-in-time tallies for THIS store instance. Lock-free: the fields
+  /// are relaxed atomics internally, so snapshotting stats while workers
+  /// are mid-lookup/put is race-free (TSan-covered) — each field is
+  /// individually coherent, the set is not a transaction. Process-wide
+  /// totals are mirrored to the telemetry registry ("store.hits", ...).
   [[nodiscard]] Stats stats() const;
 
   /// True once persistent writes were disabled by consecutive I/O failures.
@@ -148,7 +154,13 @@ class ResultStore {
   /// Digest hex -> (canonical key, result) for everything read or written by
   /// this process, so a warm shard never re-reads its record files.
   std::map<std::string, std::pair<std::string, core::RunResult>> memo_;
-  Stats stats_;
+  /// Per-instance tallies (telemetry::Counter is a relaxed atomic — readable
+  /// without mutex_), each mirrored into the process-wide registry metric
+  /// named in the comment so the sampler and renderers see store traffic.
+  telemetry::Counter hits_;            ///< store.hits
+  telemetry::Counter misses_;          ///< store.misses
+  telemetry::Counter puts_;            ///< store.puts
+  telemetry::Counter write_failures_;  ///< store.write_failures
   /// Set once kWriteFailureLimit consecutive put() I/O failures occur;
   /// read lock-free on the put() fast path.
   std::atomic<bool> writes_disabled_{false};

@@ -11,6 +11,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -223,6 +224,58 @@ TEST(ResultStoreTest, RoundTripsResultsBitExactly) {
   EXPECT_EQ(stats.puts, 2u);
   EXPECT_GE(stats.hits, 3u);
   EXPECT_GE(stats.misses, 1u);
+}
+
+// stats() reads the counters lock-free while workers hammer lookup/put.
+// Before the counters moved to telemetry::Counter they were plain ints
+// updated under the mutex but readable outside it; this test runs under the
+// TSan build, where that old shape was a reportable data race — the real
+// assertion here is TSan staying silent.
+TEST(ResultStoreTest, StatsAreRaceFreeUnderConcurrentTraffic) {
+  ResultStore store(store_config(temp_dir() + "/store"));
+
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 100;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto stats = store.stats();
+      // Counters are monotonic, so a snapshot can never exceed the totals
+      // read after the writers join (checked below); here just keep the
+      // loads live.
+      EXPECT_LE(stats.puts, static_cast<std::uint64_t>(kWriters) *
+                                static_cast<std::uint64_t>(kOpsPerWriter));
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        core::RunResult r;
+        r.impl = "gcc";
+        r.status = core::RunStatus::Ok;
+        r.time_us = i;
+        const RunKey key{
+            static_cast<std::uint64_t>(w * kOpsPerWriter + i) + 1,
+            "0x1p+0", "sim;profile=gcc"};
+        (void)store.lookup(key);  // cold: a miss
+        store.put(key, r);
+        (void)store.lookup(key);  // warm: a hit
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto stats = store.stats();
+  const auto total =
+      static_cast<std::uint64_t>(kWriters) * kOpsPerWriter;
+  EXPECT_EQ(stats.puts, total);
+  EXPECT_EQ(stats.hits, total);
+  EXPECT_EQ(stats.misses, total);
 }
 
 TEST(ResultStoreTest, SurvivesReopenAcrossProcessesWorthOfState) {

@@ -277,6 +277,27 @@ TEST(Config, StoreSectionParsesAndValidates) {
   EXPECT_THROW(bad.validate(), ConfigError);
 }
 
+TEST(Config, TelemetrySectionParsesAndValidates) {
+  const auto defaults = TelemetryConfig::from_config(ConfigFile::parse(""));
+  EXPECT_TRUE(defaults.trace_file.empty());
+  EXPECT_TRUE(defaults.metrics_file.empty());
+  EXPECT_EQ(defaults.interval_ms, 500);
+  EXPECT_FALSE(defaults.heartbeat);
+
+  const auto cfg = TelemetryConfig::from_config(ConfigFile::parse(
+      "[telemetry]\ntrace_file = /tmp/trace.json\n"
+      "metrics_file = /tmp/metrics.json\ninterval_ms = 125\n"
+      "heartbeat = true\n"));
+  EXPECT_EQ(cfg.trace_file, "/tmp/trace.json");
+  EXPECT_EQ(cfg.metrics_file, "/tmp/metrics.json");
+  EXPECT_EQ(cfg.interval_ms, 125);
+  EXPECT_TRUE(cfg.heartbeat);
+
+  EXPECT_THROW(TelemetryConfig::from_config(
+                   ConfigFile::parse("[telemetry]\ninterval_ms = 0\n")),
+               ConfigError);
+}
+
 TEST(Config, SchedulerSectionParsesAndValidates) {
   const auto defaults = SchedulerConfig::from_config(ConfigFile::parse(""));
   EXPECT_EQ(defaults.backends, 1);

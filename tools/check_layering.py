@@ -13,10 +13,13 @@ depend on fp's classification tables (fixed in PR 1), and fp must never
 grow an include of ast in return.
 
 Cross-cutting instrumentation lives at rank 0 on purpose: the fault
-injector (support/fault_injection) is included by harness, store, and
-executor code alike, which is only legal because it sits in support and
-depends on nothing above it. Keep it that way — if fault_injection ever
+injector (support/fault_injection) and the telemetry registry/tracer
+(support/telemetry) are included by harness, store, and executor code
+alike, which is only legal because they sit in support and depend on
+nothing above it. Keep it that way — if fault_injection or telemetry ever
 needs a type from a higher layer, pass the data in, don't include up.
+(The metrics sampler, which knows campaign-level names, sits above in
+harness/campaign_metrics for the same reason.)
 
 tests/, bench/, and examples/ sit on top of everything and are exempt.
 
