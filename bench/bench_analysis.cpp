@@ -79,6 +79,42 @@ int main(int argc, char** argv) {
   const double analysis_per_sec =
       1e3 * static_cast<double>(num_programs) * analysis_reps / analysis_ms;
 
+  // Interval ablation: the same set analyzed affine-only, pricing the
+  // value-range machinery the default analyzer now carries.
+  std::size_t affine_checksum = 0;
+  analysis::AnalyzeOptions affine_only;
+  affine_only.use_intervals = false;
+  const auto affine_start = Clock::now();
+  for (int rep = 0; rep < analysis_reps; ++rep) {
+    for (const auto& prog : programs) {
+      affine_checksum +=
+          analysis::analyze_races(prog, affine_only).findings.size();
+    }
+  }
+  const double affine_ms = ms_since(affine_start);
+  const double affine_per_sec =
+      1e3 * static_cast<double>(num_programs) * analysis_reps / affine_ms;
+
+  // Draft savings on rangeidx streams: every draft the affine baseline
+  // filters but intervals prove clean is a regeneration the campaign does
+  // not pay. Probe-sized stream (banked thread-id + iv-mod-size subscripts).
+  GeneratorConfig rcfg;
+  rcfg.array_size = 64;
+  rcfg.max_loop_trip_count = 12;
+  rcfg.enable_features("rangeidx");
+  const core::ProgramGenerator rgen(rcfg);
+  int rangeidx_baseline_racy = 0;
+  int rangeidx_interval_racy = 0;
+  const int rangeidx_programs = 500;
+  for (int n = 0; n < rangeidx_programs; ++n) {
+    const ast::Program prog =
+        rgen.generate("ridx_" + std::to_string(n), hash_combine(0x71d8, n));
+    rangeidx_baseline_racy +=
+        !analysis::analyze_races(prog, affine_only).race_free();
+    rangeidx_interval_racy += !analysis::analyze_races(prog).race_free();
+  }
+  const int drafts_saved = rangeidx_baseline_racy - rangeidx_interval_racy;
+
   // Simulated execution: one campaign-sized run per program.
   std::uint64_t steps = 0;
   int executed = 0;
@@ -93,16 +129,24 @@ int main(int argc, char** argv) {
       1e3 * static_cast<double>(num_programs) / exec_ms;
 
   const double speedup = analysis_per_sec / exec_per_sec;
-  std::printf("  %-12s %12s %16s\n", "stage", "total_ms", "programs/sec");
-  std::printf("  %-12s %12.1f %16.0f\n", "analysis",
+  std::printf("  %-16s %12s %16s\n", "stage", "total_ms", "programs/sec");
+  std::printf("  %-16s %12.1f %16.0f\n", "analysis",
               analysis_ms / analysis_reps, analysis_per_sec);
-  std::printf("  %-12s %12.1f %16.0f\n", "execution", exec_ms, exec_per_sec);
+  std::printf("  %-16s %12.1f %16.0f\n", "analysis-affine",
+              affine_ms / analysis_reps, affine_per_sec);
+  std::printf("  %-16s %12.1f %16.0f\n", "execution", exec_ms, exec_per_sec);
   std::printf("\n  analyzer speedup over execution: %.1fx (gate: >= 10x)\n",
               speedup);
+  std::printf("  interval cost over affine-only: %.2fx per program\n",
+              affine_ms > 0.0 ? analysis_ms / affine_ms : 0.0);
+  std::printf("  rangeidx drafts saved by intervals: %d of %d "
+              "(%d affine-racy -> %d interval-racy)\n",
+              drafts_saved, rangeidx_programs, rangeidx_baseline_racy,
+              rangeidx_interval_racy);
   std::printf("  executed ok: %d/%d, %llu interpreter steps, "
-              "findings checksum %zu\n",
+              "findings checksum %zu (affine %zu)\n",
               executed, num_programs, static_cast<unsigned long long>(steps),
-              findings_checksum);
+              findings_checksum, affine_checksum);
 
   JsonWriter json;
   json.begin_object();
@@ -116,6 +160,16 @@ int main(int argc, char** argv) {
   json.key("analysis").begin_object();
   json.key("total_ms").value(analysis_ms);
   json.key("programs_per_sec").value(analysis_per_sec);
+  json.end_object();
+  json.key("value_range").begin_object();
+  json.key("affine_only_total_ms").value(affine_ms);
+  json.key("affine_only_programs_per_sec").value(affine_per_sec);
+  json.key("interval_cost_ratio")
+      .value(affine_ms > 0.0 ? analysis_ms / affine_ms : 0.0);
+  json.key("rangeidx_programs").value(rangeidx_programs);
+  json.key("rangeidx_affine_racy").value(rangeidx_baseline_racy);
+  json.key("rangeidx_interval_racy").value(rangeidx_interval_racy);
+  json.key("rangeidx_drafts_saved").value(drafts_saved);
   json.end_object();
   json.key("execution").begin_object();
   json.key("total_ms").value(exec_ms);

@@ -27,7 +27,8 @@ struct Lin {
 };
 
 std::optional<Lin> eval_lin(const ast::Expr& e, ast::VarId ws_index,
-                            const std::set<ast::VarId>& varying) {
+                            const std::set<ast::VarId>& varying,
+                            const SubscriptContext& ctx) {
   using Kind = ast::Expr::Kind;
   switch (e.kind()) {
     case Kind::IntConst:
@@ -41,8 +42,22 @@ std::optional<Lin> eval_lin(const ast::Expr& e, ast::VarId ws_index,
       return Lin{Lin::Base::None, 0, 0, id};
     }
     case Kind::Binary: {
-      auto l = eval_lin(e.lhs(), ws_index, varying);
-      auto r = eval_lin(e.rhs(), ws_index, varying);
+      // Interval-backed mod identity: `x % c` is exactly x when value-range
+      // analysis proves 0 <= x < c, so the wrapper can be stripped before
+      // linear evaluation (this is what reclassifies `i % size` under a
+      // size-clamped omp-for from Other to WorksharedAffine).
+      if (e.bin_op() == ast::BinOp::Mod && ctx.ranges != nullptr &&
+          e.rhs().kind() == Kind::IntConst && e.rhs().int_value() > 0) {
+        const Interval lhs_range =
+            eval_expr_interval(e.lhs(), *ctx.ranges, ctx.num_threads);
+        if (!lhs_range.empty() && lhs_range.lo >= 0 &&
+            lhs_range.hi < e.rhs().int_value()) {
+          if (ctx.stats != nullptr) ++ctx.stats->mod_rewrites;
+          return eval_lin(e.lhs(), ws_index, varying, ctx);
+        }
+      }
+      auto l = eval_lin(e.lhs(), ws_index, varying, ctx);
+      auto r = eval_lin(e.rhs(), ws_index, varying, ctx);
       if (!l || !r) return std::nullopt;
       const bool l_const = l->base == Lin::Base::None && l->sym == ast::kInvalidVar;
       const bool r_const = r->base == Lin::Base::None && r->sym == ast::kInvalidVar;
@@ -104,6 +119,14 @@ std::optional<Lin> eval_lin(const ast::Expr& e, ast::VarId ws_index,
 SubscriptInfo classify_subscript(const ast::Expr& subscript, ast::VarId ws_index,
                                  const ast::Stmt* ws_loop,
                                  const std::set<ast::VarId>& varying) {
+  return classify_subscript(subscript, ws_index, ws_loop, varying,
+                            SubscriptContext{});
+}
+
+SubscriptInfo classify_subscript(const ast::Expr& subscript, ast::VarId ws_index,
+                                 const ast::Stmt* ws_loop,
+                                 const std::set<ast::VarId>& varying,
+                                 const SubscriptContext& ctx) {
   // Screen for leaves that make the whole expression thread-varying or
   // memory-dependent: any such leaf caps the result at Other even when the
   // linear evaluation fails for representability reasons only.
@@ -125,12 +148,24 @@ SubscriptInfo classify_subscript(const ast::Expr& subscript, ast::VarId ws_index
   });
 
   SubscriptInfo info;
+  // Attach the element range up front: it is sound for every class,
+  // including Other (disjoint ranges preclude overlap no matter how the
+  // index varies across threads).
+  if (ctx.ranges != nullptr) {
+    const Interval r =
+        eval_expr_interval(subscript, *ctx.ranges, ctx.num_threads);
+    if (!r.empty() && r.lo != Interval::kNegInf && r.hi != Interval::kPosInf) {
+      info.has_range = true;
+      info.range_lo = r.lo;
+      info.range_hi = r.hi;
+    }
+  }
   if (has_varying || has_memory) {
     info.cls = SubscriptClass::Other;
     return info;
   }
 
-  auto lin = eval_lin(subscript, ws_index, varying);
+  auto lin = eval_lin(subscript, ws_index, varying, ctx);
   if (!lin || (lin->base != Lin::Base::None && lin->coeff == 0)) {
     // Not exactly linear (or the base cancelled out). Without a varying
     // leaf the value is still the same for every thread and iteration.
@@ -178,12 +213,21 @@ bool provably_disjoint(const SubscriptInfo& a, const SubscriptInfo& b) noexcept 
   return false;
 }
 
+bool interval_disjoint(const SubscriptInfo& a, const SubscriptInfo& b) noexcept {
+  return a.has_range && b.has_range &&
+         (a.range_hi < b.range_lo || b.range_hi < a.range_lo);
+}
+
 namespace {
 
 class AccessWalk {
  public:
-  AccessWalk(const ast::Program& program, const ast::Stmt& region)
-      : program_(program) {
+  AccessWalk(const ast::Program& program, const ast::Stmt& region,
+             const AnalyzeOptions& options, AnalyzerStats* stats)
+      : program_(program), options_(options), stats_(stats) {
+    num_threads_ = options.num_threads_override > 0
+                       ? options.num_threads_override
+                       : region.clauses.num_threads;
     out_.region = &region;
     out_.num_phases = count_phases(region);
 
@@ -245,7 +289,13 @@ class AccessWalk {
     a.phase = phase_;
     a.mutexes = mutexes;
     a.single_id = single_id_;
-    a.subscript = classify_subscript(index, ws_index, ws_loop, varying_);
+    SubscriptContext ctx;
+    if (options_.use_intervals) {
+      ctx.ranges = &ranges_;
+      ctx.num_threads = num_threads_;
+      ctx.stats = stats_;
+    }
+    a.subscript = classify_subscript(index, ws_index, ws_loop, varying_, ctx);
     out_.accesses[id].push_back(a);
   }
 
@@ -295,8 +345,24 @@ class AccessWalk {
           record_reads(*s.cond.rhs, mutexes, ws_index, ws_loop);
           visit_block(s.body, /*top_level=*/false, mutexes, ws_index, ws_loop);
           break;
-        case ast::Stmt::Kind::For:
+        case ast::Stmt::Kind::For: {
           record_reads(*s.loop_bound, mutexes, ws_index, ws_loop);
+          // Bound the induction variable for subscript intervals: a loop
+          // over [0, bound) confines its iv to [0, bound-1] — on every
+          // thread and every schedule, so this holds for omp-for splits too.
+          std::optional<Interval> saved_range;
+          if (options_.use_intervals) {
+            if (auto it = ranges_.find(s.loop_var); it != ranges_.end()) {
+              saved_range = it->second;
+            }
+            const Interval bound =
+                eval_expr_interval(*s.loop_bound, ranges_, num_threads_);
+            std::int64_t hi = Interval::kPosInf;
+            if (!bound.empty() && bound.hi != Interval::kPosInf) {
+              hi = bound.hi > 1 ? bound.hi - 1 : 0;
+            }
+            ranges_[s.loop_var] = Interval::of(0, hi);
+          }
           if (s.omp_for) {
             // The loop body executes in the current phase with the loop's
             // iteration split; a serial loop keeps any enclosing split.
@@ -309,7 +375,15 @@ class AccessWalk {
             visit_block(s.body, /*top_level=*/false, mutexes, ws_index,
                         ws_loop);
           }
+          if (options_.use_intervals) {
+            if (saved_range.has_value()) {
+              ranges_[s.loop_var] = *saved_range;
+            } else {
+              ranges_.erase(s.loop_var);
+            }
+          }
           break;
+        }
         case ast::Stmt::Kind::OmpCritical:
           visit_block(s.body, /*top_level=*/false,
                       static_cast<std::uint8_t>(mutexes | kMutexCritical),
@@ -363,6 +437,11 @@ class AccessWalk {
   }
 
   const ast::Program& program_;
+  AnalyzeOptions options_;
+  AnalyzerStats* stats_ = nullptr;
+  int num_threads_ = 0;
+  /// Known ranges of in-scope loop induction variables (value_range env).
+  std::map<ast::VarId, Interval> ranges_;
   RegionAccessSet out_;
   std::set<ast::VarId> varying_;
   PhaseId phase_ = 0;
@@ -373,8 +452,10 @@ class AccessWalk {
 }  // namespace
 
 RegionAccessSet collect_accesses(const ast::Program& program,
-                                 const ast::Stmt& region) {
-  return AccessWalk(program, region).run();
+                                 const ast::Stmt& region,
+                                 const AnalyzeOptions& options,
+                                 AnalyzerStats* stats) {
+  return AccessWalk(program, region, options, stats).run();
 }
 
 }  // namespace ompfuzz::analysis

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/phase_model.hpp"
+#include "analysis/value_range.hpp"
 #include "ast/program.hpp"
 
 namespace ompfuzz::analysis {
@@ -50,6 +51,14 @@ struct SubscriptInfo {
   /// iteration-affine subscripts partition consistently only within the
   /// same work-shared loop.
   const ast::Stmt* workshared_loop = nullptr;
+  /// Interval of every element this subscript can address (value-range
+  /// analysis; thread-id and loop-iv bounds). Set only when the classifier
+  /// ran with interval context and found a finite bound; two accesses with
+  /// disjoint ranges can never touch the same element, whatever their
+  /// class.
+  bool has_range = false;
+  std::int64_t range_lo = 0;
+  std::int64_t range_hi = 0;
 };
 
 /// One read or write of a shared variable inside the region.
@@ -84,6 +93,41 @@ struct RegionAccessSet {
   std::set<ast::VarId> thread_private;
 };
 
+/// Knobs of the interval-aware dependence pipeline. The defaults are the
+/// production configuration: intervals on, thread-id bounds from each
+/// region's num_threads clause.
+struct AnalyzeOptions {
+  /// Consult value-range intervals: the subscript classifier strips
+  /// interval-provable `x % c` identities and attaches element ranges, and
+  /// the dependence test proves interval-disjoint pairs race-free. Off
+  /// reproduces the affine-only analyzer exactly (the precision baseline).
+  bool use_intervals = true;
+  /// Team size assumed for thread-id bounds; 0 = each region's clause.
+  /// Callers that execute regions with an interpreter override must pass
+  /// at least that override for the bounds to be sound.
+  int num_threads_override = 0;
+};
+
+/// Precision counters of one analysis run (all monotone adds, so split
+/// workloads can sum them).
+struct AnalyzerStats {
+  /// Access pairs the affine table could not separate but disjoint element
+  /// ranges proved race-free.
+  std::uint64_t interval_disjoint_pairs = 0;
+  /// Subscripts whose `x % c` wrapper was stripped because interval
+  /// analysis proved x already inside [0, c-1].
+  std::uint64_t mod_rewrites = 0;
+};
+
+/// Interval context for classify_subscript: known value ranges (loop
+/// induction variables; everything absent is unbounded) and the team size
+/// for thread-id bounds. A null `ranges` disables all interval reasoning.
+struct SubscriptContext {
+  const std::map<ast::VarId, Interval>* ranges = nullptr;
+  int num_threads = 0;
+  AnalyzerStats* stats = nullptr;
+};
+
 /// Classifies one subscript expression in the given context. `ws_index` is
 /// the innermost enclosing omp-for's loop variable (kInvalidVar outside);
 /// `varying` holds every variable whose value may differ across threads or
@@ -93,13 +137,29 @@ struct RegionAccessSet {
     const ast::Expr& subscript, ast::VarId ws_index,
     const ast::Stmt* ws_loop, const std::set<ast::VarId>& varying);
 
+/// As above with interval context: `x % c` wrappers that provably keep the
+/// value are stripped before affine classification, and the subscript's
+/// element range is attached when finite.
+[[nodiscard]] SubscriptInfo classify_subscript(
+    const ast::Expr& subscript, ast::VarId ws_index,
+    const ast::Stmt* ws_loop, const std::set<ast::VarId>& varying,
+    const SubscriptContext& ctx);
+
 /// True when the two subscripts can never address the same element from two
 /// distinct threads (see the class table above).
 [[nodiscard]] bool provably_disjoint(const SubscriptInfo& a,
                                      const SubscriptInfo& b) noexcept;
 
+/// True when the two subscripts' element ranges are finite and disjoint:
+/// the accesses can never touch the same element, from any pair of threads,
+/// in any phase.
+[[nodiscard]] bool interval_disjoint(const SubscriptInfo& a,
+                                     const SubscriptInfo& b) noexcept;
+
 /// Runs the access-set walk over one parallel region.
 [[nodiscard]] RegionAccessSet collect_accesses(const ast::Program& program,
-                                               const ast::Stmt& region);
+                                               const ast::Stmt& region,
+                                               const AnalyzeOptions& options = {},
+                                               AnalyzerStats* stats = nullptr);
 
 }  // namespace ompfuzz::analysis

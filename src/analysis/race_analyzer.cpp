@@ -21,6 +21,11 @@ const char* to_string(RaceKind k) noexcept {
 }
 
 bool accesses_conflict(const Access& a, const Access& b) noexcept {
+  return accesses_conflict(a, b, nullptr);
+}
+
+bool accesses_conflict(const Access& a, const Access& b,
+                       AnalyzerStats* stats) noexcept {
   if (!a.is_write && !b.is_write) return false;
   // Two atomic updates of the same location are serialized by the hardware;
   // an atomic only races against plain accesses.
@@ -37,10 +42,18 @@ bool accesses_conflict(const Access& a, const Access& b) noexcept {
   if (!may_happen_in_parallel(a.phase, ma, b.phase, mb)) return false;
   if (a.is_array && b.is_array && provably_disjoint(a.subscript, b.subscript))
     return false;
+  // Value-range fallback: whatever the subscript classes, two accesses whose
+  // element ranges never overlap cannot touch the same slot — from any pair
+  // of threads, in any phase.
+  if (a.is_array && b.is_array && interval_disjoint(a.subscript, b.subscript)) {
+    if (stats != nullptr) ++stats->interval_disjoint_pairs;
+    return false;
+  }
   return true;
 }
 
-std::vector<Conflict> find_region_conflicts(const RegionAccessSet& accesses) {
+std::vector<Conflict> find_region_conflicts(const RegionAccessSet& accesses,
+                                            AnalyzerStats* stats) {
   std::vector<Conflict> conflicts;
   for (const auto& [var, list] : accesses.accesses) {
     for (std::size_t i = 0; i < list.size(); ++i) {
@@ -48,7 +61,7 @@ std::vector<Conflict> find_region_conflicts(const RegionAccessSet& accesses) {
       // so one access site can race with itself (unless its own mutex or
       // subscript partitioning rules that out).
       for (std::size_t j = i; j < list.size(); ++j) {
-        if (accesses_conflict(list[i], list[j])) {
+        if (accesses_conflict(list[i], list[j], stats)) {
           conflicts.push_back({list[i], list[j]});
         }
       }
@@ -68,15 +81,18 @@ std::string phase_suffix(const Conflict& c) {
 }
 
 void report_region(const ast::Program& program, const ast::Stmt& region,
-                   RaceReport& out) {
+                   RaceReport& out, const AnalyzeOptions& options,
+                   AnalyzerStats* stats) {
   for (ast::VarId v : find_uninitialized_privates(program, region)) {
     out.findings.push_back({RaceKind::UninitializedPrivate,
                             program.var(v).name,
                             "read before assignment in region"});
   }
 
-  const RegionAccessSet accesses = collect_accesses(program, region);
-  const std::vector<Conflict> conflicts = find_region_conflicts(accesses);
+  const RegionAccessSet accesses =
+      collect_accesses(program, region, options, stats);
+  const std::vector<Conflict> conflicts =
+      find_region_conflicts(accesses, stats);
 
   // Fold the conflict list into one finding per variable: scalars first,
   // then arrays, each in VarId order (the conflict list is already
@@ -154,9 +170,14 @@ void report_region(const ast::Program& program, const ast::Stmt& region,
 }  // namespace
 
 RaceReport analyze_races(const ast::Program& program) {
+  return analyze_races(program, AnalyzeOptions{});
+}
+
+RaceReport analyze_races(const ast::Program& program,
+                         const AnalyzeOptions& options, AnalyzerStats* stats) {
   RaceReport report;
   for (const ast::Stmt* region : collect_regions(program.body())) {
-    report_region(program, *region, report);
+    report_region(program, *region, report, options, stats);
   }
   return report;
 }

@@ -33,12 +33,24 @@ struct Conflict {
 /// Dependence test between two accesses to the same variable.
 [[nodiscard]] bool accesses_conflict(const Access& a, const Access& b) noexcept;
 
+/// As above, counting interval-proved disjoint pairs into `stats` (may be
+/// null): when the affine table cannot separate two array accesses but
+/// their element ranges are disjoint, the pair is race-free.
+[[nodiscard]] bool accesses_conflict(const Access& a, const Access& b,
+                                     AnalyzerStats* stats) noexcept;
+
 /// All conflicts of one region's access set, per-variable in VarId order.
 [[nodiscard]] std::vector<Conflict> find_region_conflicts(
-    const RegionAccessSet& accesses);
+    const RegionAccessSet& accesses, AnalyzerStats* stats = nullptr);
 
 /// Full static analysis of a program: every parallel region through the
 /// reaching-defs + access-set + dependence-test pipeline.
 [[nodiscard]] RaceReport analyze_races(const ast::Program& program);
+
+/// As above with explicit analyzer knobs (interval precision on/off, team
+/// size override) and optional precision counters.
+[[nodiscard]] RaceReport analyze_races(const ast::Program& program,
+                                       const AnalyzeOptions& options,
+                                       AnalyzerStats* stats = nullptr);
 
 }  // namespace ompfuzz::analysis

@@ -1,0 +1,538 @@
+#include "analysis/value_range.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "ast/stmt.hpp"
+#include "support/error.hpp"
+
+namespace ompfuzz::analysis {
+
+namespace {
+
+using ast::Block;
+using ast::Expr;
+using ast::Program;
+using ast::Stmt;
+using ast::VarId;
+using ast::VarKind;
+
+// Bounds are extended integers: kNegInf/kPosInf sentinels denote infinity,
+// everything else is exact. Corner arithmetic runs in __int128 so finite
+// products cannot overflow before clamping.
+using Wide = __int128;
+
+std::int64_t clamp_bound(Wide v) {
+  if (v <= static_cast<Wide>(Interval::kNegInf)) return Interval::kNegInf;
+  if (v >= static_cast<Wide>(Interval::kPosInf)) return Interval::kPosInf;
+  return static_cast<std::int64_t>(v);
+}
+
+// The interpreter's integer add/sub/mul run through its double path, exact
+// only up to 2^53: any finite bound past that must widen to infinity.
+std::int64_t cap_lo(std::int64_t lo) {
+  return lo != Interval::kNegInf && lo < -Interval::kExactDouble
+             ? Interval::kNegInf
+             : lo;
+}
+std::int64_t cap_hi(std::int64_t hi) {
+  return hi != Interval::kPosInf && hi > Interval::kExactDouble
+             ? Interval::kPosInf
+             : hi;
+}
+
+/// An interval corner for multiplication: finite value or ±infinity.
+struct Corner {
+  int cls = 0;  ///< -1 = -inf, 0 = finite, +1 = +inf
+  Wide v = 0;
+};
+
+Corner corner(std::int64_t b) {
+  if (b == Interval::kNegInf) return {-1, 0};
+  if (b == Interval::kPosInf) return {+1, 0};
+  return {0, static_cast<Wide>(b)};
+}
+
+Corner corner_mul(const Corner& a, const Corner& b) {
+  if (a.cls == 0 && b.cls == 0) return {0, a.v * b.v};
+  // Infinity times zero is zero under the interval-corner convention.
+  if ((a.cls != 0 && b.cls == 0 && b.v == 0) ||
+      (b.cls != 0 && a.cls == 0 && a.v == 0)) {
+    return {0, 0};
+  }
+  const int sa = a.cls != 0 ? a.cls : (a.v > 0 ? 1 : -1);
+  const int sb = b.cls != 0 ? b.cls : (b.v > 0 ? 1 : -1);
+  return {sa * sb, 0};
+}
+
+bool corner_less(const Corner& a, const Corner& b) {
+  if (a.cls != b.cls) return a.cls < b.cls;
+  return a.cls == 0 && a.v < b.v;
+}
+
+std::int64_t corner_to_bound(const Corner& c) {
+  if (c.cls < 0) return Interval::kNegInf;
+  if (c.cls > 0) return Interval::kPosInf;
+  return clamp_bound(c.v);
+}
+
+}  // namespace
+
+Interval join(const Interval& a, const Interval& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval widen(const Interval& prev, const Interval& next) {
+  if (prev.empty()) return next;
+  if (next.empty()) return prev;
+  return {next.lo < prev.lo ? Interval::kNegInf : prev.lo,
+          next.hi > prev.hi ? Interval::kPosInf : prev.hi};
+}
+
+Interval interval_add(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::bottom();
+  const std::int64_t lo =
+      a.lo == Interval::kNegInf || b.lo == Interval::kNegInf
+          ? Interval::kNegInf
+          : cap_lo(clamp_bound(static_cast<Wide>(a.lo) + b.lo));
+  const std::int64_t hi =
+      a.hi == Interval::kPosInf || b.hi == Interval::kPosInf
+          ? Interval::kPosInf
+          : cap_hi(clamp_bound(static_cast<Wide>(a.hi) + b.hi));
+  return {lo, hi};
+}
+
+Interval interval_sub(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::bottom();
+  const std::int64_t lo =
+      a.lo == Interval::kNegInf || b.hi == Interval::kPosInf
+          ? Interval::kNegInf
+          : cap_lo(clamp_bound(static_cast<Wide>(a.lo) - b.hi));
+  const std::int64_t hi =
+      a.hi == Interval::kPosInf || b.lo == Interval::kNegInf
+          ? Interval::kPosInf
+          : cap_hi(clamp_bound(static_cast<Wide>(a.hi) - b.lo));
+  return {lo, hi};
+}
+
+Interval interval_mul(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::bottom();
+  const Corner corners[4] = {
+      corner_mul(corner(a.lo), corner(b.lo)),
+      corner_mul(corner(a.lo), corner(b.hi)),
+      corner_mul(corner(a.hi), corner(b.lo)),
+      corner_mul(corner(a.hi), corner(b.hi)),
+  };
+  Corner lo = corners[0];
+  Corner hi = corners[0];
+  for (int k = 1; k < 4; ++k) {
+    if (corner_less(corners[k], lo)) lo = corners[k];
+    if (corner_less(hi, corners[k])) hi = corners[k];
+  }
+  return {cap_lo(corner_to_bound(lo)), cap_hi(corner_to_bound(hi))};
+}
+
+Interval interval_mod(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::bottom();
+  // A divisor of exactly {0} always traps: no value is ever produced.
+  if (b.lo == 0 && b.hi == 0) return Interval::bottom();
+  // C++ % is exact int64 in the interpreter; the result's sign follows the
+  // dividend and its magnitude is below both |dividend| and |divisor|.
+  if (b.lo == b.hi && b.lo > 0 && a.lo >= 0 && a.hi < b.lo) {
+    return a;  // a % c == a when 0 <= a < c
+  }
+  std::int64_t mag_minus_1 = Interval::kPosInf;
+  if (b.lo != Interval::kNegInf && b.hi != Interval::kPosInf) {
+    mag_minus_1 = std::max(std::abs(b.lo), std::abs(b.hi)) - 1;
+  }
+  const std::int64_t lo =
+      a.lo >= 0 ? 0
+                : std::max(a.lo, mag_minus_1 == Interval::kPosInf
+                                     ? Interval::kNegInf
+                                     : -mag_minus_1);
+  const std::int64_t hi = a.hi <= 0 ? 0 : std::min(a.hi, mag_minus_1);
+  return {lo, hi};
+}
+
+std::string to_string(const Interval& iv) {
+  if (iv.empty()) return "[]";
+  const auto bound = [](std::int64_t b) {
+    if (b == Interval::kNegInf) return std::string("-inf");
+    if (b == Interval::kPosInf) return std::string("+inf");
+    return std::to_string(b);
+  };
+  return "[" + bound(iv.lo) + ", " + bound(iv.hi) + "]";
+}
+
+const char* to_string(SafetyVerdict v) {
+  switch (v) {
+    case SafetyVerdict::Safe: return "safe";
+    case SafetyVerdict::PossibleError: return "possible-error";
+    case SafetyVerdict::DefiniteError: return "definite-error";
+  }
+  return "?";
+}
+
+Interval eval_expr_interval(const ast::Expr& e,
+                            const std::map<ast::VarId, Interval>& env,
+                            int num_threads) {
+  switch (e.kind()) {
+    case Expr::Kind::IntConst:
+      return Interval::exact(e.int_value());
+    case Expr::Kind::ThreadId:
+      return num_threads >= 1 ? Interval::of(0, num_threads - 1)
+                              : Interval::exact(0);
+    case Expr::Kind::VarRef: {
+      const auto it = env.find(e.var_id());
+      return it != env.end() ? it->second : Interval::top();
+    }
+    case Expr::Kind::Binary: {
+      const Interval l = eval_expr_interval(e.lhs(), env, num_threads);
+      const Interval r = eval_expr_interval(e.rhs(), env, num_threads);
+      switch (e.bin_op()) {
+        case ast::BinOp::Add: return interval_add(l, r);
+        case ast::BinOp::Sub: return interval_sub(l, r);
+        case ast::BinOp::Mul: return interval_mul(l, r);
+        // The interpreter divides integers in floating point (fractional
+        // results, truncated only at an eventual as_int) — no useful bound.
+        case ast::BinOp::Div: return Interval::top();
+        case ast::BinOp::Mod: return interval_mod(l, r);
+      }
+      return Interval::top();
+    }
+    case Expr::Kind::FpConst:
+    case Expr::Kind::ArrayRef:
+    case Expr::Kind::Call:
+      return Interval::top();
+  }
+  return Interval::top();
+}
+
+namespace {
+
+/// The abstract interpreter: one walk over the program computing, per int
+/// scalar, the join of every value it is ever bound to, and per array the
+/// join of every subscript, with widening fixpoints at loop heads and
+/// parallel-region heads. Mirrors interp.cpp's semantics (see the header
+/// comment on the double-arithmetic calibration).
+class AbstractInterp {
+ public:
+  AbstractInterp(const Program& prog, const fp::InputSet* input,
+                 const RangeOptions& opt)
+      : prog_(prog), opt_(opt) {
+    const std::size_t n = prog.var_count();
+    tracked_.assign(n, false);
+    env_.assign(n, Interval::top());
+    ever_.assign(n, Interval::bottom());
+    subs_.assign(n, Interval::bottom());
+    for (std::size_t v = 0; v < n; ++v) {
+      if (prog.var(static_cast<VarId>(v)).kind == VarKind::IntScalar) {
+        tracked_[v] = true;
+        // An unbound int scalar reads back as 0 (the interpreter's default
+        // Value converts to 0 in every integer context).
+        env_[v] = Interval::exact(0);
+      }
+    }
+    const auto params = prog.params();
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      const VarId id = params[k];
+      if (!tracked_[id]) continue;
+      if (input != nullptr && k < input->values.size()) {
+        env_[id] = Interval::exact(input->values[k].int_value);
+      } else {
+        env_[id] = Interval::top();  // no input: any integer argument
+      }
+      // The binding itself is an observed value (interp notes it).
+      ever_[id] = join(ever_[id], env_[id]);
+    }
+  }
+
+  RangePrediction run() {
+    exec_block(prog_.body(), env_);
+    RangePrediction out;
+    out.scalars = std::move(ever_);
+    out.subscripts = std::move(subs_);
+    out.safety = definite_ ? SafetyVerdict::DefiniteError
+                 : possible_ ? SafetyVerdict::PossibleError
+                             : SafetyVerdict::Safe;
+    out.safety_detail = detail_;
+    return out;
+  }
+
+ private:
+  using Env = std::vector<Interval>;
+
+  static Env join_env(const Env& a, const Env& b) {
+    Env out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = join(a[i], b[i]);
+    return out;
+  }
+  static Env widen_env(const Env& prev, const Env& next) {
+    Env out(prev.size());
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      out[i] = widen(prev[i], next[i]);
+    }
+    return out;
+  }
+
+  void set_var(Env& env, VarId id, const Interval& v) {
+    if (!tracked_[id]) return;
+    env[id] = v;
+    ever_[id] = join(ever_[id], v);
+  }
+
+  /// Raises the safety flag: definite when the current context provably
+  /// executes (straight-line code, loops with >= 1 iteration, parallel
+  /// bodies — the interpreter runs threads sequentially under one try, so
+  /// any thread's error aborts the whole run); possible otherwise.
+  void flag(bool is_definite, const std::string& what) {
+    if (is_definite && must_) {
+      if (!definite_) detail_ = what;
+      definite_ = true;
+    } else {
+      if (!possible_ && !definite_) detail_ = what;
+      possible_ = true;
+    }
+  }
+
+  void record_subscript(VarId array, const Interval& s) {
+    subs_[array] = join(subs_[array], s);
+    if (s.empty()) return;  // unreachable access: no value, no error
+    const auto& decl = prog_.var(array);
+    const Interval valid{0, decl.array_size - 1};
+    if (!s.intersects(valid)) {
+      flag(true, "subscript of " + decl.name + " always out of bounds " +
+                     to_string(s));
+    } else if (!s.subset_of(valid)) {
+      flag(false, "subscript of " + decl.name + " may leave bounds " +
+                      to_string(s));
+    }
+  }
+
+  Interval eval(const Expr& e, Env& env) {
+    switch (e.kind()) {
+      case Expr::Kind::IntConst:
+        return Interval::exact(e.int_value());
+      case Expr::Kind::FpConst:
+        return Interval::top();
+      case Expr::Kind::VarRef:
+        return tracked_[e.var_id()] ? env[e.var_id()] : Interval::top();
+      case Expr::Kind::ThreadId:
+        return team_ >= 1 ? Interval::of(0, team_ - 1) : Interval::exact(0);
+      case Expr::Kind::ArrayRef:
+        record_subscript(e.var_id(), eval(e.index(), env));
+        return Interval::top();  // array elements hold floating point
+      case Expr::Kind::Call:
+        (void)eval(e.arg(), env);
+        return Interval::top();
+      case Expr::Kind::Binary: {
+        const Interval l = eval(e.lhs(), env);
+        const Interval r = eval(e.rhs(), env);
+        switch (e.bin_op()) {
+          case ast::BinOp::Add: return interval_add(l, r);
+          case ast::BinOp::Sub: return interval_sub(l, r);
+          case ast::BinOp::Mul: return interval_mul(l, r);
+          case ast::BinOp::Div:
+            // Floating-point division in the interpreter: never traps (a /
+            // 0 is inf), result fractional — no integer bound.
+            return Interval::top();
+          case ast::BinOp::Mod: {
+            if (!r.empty() && r.lo == 0 && r.hi == 0) {
+              flag(true, "modulo by a divisor that is always zero");
+              return Interval::bottom();
+            }
+            if (r.contains(0)) {
+              flag(false, "modulo by a divisor that may be zero");
+            }
+            return interval_mod(l, r);
+          }
+        }
+        return Interval::top();
+      }
+    }
+    return Interval::top();
+  }
+
+  void exec_assign(const Stmt& s, Env& env, bool atomic) {
+    const auto& decl = prog_.var(s.target.var);
+    if (s.target.is_array_element()) {
+      record_subscript(s.target.var, eval(*s.target.index, env));
+      (void)eval(*s.value, env);
+      return;
+    }
+    const Interval v = eval(*s.value, env);
+    if (decl.kind != VarKind::IntScalar) return;
+    // Atomic updates store a floating-point value even into int scalars
+    // (combine() runs in double); later as_int reads are unbounded.
+    set_var(env, s.target.var, atomic ? Interval::top() : v);
+  }
+
+  void exec_for(const Stmt& s, Env& env) {
+    const Interval bound = eval(*s.loop_bound, env);
+    if (bound.empty() || bound.hi <= 0) return;  // zero iterations
+    const Interval iv_range{
+        0, bound.hi == Interval::kPosInf ? Interval::kPosInf : bound.hi - 1};
+    const bool definitely_runs = bound.lo >= 1;
+    const bool saved_must = must_;
+    must_ = saved_must && definitely_runs;
+
+    Env in = env;
+    for (int iter = 0;; ++iter) {
+      Env it = in;
+      set_var(it, s.loop_var, iv_range);
+      exec_block(s.body, it);
+      Env merged = join_env(in, it);
+      if (merged == in) break;
+      in = iter >= 2 ? widen_env(in, merged) : std::move(merged);
+    }
+    env = std::move(in);
+    // The loop variable is left at its last value; when the loop may run
+    // zero iterations its prior value survives too.
+    if (tracked_[s.loop_var]) {
+      set_var(env, s.loop_var,
+              definitely_runs ? iv_range : join(env[s.loop_var], iv_range));
+    }
+    must_ = saved_must;
+  }
+
+  void exec_parallel(const Stmt& s, Env& env) {
+    const int team = opt_.num_threads_override > 0 ? opt_.num_threads_override
+                                                   : s.clauses.num_threads;
+    const int saved_team = team_;
+    team_ = team;
+
+    // Privatized variables: the shared copy is untouched for the whole
+    // region (every thread's writes go to its frame) and the frames are
+    // discarded at the join, so the pre-region values are restored below.
+    std::vector<std::pair<VarId, Interval>> saved;
+    const auto save = [&](VarId v) { saved.emplace_back(v, env[v]); };
+    for (VarId v : s.clauses.privates) save(v);
+    for (VarId v : s.clauses.firstprivates) save(v);
+    if (s.clauses.reduction.has_value()) save(prog_.comp());
+
+    const Env entry = env;
+    Env in = env;
+    for (int iter = 0;; ++iter) {
+      Env it = in;
+      // Each thread starts with fresh privates: ints to 0, firstprivates
+      // copied from the (unchanged) shared value at region entry.
+      for (VarId v : s.clauses.privates) set_var(it, v, Interval::exact(0));
+      for (VarId v : s.clauses.firstprivates) set_var(it, v, entry[v]);
+      exec_block(s.body, it);
+      Env merged = join_env(in, it);
+      if (merged == in) break;
+      in = iter >= 2 ? widen_env(in, merged) : std::move(merged);
+    }
+    env = std::move(in);
+    for (const auto& [v, iv] : saved) env[v] = iv;
+    team_ = saved_team;
+  }
+
+  void exec_stmt(const Stmt& s, Env& env) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        exec_assign(s, env, /*atomic=*/false);
+        break;
+      case Stmt::Kind::OmpAtomic:
+        exec_assign(s, env, /*atomic=*/true);
+        break;
+      case Stmt::Kind::Decl:
+        // Declares a floating-point temporary; an int target (never
+        // generated) would hold a truncated double — unbounded.
+        (void)eval(*s.value, env);
+        if (tracked_[s.target.var]) set_var(env, s.target.var, Interval::top());
+        break;
+      case Stmt::Kind::If: {
+        (void)eval(*s.cond.rhs, env);  // the guard may touch arrays
+        Env body_env = env;
+        const bool saved_must = must_;
+        must_ = false;  // the branch may not be taken
+        exec_block(s.body, body_env);
+        must_ = saved_must;
+        env = join_env(env, body_env);
+        break;
+      }
+      case Stmt::Kind::For:
+        exec_for(s, env);
+        break;
+      case Stmt::Kind::OmpParallel:
+        exec_parallel(s, env);
+        break;
+      case Stmt::Kind::OmpCritical:
+        // Every thread executes the body, one at a time.
+        exec_block(s.body, env);
+        break;
+      case Stmt::Kind::OmpSingle:
+      case Stmt::Kind::OmpMaster: {
+        // Exactly one thread executes each encounter (so errors stay
+        // definite in a must-execute context), the others skip it.
+        Env body_env = env;
+        exec_block(s.body, body_env);
+        env = join_env(env, body_env);
+        break;
+      }
+    }
+  }
+
+  void exec_block(const Block& block, Env& env) {
+    for (const auto& s : block.stmts) exec_stmt(*s, env);
+  }
+
+  const Program& prog_;
+  const RangeOptions& opt_;
+  std::vector<bool> tracked_;  ///< per VarId: is an IntScalar
+  Env env_;
+  std::vector<Interval> ever_;  ///< per VarId: every value ever bound
+  std::vector<Interval> subs_;  ///< per VarId: every subscript ever used
+  int team_ = 0;                ///< 0 = serial context
+  bool must_ = true;
+  bool possible_ = false;
+  bool definite_ = false;
+  std::string detail_;
+};
+
+}  // namespace
+
+RangePrediction predict_ranges(const ast::Program& program,
+                               const fp::InputSet& input,
+                               const RangeOptions& options) {
+  return AbstractInterp(program, &input, options).run();
+}
+
+RangePrediction predict_ranges(const ast::Program& program,
+                               const RangeOptions& options) {
+  return AbstractInterp(program, nullptr, options).run();
+}
+
+std::vector<RangeViolation> check_observed(const RangePrediction& predicted,
+                                           const interp::ValueTrace& observed) {
+  std::vector<RangeViolation> out;
+  const auto check = [&](const std::vector<Interval>& pred,
+                         const std::vector<interp::ObservedRange>& obs,
+                         bool is_subscript) {
+    const std::size_t n = std::min(pred.size(), obs.size());
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!obs[v].seen()) continue;
+      const Interval seen{obs[v].lo, obs[v].hi};
+      if (!seen.subset_of(pred[v])) {
+        out.push_back({static_cast<ast::VarId>(v), is_subscript, seen.lo,
+                       seen.hi, pred[v]});
+      }
+    }
+  };
+  check(predicted.scalars, observed.scalars, /*is_subscript=*/false);
+  check(predicted.subscripts, observed.subscripts, /*is_subscript=*/true);
+  return out;
+}
+
+SafetyCheck check_candidate_safety(const ast::Program& program,
+                                   const fp::InputSet& input,
+                                   const RangeOptions& options) {
+  const RangePrediction pred = predict_ranges(program, input, options);
+  return {pred.safety, pred.safety_detail};
+}
+
+}  // namespace ompfuzz::analysis

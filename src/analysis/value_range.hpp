@@ -1,0 +1,169 @@
+#pragma once
+
+// Value-range abstract interpretation over generated ASTs.
+//
+// The engine computes, for every integer scalar in a program, a sound
+// interval over-approximation of every value the interpreter can ever bind
+// to it, and for every array the interval of every subscript it can ever be
+// indexed with. Three clients sit on top:
+//
+//   * the dependence test (access_set / race_analyzer) uses subscript
+//     intervals to prove access pairs disjoint when the affine classifier
+//     cannot,
+//   * the reducer's oracle uses the definite-error verdict to reject
+//     out-of-bounds / mod-by-zero ddmin candidates before dispatching them,
+//   * the soundness differential (tests/test_value_range.cpp) checks the
+//     interpreter's observed ranges (interp::ValueTrace) against the
+//     prediction on thousands of fixed-seed drafts.
+//
+// Soundness is calibrated against the reference interpreter, not abstract
+// integer math: the interpreter evaluates integer Add/Sub/Mul through its
+// double-precision path, which is exact only below 2^53, so any interval
+// bound whose magnitude exceeds that is widened to infinity; integer Div is
+// floating-point division there (fractional, never trapping), so abstract
+// division returns top and only `%` can raise a divide error.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/program.hpp"
+#include "fp/input_gen.hpp"
+#include "interp/trace.hpp"
+
+namespace ompfuzz::analysis {
+
+/// A closed integer interval [lo, hi] with +/-infinity sentinels.  An empty
+/// interval (lo > hi) is "bottom": no value — unreachable code produces it.
+struct Interval {
+  static constexpr std::int64_t kNegInf =
+      std::numeric_limits<std::int64_t>::min();
+  static constexpr std::int64_t kPosInf =
+      std::numeric_limits<std::int64_t>::max();
+  /// Magnitude above which the interpreter's double-precision integer
+  /// arithmetic stops being exact; arithmetic results are widened to
+  /// infinity past it.
+  static constexpr std::int64_t kExactDouble = std::int64_t{1} << 53;
+
+  std::int64_t lo = kNegInf;
+  std::int64_t hi = kPosInf;
+
+  static Interval top() { return {kNegInf, kPosInf}; }
+  static Interval bottom() { return {kPosInf, kNegInf}; }
+  static Interval exact(std::int64_t v) { return {v, v}; }
+  static Interval of(std::int64_t lo, std::int64_t hi) { return {lo, hi}; }
+
+  bool empty() const { return lo > hi; }
+  bool is_top() const { return lo == kNegInf && hi == kPosInf; }
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  bool subset_of(const Interval& o) const {
+    return empty() || (o.lo <= lo && hi <= o.hi);
+  }
+  bool intersects(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi && o.lo <= hi;
+  }
+  bool operator==(const Interval& o) const = default;
+
+  friend Interval join(const Interval& a, const Interval& b);
+  /// Standard widening: any bound that moved between `prev` and `next`
+  /// jumps straight to infinity, so loop fixpoints terminate.
+  friend Interval widen(const Interval& prev, const Interval& next);
+
+  // Abstract transfer for the interpreter's arithmetic. add/sub/mul widen
+  // bounds past kExactDouble to infinity (see header comment); mod is exact
+  // int64 in the interpreter, and its result here excludes divisors == 0
+  // (a divisor interval of exactly {0} yields bottom — the caller decides
+  // whether that is an error).
+  friend Interval interval_add(const Interval& a, const Interval& b);
+  friend Interval interval_sub(const Interval& a, const Interval& b);
+  friend Interval interval_mul(const Interval& a, const Interval& b);
+  friend Interval interval_mod(const Interval& a, const Interval& b);
+};
+
+std::string to_string(const Interval& iv);
+
+/// Evaluates the integer interval of `e` under `env` (VarId -> interval;
+/// variables absent from the map are unknown, i.e. top).  ThreadId
+/// evaluates to [0, num_threads-1] when num_threads >= 1 and to exactly 0
+/// when serial (num_threads == 0).  Floating-point leaves (fp constants,
+/// fp variables, calls, array loads) evaluate to top; integer division
+/// evaluates to top (the interpreter divides in floating point).
+Interval eval_expr_interval(const ast::Expr& e,
+                            const std::map<ast::VarId, Interval>& env,
+                            int num_threads);
+
+/// Outcome of the static safety check over one program + one input.
+enum class SafetyVerdict {
+  Safe,           ///< no subscript can leave bounds, no mod divisor can be 0
+  PossibleError,  ///< some abstract state straddles an error condition
+  DefiniteError,  ///< an error provably occurs on a must-execute path
+};
+
+const char* to_string(SafetyVerdict v);
+
+struct RangeOptions {
+  /// Team size to assume for every parallel region; 0 means each region's
+  /// num_threads clause.  Callers that execute with an interpreter override
+  /// must pass at least that override here for the prediction to be sound.
+  int num_threads_override = 0;
+};
+
+/// The static prediction: per-scalar value intervals and per-array
+/// subscript intervals, plus the safety verdict observed along the way.
+/// Both vectors are indexed by VarId; entries for untracked variables
+/// (floating-point scalars) and never-accessed arrays are bottom/top as
+/// documented on the fields.
+struct RangePrediction {
+  /// scalars[v] over-approximates every value the int scalar v ever holds
+  /// (bottom when it provably never holds one; top for fp scalars).
+  std::vector<Interval> scalars;
+  /// subscripts[v] over-approximates every index array v is accessed with
+  /// (bottom when the array is provably never accessed).
+  std::vector<Interval> subscripts;
+  SafetyVerdict safety = SafetyVerdict::Safe;
+  /// Human-readable description of the first non-Safe condition found.
+  std::string safety_detail;
+};
+
+/// Runs the abstract interpretation with the given input bound to the
+/// program's parameters (exact integer parameter values; fp parameters and
+/// array fills are irrelevant to integer ranges).
+RangePrediction predict_ranges(const ast::Program& program,
+                               const fp::InputSet& input,
+                               const RangeOptions& options = {});
+
+/// As above but without an input: integer parameters are assumed unknown
+/// (top).  Used by the soundness sweep to cover every input of a draft.
+RangePrediction predict_ranges(const ast::Program& program,
+                               const RangeOptions& options = {});
+
+/// One observed-outside-predicted discrepancy from check_observed.
+struct RangeViolation {
+  ast::VarId var = 0;
+  bool is_subscript = false;
+  std::int64_t observed_lo = 0;
+  std::int64_t observed_hi = 0;
+  Interval predicted;
+};
+
+/// Checks an interpreter run's observed ranges against a prediction:
+/// every observed interval must be a subset of the predicted one.  Returns
+/// the violations (empty == sound).
+std::vector<RangeViolation> check_observed(const RangePrediction& predicted,
+                                           const interp::ValueTrace& observed);
+
+/// The oracle's pre-dispatch gate: Safe candidates may run; anything else
+/// is rejected without spawning children.  Equivalent to
+/// predict_ranges(program, input, options).safety plus its detail.
+struct SafetyCheck {
+  SafetyVerdict verdict = SafetyVerdict::Safe;
+  std::string detail;
+};
+
+SafetyCheck check_candidate_safety(const ast::Program& program,
+                                   const fp::InputSet& input,
+                                   const RangeOptions& options = {});
+
+}  // namespace ompfuzz::analysis

@@ -210,13 +210,45 @@ class Builder {
     return out;
   }
 
+  /// ThreadLocal subscript: plain omp_get_thread_num(), or — under the
+  /// rangeidx gate — a banked form `thread_id() + k * num_threads`. Banks
+  /// never overlap (thread ids span less than one bank width), so any mix
+  /// of bank offsets stays race-free, but the affine dependence test
+  /// demands *equal* offsets; only interval disjointness proves cross-bank
+  /// pairs safe.
+  ExprPtr gen_thread_index(int size) {
+    const int t = cfg_.num_threads;
+    const std::int64_t banks = size / t;
+    if (cfg_.enable_rangeidx && banks >= 2 &&
+        rng_.bernoulli(cfg_.p_rangeidx)) {
+      const std::int64_t k = rng_.uniform_int(0, banks - 1);
+      return Expr::binary(BinOp::Add, Expr::thread_id(),
+                          Expr::int_const(k * t));
+    }
+    return Expr::thread_id();
+  }
+
+  /// LoopPartitioned subscript: the omp-for index, or — under the rangeidx
+  /// gate — the wrapped form `i % size`. The mode only arises when the
+  /// loop's static bound fits the array (partition_ok), so the wrap is an
+  /// identity and the accesses stay iteration-partitioned; the affine
+  /// classifier cannot see through `%`, only the interval mod-rewrite can.
+  ExprPtr gen_partitioned_index(VarId iv, int size) {
+    if (cfg_.enable_rangeidx && rng_.bernoulli(cfg_.p_rangeidx)) {
+      return Expr::binary(BinOp::Mod, Expr::var(iv), Expr::int_const(size));
+    }
+    return Expr::var(iv);
+  }
+
   /// Subscript expression for reading array `arr` in this context.
   ExprPtr gen_read_index(VarId arr, const BlockCtx& ctx) {
     const int size = prog_.var(arr).array_size;
     if (ctx.in_parallel) {
       const ArrayMode mode = ctx.array_modes->at(arr);
-      if (mode == ArrayMode::ThreadLocal) return Expr::thread_id();
-      if (mode == ArrayMode::LoopPartitioned) return Expr::var(ctx.omp_for_index);
+      if (mode == ArrayMode::ThreadLocal) return gen_thread_index(size);
+      if (mode == ArrayMode::LoopPartitioned) {
+        return gen_partitioned_index(ctx.omp_for_index, size);
+      }
       // ReadOnly: any in-bounds subscript is race-free.
     }
     // Serial (or read-only shared): loop index modulo size, a constant, or
@@ -440,10 +472,10 @@ class Builder {
     const int size = prog_.var(arr).array_size;
     if (ctx.in_parallel) {
       const ArrayMode mode = ctx.array_modes->at(arr);
-      if (mode == ArrayMode::ThreadLocal) return Expr::thread_id();
+      if (mode == ArrayMode::ThreadLocal) return gen_thread_index(size);
       OMPFUZZ_CHECK(mode == ArrayMode::LoopPartitioned && ctx.in_omp_for,
                     "write to read-only array in region");
-      return Expr::var(ctx.omp_for_index);
+      return gen_partitioned_index(ctx.omp_for_index, size);
     }
     if (!loop_indices_.empty() && rng_.bernoulli(0.6)) {
       return Expr::binary(BinOp::Mod, Expr::var(loop_indices_.back()),

@@ -89,8 +89,10 @@ std::string render_grammar() {
       ">=, <=};\n<fp-numeral> is a constant, e.g. 1.23e+4; <reduction-op> "
       "supports {+, *};\n<update-op> supports {+=, -=, *=, /=}.\n"
       "<omp-single>, <omp-master>, <omp-atomic>, and <schedule-clause> are "
-      "feature-gated\n(generator.features = atomic,single,master,schedule; all "
-      "off by default).\n";
+      "feature-gated\n(generator.features = "
+      "atomic,single,master,schedule,rangeidx; all off by default).\n"
+      "The rangeidx feature widens subscripts with range-partitioned forms\n"
+      "(banked thread-local `tid + k*T`, wrapped work-shared `i % size`).\n";
   return out;
 }
 

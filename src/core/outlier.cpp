@@ -8,16 +8,6 @@
 
 namespace ompfuzz::core {
 
-const char* to_string(RunStatus s) noexcept {
-  switch (s) {
-    case RunStatus::Ok: return "OK";
-    case RunStatus::Crash: return "CRASH";
-    case RunStatus::Hang: return "HANG";
-    case RunStatus::Skipped: return "SKIPPED";
-  }
-  return "?";
-}
-
 const char* to_string(OutlierKind k) noexcept {
   switch (k) {
     case OutlierKind::None: return "none";

@@ -24,33 +24,12 @@
 #include <string>
 #include <vector>
 
+// RunStatus / RunResult — the vocabulary this detector classifies — live in
+// support/run_result.hpp (still in this namespace) so the result store can
+// persist them without including upward.
+#include "support/run_result.hpp"
+
 namespace ompfuzz::core {
-
-/// Terminal state of one test execution by one implementation.
-enum class RunStatus : std::uint8_t {
-  Ok,       ///< produced an output and an execution time
-  Crash,    ///< terminated abnormally (signal / nonzero exit) before output
-  Hang,     ///< exceeded the hang timeout and was stopped (SIGINT semantics)
-  Skipped,  ///< not executed (e.g. interpreter budget exceeded); excluded
-};
-
-[[nodiscard]] const char* to_string(RunStatus s) noexcept;
-
-/// Result of one (program, input, implementation) execution.
-struct RunResult {
-  std::string impl;              ///< implementation name, e.g. "gcc"
-  RunStatus status = RunStatus::Ok;
-  double time_us = 0.0;          ///< valid when status == Ok
-  double output = 0.0;           ///< comp value; valid when status == Ok
-  /// True when the harness fabricated this result because its own
-  /// infrastructure failed (compile/spawn failure: fork or pipe exhaustion,
-  /// compile timeout on a loaded machine), rather than observing the
-  /// implementation. Such results are analyzed like any Crash within the
-  /// current campaign but are never persisted to the result store or the
-  /// checkpoint journal — a transient hiccup must not be replayed as
-  /// "this implementation crashes here" forever.
-  bool harness_failure = false;
-};
 
 /// Classification of one run within its test.
 enum class OutlierKind : std::uint8_t { None, Slow, Fast, Crash, Hang };

@@ -8,6 +8,7 @@
 #include <set>
 #include <thread>
 
+#include "analysis/race_analyzer.hpp"
 #include "core/race_checker.hpp"
 #include "emit/codegen.hpp"
 #include "support/error.hpp"
@@ -929,16 +930,35 @@ CampaignResult Campaign::run(const ProgressFn& progress) {
     // regeneration cost.
     result.analysis.programs_checked += shard.regeneration_attempts + 1;
     result.analysis.programs_filtered += shard.regeneration_attempts;
-    if (shard.regeneration_attempts > 0) {
+    {
+      // Every checked draft is re-derived — the filtered ones (attempt <
+      // regeneration_attempts) for the findings tally, plus the accepted one
+      // for the interval-precision delta: a draft the affine-only baseline
+      // calls racy but interval analysis proves clean is by construction the
+      // accepted draft, never a filtered one.
       RandomEngine campaign_rng(config_.seed);
       const std::uint64_t draft_seed = campaign_rng.fork(p).next_u64();
-      for (int attempt = 0; attempt < shard.regeneration_attempts; ++attempt) {
+      analysis::AnalyzeOptions affine_only;
+      affine_only.use_intervals = false;
+      analysis::AnalyzerStats interval_stats;
+      for (int attempt = 0; attempt <= shard.regeneration_attempts; ++attempt) {
         const ast::Program draft = generator_.generate(
             "test_" + std::to_string(p), hash_combine(draft_seed, attempt));
-        for (const auto& finding : core::check_races(draft).findings) {
-          ++result.analysis.findings_by_kind[static_cast<int>(finding.kind)];
+        const auto report = analysis::analyze_races(
+            draft, analysis::AnalyzeOptions{}, &interval_stats);
+        if (attempt < shard.regeneration_attempts) {
+          for (const auto& finding : report.findings) {
+            ++result.analysis.findings_by_kind[static_cast<int>(finding.kind)];
+          }
+        }
+        if (report.race_free() &&
+            !analysis::analyze_races(draft, affine_only).race_free()) {
+          ++result.analysis.interval_rescued_drafts;
         }
       }
+      result.analysis.interval_disjoint_pairs +=
+          interval_stats.interval_disjoint_pairs;
+      result.analysis.interval_mod_rewrites += interval_stats.mod_rewrites;
     }
     if (want_gc && journal_ != nullptr) {
       for (const auto& outcome : shard.outcomes) {

@@ -78,6 +78,19 @@ struct StaticAnalysisStats {
   int programs_filtered = 0;  ///< racy drafts discarded and regenerated
   /// Findings across filtered drafts, indexed by analysis::RaceKind.
   std::array<int, analysis::kNumRaceKinds> findings_by_kind{};
+  /// Interval-precision delta over the same re-derived drafts: how many
+  /// checked drafts the affine-only baseline would have filtered as racy
+  /// that value-range analysis proves clean. Every rescued draft is a
+  /// regeneration (and its analysis + generation cost) the campaign did not
+  /// pay. Zero unless the grammar emits range-separated subscripts (the
+  /// `rangeidx` generator feature).
+  int interval_rescued_drafts = 0;
+  /// Access pairs across all checked drafts proved race-free purely by
+  /// interval disjointness (affine subtraction was inconclusive).
+  std::uint64_t interval_disjoint_pairs = 0;
+  /// `x % c` subscript wrappers the interval engine proved to be identity
+  /// rewrites, reclassifying the subscript for the affine test.
+  std::uint64_t interval_mod_rewrites = 0;
 };
 
 /// One (program, input, implementation) triple whose run could not be

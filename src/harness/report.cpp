@@ -126,6 +126,11 @@ std::string render_analysis_summary(const CampaignResult& result,
   std::string out = "static analysis: " + std::to_string(a.programs_checked) +
                     " drafts checked, " + std::to_string(a.programs_filtered) +
                     " filtered as racy\n";
+  out += "  intervals: " + std::to_string(a.interval_rescued_drafts) +
+         " drafts rescued (racy affine-only), " +
+         std::to_string(a.interval_disjoint_pairs) +
+         " pairs proved disjoint, " +
+         std::to_string(a.interval_mod_rewrites) + " mod rewrites\n";
   for (int k = 0; k < analysis::kNumRaceKinds; ++k) {
     if (a.findings_by_kind[static_cast<std::size_t>(k)] == 0) continue;
     out += "  " + std::string(analysis::to_string(static_cast<analysis::RaceKind>(k))) +
@@ -198,6 +203,12 @@ std::string to_json(const CampaignResult& result) {
       .value(static_cast<std::int64_t>(result.analysis.programs_checked));
   json.key("programs_filtered")
       .value(static_cast<std::int64_t>(result.analysis.programs_filtered));
+  json.key("interval_rescued_drafts")
+      .value(static_cast<std::int64_t>(result.analysis.interval_rescued_drafts));
+  json.key("interval_disjoint_pairs")
+      .value(static_cast<std::int64_t>(result.analysis.interval_disjoint_pairs));
+  json.key("interval_mod_rewrites")
+      .value(static_cast<std::int64_t>(result.analysis.interval_mod_rewrites));
   json.key("findings_by_kind").begin_object();
   for (int k = 0; k < analysis::kNumRaceKinds; ++k) {
     json.key(analysis::to_string(static_cast<analysis::RaceKind>(k)))

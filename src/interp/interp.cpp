@@ -60,6 +60,7 @@ class Engine {
     const std::size_t n = program.var_count();
     globals_.assign(n, Value{});
     arrays_.assign(n, {});
+    if (opt_.values != nullptr) opt_.values->reset(n);
     bind_inputs(input);
   }
 
@@ -100,6 +101,7 @@ class Engine {
       switch (decl.kind) {
         case VarKind::IntScalar:
           globals_[id] = Value::make_int(v.int_value);
+          note_value(id, globals_[id]);
           break;
         case VarKind::FpScalar:
           globals_[id] = decl.width == FpWidth::F32
@@ -142,6 +144,14 @@ class Engine {
     return frame_ != nullptr && frame_->is_private[id] != 0;
   }
 
+  /// Feeds the observed-value trace: every integer value a scalar is bound
+  /// to (fp bindings carry no range information and are skipped).
+  void note_value(VarId id, const Value& v) {
+    if (opt_.values != nullptr && v.tag == Value::Tag::Int) {
+      opt_.values->scalars[id].note(v.i);
+    }
+  }
+
   /// Appends to the shared-access trace (trace.hpp); a no-op outside
   /// parallel regions or when tracing is off.
   void record_access(VarId id, std::int32_t elem, bool is_write,
@@ -161,6 +171,7 @@ class Engine {
 
   void write_scalar(VarId id, Value v) {
     ++ev_.scalar_stores;
+    note_value(id, v);
     if (frame_private(id)) {
       frame_->locals[id] = v;
     } else {
@@ -172,6 +183,7 @@ class Engine {
   /// Marks a variable thread-private from this point on (Decl / loop index
   /// inside a region).
   void make_frame_local(VarId id, Value v) {
+    note_value(id, v);
     if (frame_ != nullptr) {
       frame_->is_private[id] = 1;
       frame_->locals[id] = v;
@@ -186,9 +198,12 @@ class Engine {
     return storage;
   }
 
-  std::size_t eval_index(const Expr& idx, int array_size) {
+  std::size_t eval_index(const Expr& idx, VarId array, int array_size) {
     const Value v = eval(idx);
     const std::int64_t raw = v.as_int();
+    // Observed before the bounds check: a subscript that is about to abort
+    // the run is exactly the observation the soundness sweep must not miss.
+    if (opt_.values != nullptr) opt_.values->subscripts[array].note(raw);
     if (raw < 0 || raw >= array_size) {
       throw InterpError("array subscript out of bounds: " + std::to_string(raw) +
                         " (size " + std::to_string(array_size) + ")");
@@ -207,7 +222,7 @@ class Engine {
         return read_scalar(e.var_id());
       case Expr::Kind::ArrayRef: {
         const auto& decl = prog_.var(e.var_id());
-        const std::size_t i = eval_index(e.index(), decl.array_size);
+        const std::size_t i = eval_index(e.index(), e.var_id(), decl.array_size);
         ++ev_.array_loads;
         record_access(e.var_id(), static_cast<std::int32_t>(i),
                       /*is_write=*/false);
@@ -335,7 +350,8 @@ class Engine {
   void exec_assign(const Stmt& s) {
     const auto& decl = prog_.var(s.target.var);
     if (s.target.is_array_element()) {
-      const std::size_t i = eval_index(*s.target.index, decl.array_size);
+      const std::size_t i =
+          eval_index(*s.target.index, s.target.var, decl.array_size);
       auto& storage = array_storage(s.target.var);
       const Value rhs = eval(*s.value);
       double result;
@@ -441,7 +457,8 @@ class Engine {
   void exec_atomic(const Stmt& s) {
     const auto& decl = prog_.var(s.target.var);
     if (s.target.is_array_element()) {
-      const std::size_t i = eval_index(*s.target.index, decl.array_size);
+      const std::size_t i =
+          eval_index(*s.target.index, s.target.var, decl.array_size);
       const Value rhs = eval(*s.value);
       auto& storage = array_storage(s.target.var);
       double result;
@@ -548,6 +565,7 @@ class Engine {
         const auto& d = prog_.var(v);
         frame.locals[v] = d.kind == VarKind::IntScalar ? Value::make_int(0)
                                                        : Value::zero_of(d.width);
+        note_value(v, frame.locals[v]);
       }
       for (VarId v : s.clauses.firstprivates) {
         frame.is_private[v] = 1;

@@ -40,6 +40,10 @@ struct InterpOptions {
   /// here (see trace.hpp). Off by default: tracing grows memory linearly
   /// with executed accesses.
   AccessTrace* trace = nullptr;
+  /// When set, reset to the program's variable count and filled with the
+  /// observed integer value range of every scalar and every array subscript
+  /// (see ValueTrace in trace.hpp). Constant memory, one min/max per touch.
+  ValueTrace* values = nullptr;
 };
 
 struct InterpResult {

@@ -16,7 +16,9 @@
 // conflict means the static analyzer (or the generator) is unsound.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "ast/types.hpp"
@@ -52,5 +54,34 @@ struct AccessTrace {
 /// At most one conflict per (region, phase, variable, element) location.
 [[nodiscard]] std::vector<AccessConflict> find_conflicts(
     const AccessTrace& trace);
+
+/// Min/max of every integer value one variable was observed holding.
+struct ObservedRange {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+
+  [[nodiscard]] bool seen() const noexcept { return lo <= hi; }
+  void note(std::int64_t v) noexcept {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+};
+
+/// Observed integer value ranges of one execution (InterpOptions::values).
+/// scalars[v] covers every integer value bound to scalar v — input binding,
+/// integer assignment, loop-index stepping, private initialization;
+/// subscripts[v] covers every index array v was accessed with, recorded
+/// before the bounds check so an out-of-range subscript is still observed.
+/// This is the dynamic half of the value-range soundness differential
+/// (analysis/value_range.hpp): observed must be a subset of predicted.
+struct ValueTrace {
+  std::vector<ObservedRange> scalars;    ///< indexed by VarId
+  std::vector<ObservedRange> subscripts; ///< indexed by array VarId
+
+  void reset(std::size_t var_count) {
+    scalars.assign(var_count, {});
+    subscripts.assign(var_count, {});
+  }
+};
 
 }  // namespace ompfuzz::interp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/value_range.hpp"
 #include "support/config.hpp"
 #include "support/error.hpp"
 #include "support/telemetry.hpp"
@@ -19,6 +20,7 @@ struct OneResult {
   std::uint64_t executed = 0;
   std::uint64_t cached = 0;
   std::uint64_t failures = 0;
+  bool static_rejected = false;
 };
 
 }  // namespace
@@ -61,6 +63,23 @@ InterestingnessOracle::classify(std::span<const Request> requests) {
 
     OneResult out;
     out.fingerprint = fingerprint;
+
+    // Value-range gate, ahead of every cache tier: a candidate that cannot
+    // be proven free of out-of-bounds subscripts and zero `%` divisors is
+    // untrusted no matter what an execution would report, so spending
+    // children (or even memo lookups) on it is pure waste. Both PossibleError
+    // and DefiniteError reject — the gate must be sound, not precise, and an
+    // unproven candidate executed on a real compiler is undefined behavior.
+    if (options_.static_reject) {
+      const auto safety =
+          analysis::check_candidate_safety(*request.program, *request.input);
+      if (safety.verdict != analysis::SafetyVerdict::Safe) {
+        out.classification.trusted = false;
+        out.static_rejected = true;
+        return out;
+      }
+    }
+
     std::vector<core::RunResult> runs(nj);
     std::vector<std::string> missing;
     std::vector<std::size_t> missing_ids;
@@ -161,10 +180,19 @@ InterestingnessOracle::classify(std::span<const Request> requests) {
   stats_.candidates += requests.size();
   std::vector<Classification> results;
   results.reserve(requests.size());
+  auto& registry = telemetry::Registry::global();
   for (OneResult& partial : partials) {
     stats_.executed_runs += partial.executed;
     stats_.cached_runs += partial.cached;
     stats_.harness_failures += partial.failures;
+    if (partial.static_rejected) {
+      ++stats_.static_rejects;
+      registry.counter("reduce.static_rejects").add(1);
+    }
+    if (!partial.classification.trusted) {
+      ++stats_.untrusted_candidates;
+      registry.counter("reduce.untrusted_candidates").add(1);
+    }
     // With every implementation's verdict now replayable from the memo (and
     // the store, when attached), the candidate's on-disk artifacts — one
     // source + binary per impl under a subprocess backend — are dead weight:
@@ -173,7 +201,9 @@ InterestingnessOracle::classify(std::span<const Request> requests) {
     // its own in-flight children. Candidates with a fabricated (harness
     // failure) or unclassifiable run keep their artifacts: nothing was
     // memoized for them, so a revisit would otherwise pay a full recompile.
-    if (can_reclaim_ && partial.failures == 0) {
+    if (can_reclaim_ && partial.failures == 0 && !partial.static_rejected) {
+      // Static-rejected candidates never dispatched, so they own no
+      // artifacts to reclaim.
       executor_.reclaim_artifacts(partial.fingerprint);
     }
     results.push_back(std::move(partial.classification));

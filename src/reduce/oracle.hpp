@@ -52,6 +52,16 @@ struct OracleOptions {
   /// children in flight together. Only used when the executor is
   /// thread-safe; results never depend on it (set 1 to force serial).
   int threads = 0;
+  /// Value-range pre-dispatch gate: candidates whose abstract interpretation
+  /// cannot prove every subscript in bounds and every `%` divisor nonzero
+  /// are classified untrusted WITHOUT dispatching any child. ddmin edits
+  /// (especially expression rewrites inside subscripts) routinely produce
+  /// such candidates; executing them costs a compile + run per impl only to
+  /// land in the uninteresting bin — or, on a real-compiler backend,
+  /// executes undefined behavior. Classifications are unchanged by the
+  /// toggle (rejected candidates classify untrusted either way); only the
+  /// child count differs.
+  bool static_reject = true;
 };
 
 struct OracleStats {
@@ -60,6 +70,11 @@ struct OracleStats {
   std::uint64_t executed_runs = 0;  ///< (impl) runs dispatched to the executor
   std::uint64_t cached_runs = 0;    ///< (impl) runs served by the result store
   std::uint64_t harness_failures = 0;  ///< fabricated results seen (untrusted)
+  /// Candidates rejected by the value-range gate (zero children spawned).
+  std::uint64_t static_rejects = 0;
+  /// Candidates whose classification came back untrusted, from any cause:
+  /// static rejection, executor refusal, or fabricated runs.
+  std::uint64_t untrusted_candidates = 0;
 };
 
 class InterestingnessOracle {

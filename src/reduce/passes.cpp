@@ -357,10 +357,11 @@ struct ExprProposal {
 };
 
 /// Enumerates shrinking replacements over a site's expression tree in
-/// pre-order. Array subscript subtrees are special-cased: the only edit
-/// ever proposed is pinning the whole index to 0 — partial index edits
-/// could push a subscript out of bounds, which is UB in the emitted C++
-/// (and an error in the interpreter), so they are never generated.
+/// pre-order. Subscript subtrees get the whole-index->0 pin plus the full
+/// set of partial edits: an edit that pushes a subscript out of bounds is
+/// caught by the oracle's value-range gate before any child is spawned
+/// (OracleOptions::static_reject), so unsafe candidates classify untrusted
+/// without executing — and never as UB in emitted C++.
 void enumerate_proposals(const Expr& e, std::size_t& counter,
                          std::vector<ExprProposal>& out) {
   const std::size_t me = counter++;
@@ -373,14 +374,14 @@ void enumerate_proposals(const Expr& e, std::size_t& counter,
       out.push_back({me, Expr::int_const(0), "thread-id->0"});
       break;
     case Expr::Kind::ArrayRef: {
-      // Count the index subtree (to keep pre-order numbering aligned with
-      // rebuild_with) but do not descend for proposals.
       const std::size_t index_node = counter;
-      counter += e.index().size();
       if (e.index().kind() != Expr::Kind::IntConst ||
           e.index().int_value() != 0) {
         out.push_back({index_node, Expr::int_const(0), "index->0"});
       }
+      // Recursing advances `counter` by the index subtree size, keeping
+      // pre-order numbering aligned with rebuild_with.
+      enumerate_proposals(e.index(), counter, out);
       break;
     }
     case Expr::Kind::Binary: {
@@ -504,10 +505,13 @@ std::vector<Candidate> expr_candidates(const Program& program,
     std::vector<ExprProposal> proposals;
     std::size_t counter = 0;
     if (whole_tree_is_index) {
-      // The site *is* a subscript (an lvalue's index): only index->0.
+      // The site *is* a subscript (an lvalue's index): pin it to 0, then
+      // enumerate partial edits like any other tree — the oracle's
+      // value-range gate rejects any edit that could leave bounds.
       if (root.kind() != Expr::Kind::IntConst || root.int_value() != 0) {
         proposals.push_back({0, Expr::int_const(0), "index->0"});
       }
+      enumerate_proposals(root, counter, proposals);
     } else {
       enumerate_proposals(root, counter, proposals);
     }

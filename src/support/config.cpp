@@ -173,11 +173,14 @@ GeneratorConfig GeneratorConfig::from_config(const ConfigFile& file) {
   g.enable_master = file.get_bool("generator.enable_master", g.enable_master);
   g.enable_schedule =
       file.get_bool("generator.enable_schedule", g.enable_schedule);
+  g.enable_rangeidx =
+      file.get_bool("generator.enable_rangeidx", g.enable_rangeidx);
   if (const auto csv = file.get("generator.features")) g.enable_features(*csv);
   g.p_atomic = getd("p_atomic", g.p_atomic);
   g.p_single = getd("p_single", g.p_single);
   g.p_master = getd("p_master", g.p_master);
   g.p_schedule = getd("p_schedule", g.p_schedule);
+  g.p_rangeidx = getd("p_rangeidx", g.p_rangeidx);
   g.validate();
   return g;
 }
@@ -204,9 +207,12 @@ void GeneratorConfig::enable_features(const std::string& csv) {
         enable_master = true;
       } else if (name == "schedule") {
         enable_schedule = true;
+      } else if (name == "rangeidx") {
+        enable_rangeidx = true;
       } else {
         throw ConfigError("unknown generator feature: '" + name +
-                          "' (expected atomic, single, master, or schedule)");
+                          "' (expected atomic, single, master, schedule, or "
+                          "rangeidx)");
       }
     }
     pos = end + 1;
@@ -231,7 +237,7 @@ void GeneratorConfig::validate() const {
                    p_critical, p_parallel_in_loop}) {
     require(p >= 0.0 && p <= 1.0, "block probabilities must be in [0,1]");
   }
-  for (double p : {p_atomic, p_single, p_master, p_schedule}) {
+  for (double p : {p_atomic, p_single, p_master, p_schedule, p_rangeidx}) {
     require(p >= 0.0 && p <= 1.0, "feature probabilities must be in [0,1]");
   }
 }

@@ -87,13 +87,20 @@ struct GeneratorConfig {
   bool enable_single = false;    ///< "#pragma omp single nowait" blocks
   bool enable_master = false;    ///< "#pragma omp master" blocks
   bool enable_schedule = false;  ///< schedule(static|dynamic[,chunk]) on omp for
+  /// Range-partitioned subscripts: banked thread-id forms
+  /// `omp_get_thread_num() + k * num_threads` and modulo-wrapped loop forms
+  /// `i % array_size`. Both are race-free by construction but beyond the
+  /// affine classifier — only value-range interval analysis proves them.
+  bool enable_rangeidx = false;
   double p_atomic = 0.45;    ///< chance an enabled region gains atomic updates
   double p_single = 0.45;    ///< chance an enabled region gains a single block
   double p_master = 0.35;    ///< chance an enabled region gains a master block
   double p_schedule = 0.6;   ///< chance an omp-for carries an explicit schedule
+  double p_rangeidx = 0.4;   ///< chance an eligible subscript takes a range form
 
   /// Enables the gates named in a comma-separated list
-  /// ("atomic,single,master,schedule"); throws ConfigError on unknown names.
+  /// ("atomic,single,master,schedule,rangeidx"); throws ConfigError on
+  /// unknown names.
   void enable_features(const std::string& csv);
 
   /// Reads the [generator] section; unspecified keys keep their defaults.

@@ -23,9 +23,10 @@
 // deterministic classification pass, so resumed or cached results are
 // bit-identical to a cold run.
 //
-// Layering note: this support module names core::RunResult (the one value it
-// persists) but nothing above core; the harness-level TestOutcome is
-// converted to the plain StoredShard/StoredOutcome records by the campaign.
+// Layering note: core::RunResult (the one value this store persists) lives
+// in support/run_result.hpp, so this module includes nothing above its own
+// layer; the harness-level TestOutcome is converted to the plain
+// StoredShard/StoredOutcome records by the campaign.
 #pragma once
 
 #include <array>
@@ -38,7 +39,7 @@
 #include <string>
 #include <vector>
 
-#include "core/outlier.hpp"
+#include "support/run_result.hpp"
 #include "support/config.hpp"
 #include "support/telemetry.hpp"
 

@@ -138,6 +138,18 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
     EXPECT_EQ(oa.divergence.majority_size, ob.divergence.majority_size);
     EXPECT_EQ(oa.divergence.diverges, ob.divergence.diverges);
   }
+
+  // The static_analysis block (including the interval-precision counters) is
+  // re-derived at merge time from the journaled regeneration counts, so it
+  // must be a pure function of the config — identical for every split.
+  EXPECT_EQ(a.analysis.programs_checked, b.analysis.programs_checked);
+  EXPECT_EQ(a.analysis.programs_filtered, b.analysis.programs_filtered);
+  EXPECT_EQ(a.analysis.findings_by_kind, b.analysis.findings_by_kind);
+  EXPECT_EQ(a.analysis.interval_rescued_drafts,
+            b.analysis.interval_rescued_drafts);
+  EXPECT_EQ(a.analysis.interval_disjoint_pairs,
+            b.analysis.interval_disjoint_pairs);
+  EXPECT_EQ(a.analysis.interval_mod_rewrites, b.analysis.interval_mod_rewrites);
 }
 
 TEST(CampaignParallel, FourThreadsMatchSerialExactly) {
@@ -152,6 +164,38 @@ TEST(CampaignParallel, HardwareConcurrencyMatchesSerial) {
   const CampaignResult serial = run_campaign(1);
   const CampaignResult hw = run_campaign(0);
   expect_identical(serial, hw);
+}
+
+TEST(CampaignParallel, RangeidxIntervalCountersFireAndSplitInvariantly) {
+  // On a rangeidx stream the accepted drafts carry banked `tid + k*T` and
+  // `iv % size` subscripts the affine baseline flags as racy; the interval
+  // counters must actually fire there, and must stay identical across
+  // thread counts (expect_identical now covers the analysis block).
+  const auto run = [](int threads) {
+    CampaignConfig cfg = small_config(threads);
+    cfg.generator.array_size = 64;  // banks >= 2 under 32-thread regions
+    cfg.generator.max_loop_trip_count = 12;
+    cfg.generator.enable_features("rangeidx");
+    SimExecutorOptions opt;
+    opt.num_threads = 8;
+    SimExecutor exec(opt);
+    Campaign campaign(cfg, exec);
+    return campaign.run();
+  };
+  const CampaignResult serial = run(1);
+  const CampaignResult parallel = run(4);
+  expect_identical(serial, parallel);
+
+  EXPECT_GT(serial.analysis.interval_rescued_drafts, 0);
+  EXPECT_GT(serial.analysis.interval_disjoint_pairs, 0u);
+  EXPECT_GT(serial.analysis.interval_mod_rewrites, 0u);
+  EXPECT_LE(serial.analysis.interval_rescued_drafts,
+            serial.analysis.programs_checked);
+
+  // The default stream draws nothing from the rangeidx feature, so its
+  // precision counters stay zero — the delta is attributable to the gate.
+  const CampaignResult plain = run_campaign(1);
+  EXPECT_EQ(plain.analysis.interval_rescued_drafts, 0);
 }
 
 TEST(CampaignParallel, OutcomesStayInProgramOrder) {

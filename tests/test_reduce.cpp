@@ -25,6 +25,7 @@
 #include "reduce/passes.hpp"
 #include "reduce/reducer.hpp"
 #include "support/result_store.hpp"
+#include "support/telemetry.hpp"
 
 namespace ompfuzz::reduce {
 namespace {
@@ -554,6 +555,138 @@ TEST(OracleCache, InProcessMemoAvoidsReexecutionWithoutStore) {
   EXPECT_EQ(oracle.stats().executed_runs, 2u);  // nothing re-executed
   EXPECT_EQ(oracle.stats().cached_runs, 2u);
   EXPECT_EQ(count_children(dir), children_after_first);
+}
+
+// ---------------------------------------------------- static rejection -----
+
+/// Fixture whose body reads `arr[i % 4]` under a 4-trip loop: safe as
+/// written, but ddmin's partial index edits (binary->rhs turns the index
+/// into the constant 4; folding the divisor to 0 makes `i % 0`) produce
+/// exactly the unsafe candidates the oracle's value-range gate exists for.
+struct ArrayFixture {
+  Program prog;
+  VarId comp, n, arr, i;
+
+  ArrayFixture() {
+    comp = prog.add_var(
+        {"comp", VarKind::FpScalar, VarRole::Comp, FpWidth::F64, 0});
+    prog.set_comp(comp);
+    n = prog.add_var(
+        {"var_n", VarKind::IntScalar, VarRole::Param, FpWidth::F64, 0});
+    arr = prog.add_var(
+        {"arr_1", VarKind::FpArray, VarRole::Param, FpWidth::F64, 4});
+    i = prog.add_var(
+        {"i_1", VarKind::IntScalar, VarRole::LoopIndex, FpWidth::F64, 0});
+    prog.add_param(n);
+    prog.add_param(arr);
+
+    ast::Block loop_body;
+    loop_body.stmts.push_back(Stmt::assign(
+        {comp, nullptr}, ast::AssignOp::AddAssign,
+        Expr::array(arr, Expr::binary(BinOp::Mod, Expr::var(i),
+                                      Expr::int_const(4)))));
+    prog.body().stmts.push_back(Stmt::for_loop(
+        i, Expr::var(n), std::move(loop_body), /*omp_for=*/false));
+  }
+
+  [[nodiscard]] fp::InputSet input() const {
+    fp::InputSet in;
+    fp::InputValue trip;
+    trip.kind = fp::ParamKind::Int;
+    trip.int_value = 4;
+    in.values.push_back(trip);
+    fp::InputValue fill;
+    fill.kind = fp::ParamKind::Array;
+    fill.fp_value = 1.0;
+    in.values.push_back(fill);
+    return in;
+  }
+
+  /// The fixture with its subscript replaced by the out-of-bounds constant 4
+  /// — the exact program ddmin's binary->rhs edit would propose.
+  [[nodiscard]] Program oob_variant() const {
+    Program p = prog.clone();
+    p.body().stmts.front()->body.stmts.front()->value =
+        Expr::array(arr, Expr::int_const(4));
+    return p;
+  }
+};
+
+TEST(OracleStaticReject, UnsafeCandidateSpawnsZeroChildren) {
+  const std::string dir = temp_dir();
+  std::vector<ImplementationSpec> impls = {
+      {"alpha", make_const_compiler(dir, "alpha", "7") + " {src} {bin}", ""},
+      {"beta", make_const_compiler(dir, "beta", "42") + " {src} {bin}", ""},
+  };
+  harness::SubprocessOptions opt;
+  opt.work_dir = dir + "/work";
+  harness::SubprocessExecutor executor(impls, opt);
+
+  const ArrayFixture f;
+  const Program oob = f.oob_variant();
+  const fp::InputSet input = f.input();
+  const std::uint64_t rejects_before =
+      telemetry::Registry::global().counter("reduce.static_rejects").value();
+
+  InterestingnessOracle oracle(executor);
+  InterestingnessOracle::Request request{&oob, &input};
+  const auto verdicts = oracle.classify({&request, 1});
+
+  // Rejected before any cache tier or dispatch: untrusted, zero children.
+  EXPECT_FALSE(verdicts.front().trusted);
+  EXPECT_EQ(oracle.stats().static_rejects, 1u);
+  EXPECT_EQ(oracle.stats().untrusted_candidates, 1u);
+  EXPECT_EQ(oracle.stats().executed_runs, 0u);
+  EXPECT_EQ(oracle.stats().cached_runs, 0u);
+  EXPECT_EQ(count_children(dir), 0);
+  EXPECT_EQ(
+      telemetry::Registry::global().counter("reduce.static_rejects").value(),
+      rejects_before + 1);
+
+  // The safe original still dispatches normally through the same oracle.
+  InterestingnessOracle::Request safe{&f.prog, &input};
+  const auto ok = oracle.classify({&safe, 1});
+  EXPECT_TRUE(ok.front().trusted);
+  EXPECT_EQ(oracle.stats().executed_runs, 2u);  // one per implementation
+  EXPECT_GT(count_children(dir), 0);
+}
+
+TEST(OracleStaticReject, ToggleOnlyChangesChildCountNotClassification) {
+  harness::SimExecutor executor;
+
+  const ArrayFixture f;
+  const Program oob = f.oob_variant();
+  const fp::InputSet input = f.input();
+  const std::vector<InterestingnessOracle::Request> requests = {
+      {&f.prog, &input},
+      {&oob, &input},
+  };
+
+  OracleOptions off;
+  off.static_reject = false;
+  InterestingnessOracle gated(executor);
+  InterestingnessOracle ungated(executor, off);
+  const auto with_gate = gated.classify(requests);
+  const auto without_gate = ungated.classify(requests);
+
+  // Same verdicts either way: the safe program classifies identically, and
+  // the unsafe one is untrusted whether rejected statically or refused by
+  // the interpreter at dispatch.
+  ASSERT_EQ(with_gate.size(), without_gate.size());
+  for (std::size_t k = 0; k < with_gate.size(); ++k) {
+    EXPECT_EQ(with_gate[k].trusted, without_gate[k].trusted) << k;
+    if (with_gate[k].trusted) {
+      EXPECT_EQ(with_gate[k].cls, without_gate[k].cls) << k;
+    }
+  }
+  EXPECT_TRUE(with_gate[0].trusted);
+  EXPECT_FALSE(with_gate[1].trusted);
+
+  // Only the child count differs: the gate saves every run the unsafe
+  // candidate would have burned.
+  EXPECT_EQ(gated.stats().static_rejects, 1u);
+  EXPECT_EQ(ungated.stats().static_rejects, 0u);
+  EXPECT_LT(gated.stats().executed_runs, ungated.stats().executed_runs);
 }
 
 // ------------------------------------------------------ campaign retention -
